@@ -1,0 +1,84 @@
+package fastcolumns
+
+import (
+	"time"
+
+	"fastcolumns/internal/adaptive"
+	"fastcolumns/internal/model"
+)
+
+// AdaptiveResult is the outcome of a Smooth-Scan-style select.
+type AdaptiveResult struct {
+	RowIDs []RowID
+	// Morphed is true when the probe outgrew its budget and restarted as
+	// a sequential scan.
+	Morphed bool
+	// Wasted counts index entries streamed before morphing.
+	Wasted  int
+	Elapsed time.Duration
+}
+
+// SelectAdaptive answers one range query with the adaptive access path
+// (Section 6's "delaying optimization decisions" family): it probes the
+// secondary index and morphs into a scan if the result outgrows the
+// machine's break-even cardinality. Use it when selectivity estimates
+// are untrustworthy; SelectBatch with APS is cheaper when they hold.
+func (t *Table) SelectAdaptive(attr string, lo, hi Value) (AdaptiveResult, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	rel, err := t.relation(attr)
+	if err != nil {
+		return AdaptiveResult{}, err
+	}
+	budget := adaptive.BudgetFromModel(rel.Column.Len(), float64(rel.Column.TupleSize()),
+		t.engine.hw, t.engine.opt.Design)
+	res, err := adaptive.Select(rel, Predicate{Lo: lo, Hi: hi}, budget)
+	if err != nil {
+		return AdaptiveResult{}, err
+	}
+	return AdaptiveResult{
+		RowIDs:  res.RowIDs,
+		Morphed: res.Outcome == adaptive.MorphedToScan,
+		Wasted:  res.Wasted,
+		Elapsed: res.Elapsed,
+	}, nil
+}
+
+// Robustness quantifies how trustworthy a decision is (the Section 3
+// error-propagation analysis).
+type Robustness struct {
+	// ErrorMargin is the multiplicative selectivity-error factor that
+	// would flip the decision; +Inf when unflippable.
+	ErrorMargin float64
+	// WrongChoicePenalty is the slowdown if the other path had been
+	// picked: near 1 at the break-even point (mistakes are cheap there).
+	WrongChoicePenalty float64
+}
+
+// ExplainRobustness runs access path selection for the batch and reports
+// how sensitive the decision is to selectivity estimation error.
+func (t *Table) ExplainRobustness(attr string, preds []Predicate) (Decision, Robustness, error) {
+	d, err := t.Explain(attr, preds)
+	if err != nil {
+		return Decision{}, Robustness{}, err
+	}
+	t.mu.RLock()
+	rel, err := t.relation(attr)
+	t.mu.RUnlock()
+	if err != nil {
+		return Decision{}, Robustness{}, err
+	}
+	p := model.Params{
+		Workload: model.Workload{Selectivities: d.Selectivities},
+		Dataset: model.Dataset{
+			N:         float64(rel.Column.Len()),
+			TupleSize: float64(rel.Column.TupleSize()),
+		},
+		Hardware: t.engine.hw,
+		Design:   t.engine.opt.Design,
+	}
+	return d, Robustness{
+		ErrorMargin:        model.ErrorMargin(p),
+		WrongChoicePenalty: model.WrongChoicePenalty(p),
+	}, nil
+}

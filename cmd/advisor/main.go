@@ -1,0 +1,64 @@
+// Command advisor is the offline physical-design tool of Section 6:
+// given a relation's shape and an expected workload mix, it uses the APS
+// model to decide whether building a secondary B+-tree pays off, and
+// shows the per-scenario access-path picture behind the verdict.
+//
+//	advisor -n 1e8 -mix "1:0.0001:50,64:0.001:30,256:0.05:20"
+//
+// Each mix element is q:selectivity:weight.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"fastcolumns/internal/advisor"
+	"fastcolumns/internal/model"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("advisor: ")
+	n := flag.Float64("n", 1e8, "relation size in tuples")
+	ts := flag.Float64("ts", 4, "tuple size in bytes (4 column, 40 ten-wide group)")
+	mixFlag := flag.String("mix", "1:0.0001:40,16:0.002:30,64:0.01:20,256:0.1:10",
+		"workload mix as q:selectivity:weight[,...]")
+	threshold := flag.Float64("threshold", 1.1, "minimum speedup to justify the index")
+	flag.Parse()
+
+	mix, err := advisor.ParseMix(*mixFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	d := model.Dataset{N: *n, TupleSize: *ts}
+	hw := model.HW1()
+	dg := model.FittedDesign()
+
+	rec, err := advisor.Advise(d, hw, dg, mix, advisor.Config{Threshold: *threshold})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(w, "scenario\tq\tselectivity\tweight\tAPS picks\t")
+	for i, sc := range mix {
+		p := model.Params{
+			Workload: model.Uniform(sc.Q, sc.Selectivity),
+			Dataset:  d, Hardware: hw, Design: dg,
+		}
+		fmt.Fprintf(w, "%d\t%d\t%.4f%%\t%.0f\t%v\t\n",
+			i+1, sc.Q, sc.Selectivity*100, sc.Weight, model.Choose(p))
+	}
+	w.Flush()
+	fmt.Printf("\nexpected cost per unit weight: scan-only %.6fs, with index %.6fs (%.2fx)\n",
+		rec.ScanOnlyCost, rec.WithIndexCost, rec.Speedup)
+	fmt.Printf("index would serve %.0f%% of the workload weight\n", rec.IndexShare*100)
+	if rec.BuildIndex {
+		fmt.Printf("=> BUILD the secondary index (speedup %.2fx >= threshold %.2fx)\n", rec.Speedup, *threshold)
+	} else {
+		fmt.Printf("=> SKIP the secondary index (speedup %.2fx < threshold %.2fx)\n", rec.Speedup, *threshold)
+	}
+}

@@ -1,0 +1,153 @@
+// Command apsplot regenerates the model-analysis figures of Section 2.5:
+// the APS-ratio surfaces of Figures 4-10 and 21 and the conceptual
+// crossover curve of Figure 1. Output is CSV (one row per y sample, one
+// column per x sample) followed by the APS=1 break-even contour, so any
+// plotting tool can recreate the paper's heatmaps.
+//
+// Usage:
+//
+//	apsplot -fig 4            # q x selectivity surface on HW1, ts=4
+//	apsplot -fig 8 -res 48    # N x selectivity surface at q=1
+//	apsplot -fig 1            # crossover-vs-concurrency curve
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"fastcolumns/internal/model"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("apsplot: ")
+	fig := flag.Int("fig", 4, "figure to regenerate (1, 4-10, 21)")
+	res := flag.Int("res", 40, "grid resolution per axis")
+	n := flag.Float64("n", 1e8, "relation size for the concurrency figures")
+	flag.BoolVar(&asciiArt, "ascii", false, "render the surface as an ASCII heatmap instead of CSV")
+	flag.Parse()
+
+	switch *fig {
+	case 1:
+		figure1(*n)
+	case 4, 5, 6, 7, 21:
+		concurrencyFigure(*fig, *n, *res)
+	case 8, 9, 10:
+		dataSizeFigure(*fig, *res)
+	default:
+		log.Fatalf("unknown figure %d", *fig)
+	}
+}
+
+// figure1 prints the conceptual sloped divide: crossover selectivity per
+// concurrency level.
+func figure1(n float64) {
+	d := model.Dataset{N: n, TupleSize: 4}
+	fmt.Println("# Figure 1: break-even selectivity vs concurrency (HW1, fitted model)")
+	fmt.Println("q,crossover_selectivity")
+	for _, q := range []int{1, 2, 4, 8, 16, 32, 64, 128, 256, 512} {
+		s, ok := model.Crossover(q, d, model.HW1(), model.FittedDesign())
+		if !ok {
+			fmt.Printf("%d,NA\n", q)
+			continue
+		}
+		fmt.Printf("%d,%.6g\n", q, s)
+	}
+}
+
+func concurrencyFigure(fig int, n float64, res int) {
+	d := model.Dataset{N: n, TupleSize: 4}
+	h := model.HW1()
+	dg := model.DefaultDesign()
+	title := ""
+	switch fig {
+	case 4:
+		title = "Figure 4: APS(q, s), HW1, single column (ts=4)"
+	case 5:
+		title = "Figure 5: APS(q, s), HW1, compressed column (ts=2)"
+		d.TupleSize = 2
+	case 6:
+		title = "Figure 6: APS(q, s), HW1, 10-column group (ts=40)"
+		d.TupleSize = 40
+	case 7:
+		title = "Figure 7: APS(q, s), HW2 (100ns, 160GB/s)"
+		h = model.HW2()
+	case 21:
+		title = "Figure 21: APS(q, s), HW1, SIMD-aware sorting (W=4)"
+		dg.SIMDSortWidth = 4
+	}
+	g := model.ConcurrencyGrid(d, h, dg, 512, 1e-5, 0.1, res, res)
+	emit(title, g)
+}
+
+func dataSizeFigure(fig int, res int) {
+	q := map[int]int{8: 1, 9: 8, 10: 128}[fig]
+	title := fmt.Sprintf("Figure %d: APS(N, s) at q=%d, HW1", fig, q)
+	g := model.DataSizeGrid(q, 4, model.HW1(), model.DefaultDesign(), 1e4, 1e15, 1e-5, 0.1, res, res)
+	emit(title, g)
+}
+
+var asciiArt bool
+
+// emit prints the grid as CSV plus the break-even contour, or as an
+// ASCII heatmap with -ascii.
+func emit(title string, g model.Grid) {
+	if asciiArt {
+		emitASCII(title, g)
+		return
+	}
+	w := os.Stdout
+	fmt.Fprintf(w, "# %s\n", title)
+	fmt.Fprintf(w, "# rows: %s (log scale), cols: %s (log scale), cells: APS ratio\n", g.YLabel, g.XLabel)
+	fmt.Fprintf(w, "%s\\%s", g.YLabel, g.XLabel)
+	for _, x := range g.Xs {
+		fmt.Fprintf(w, ",%.4g", x)
+	}
+	fmt.Fprintln(w)
+	for i, y := range g.Ys {
+		fmt.Fprintf(w, "%.4g", y)
+		for j := range g.Xs {
+			fmt.Fprintf(w, ",%.4g", g.Ratio[i][j])
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w, "# APS=1 contour (the solid break-even line):")
+	fmt.Fprintf(w, "%s,break_even_%s\n", g.XLabel, g.YLabel)
+	for j, y := range g.ContourCrossings(1) {
+		fmt.Fprintf(w, "%.4g,%.4g\n", g.Xs[j], y)
+	}
+}
+
+// emitASCII renders the surface the way the paper's color maps read:
+// '#' where the index wins big, '=' where it wins, '*' on the break-even
+// band, '-' where the scan wins, '.' where it wins big. High selectivity
+// is the top row, as in the figures.
+func emitASCII(title string, g model.Grid) {
+	fmt.Printf("%s\n", title)
+	fmt.Printf("y: %s %.2g..%.2g (log, top=high) | x: %s %.4g..%.4g (log)\n",
+		g.YLabel, g.Ys[0], g.Ys[len(g.Ys)-1], g.XLabel, g.Xs[0], g.Xs[len(g.Xs)-1])
+	glyph := func(r float64) byte {
+		switch {
+		case r < 0.33:
+			return '#'
+		case r < 0.9:
+			return '='
+		case r <= 1.1:
+			return '*'
+		case r <= 3:
+			return '-'
+		default:
+			return '.'
+		}
+	}
+	for i := len(g.Ys) - 1; i >= 0; i-- {
+		row := make([]byte, len(g.Xs))
+		for j := range g.Xs {
+			row[j] = glyph(g.Ratio[i][j])
+		}
+		fmt.Printf("%9.3g |%s|\n", g.Ys[i], row)
+	}
+	fmt.Println("legend: # index>>  = index>  * break-even  - scan>  . scan>>")
+}

@@ -1,0 +1,129 @@
+// Command bench regenerates Figure 18: the nine workloads crossing
+// {point get, 0.5%, 5%} selectivity with {1, 64, 640} concurrency,
+// answered three ways — always the secondary index, always the shared
+// scan, and FastColumns with run-time access path selection. No single
+// access path wins everywhere; APS must match the best column of each
+// workload.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"text/tabwriter"
+	"time"
+
+	"fastcolumns/internal/exec"
+	"fastcolumns/internal/fit"
+	"fastcolumns/internal/index"
+	"fastcolumns/internal/memsim"
+	"fastcolumns/internal/model"
+	"fastcolumns/internal/optimizer"
+	"fastcolumns/internal/scan"
+	"fastcolumns/internal/stats"
+	"fastcolumns/internal/storage"
+	"fastcolumns/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("bench: ")
+	n := flag.Int("n", 2_000_000, "relation size")
+	trials := flag.Int("trials", 3, "trials per cell (median)")
+	hw1 := flag.Bool("hw1", false, "model the paper's HW1 instead of calibrating the host")
+	hwfile := flag.String("hwfile", "", "load a saved host profile instead of calibrating")
+	flag.Parse()
+
+	const domain = int32(1 << 24)
+	data := workload.Uniform(1, *n, domain)
+	col := storage.NewColumn("v", data)
+	rel := &exec.Relation{Column: col, Index: index.Build(col, index.DefaultFanout)}
+	hist, err := stats.BuildHistogram(col, 128)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hw := model.HW1()
+	design := model.FittedDesign()
+	if *hwfile != "" {
+		loaded, err := memsim.LoadProfile(*hwfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		hw = loaded
+		fmt.Printf("loaded profile %s: %.1f GB/s scan, %.0f ns LLC miss, fp=%.3f\n",
+			*hwfile, hw.ScanBandwidth/1e9, hw.MemAccess*1e9, hw.Pipelining)
+	}
+	if !*hw1 && *hwfile == "" {
+		// The paper calibrates the optimizer to its machine and then fits
+		// the model constants with a small number of experiments
+		// (Section 3, Appendix C); do the same for this host.
+		hw = memsim.Calibrate(0)
+		fmt.Printf("calibrated host: %.1f GB/s scan, %.0f ns LLC miss, fp=%.3f\n",
+			hw.ScanBandwidth/1e9, hw.MemAccess*1e9, hw.Pipelining)
+		obs, err := fit.MeasureObservations(rel, 4, domain,
+			[]int{1, 8, 64}, []float64{0.0002, 0.002, 0.02, 0.1}, 2)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fr, err := fit.Fit(obs, hw, model.DefaultDesign())
+		if err != nil {
+			log.Fatal(err)
+		}
+		hw.Pipelining = fr.Pipelining
+		design = fr.Design(model.DefaultDesign())
+		fmt.Printf("fitted: alpha=%.2f fp=%.4f fs=%.3g beta=%.3f (scan err %.3f, index err %.3f)\n",
+			fr.Alpha, fr.Pipelining, fr.SortFitScale, fr.SortFitExp, fr.ScanErr, fr.IndexErr)
+	}
+	opt := optimizer.NewWithDesign(hw, design)
+
+	measure := func(path model.Path, preds []scan.Predicate) time.Duration {
+		times := make([]time.Duration, 0, *trials)
+		for t := 0; t < *trials; t++ {
+			res, err := exec.Run(rel, path, preds, exec.Options{})
+			if err != nil {
+				log.Fatal(err)
+			}
+			times = append(times, res.Elapsed)
+		}
+		sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+		return times[len(times)/2]
+	}
+
+	fmt.Printf("Figure 18: nine workloads, N=%d (wall clock, median of %d)\n", *n, *trials)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(w, "workload\tq\tindex scan\tshared scan\tFastColumns\tAPS chose\tmatched best\t")
+	matched := 0
+	specs := workload.Nine()
+	for _, sp := range specs {
+		preds := workload.Batch(42, sp.Q, sp.Selectivity, domain)
+		idx := measure(model.PathIndex, preds)
+		scn := measure(model.PathScan, preds)
+
+		d := opt.Decide(rel, hist, preds)
+		aps := measure(d.Path, preds)
+
+		best := "index"
+		if scn < idx {
+			best = "scan"
+		}
+		ok := d.Path.String() == best
+		// Within noise of the best is also a match (the two paths can be
+		// close around the break-even point).
+		if !ok {
+			worse := float64(aps) / float64(min(idx, scn))
+			ok = worse < 1.4
+		}
+		if ok {
+			matched++
+		}
+		fmt.Fprintf(w, "%s\t%d\t%v\t%v\t%v\t%v\t%v\t\n",
+			sp.Name, sp.Q,
+			idx.Round(time.Microsecond), scn.Round(time.Microsecond),
+			aps.Round(time.Microsecond), d.Path, ok)
+	}
+	w.Flush()
+	fmt.Printf("APS matched the best access path (or within 1.4x) in %d/%d workloads\n",
+		matched, len(specs))
+}

@@ -1,0 +1,195 @@
+// Command calibrate reproduces the model-verification machinery of
+// Appendix C and Figure 20.
+//
+// With no flags it calibrates the host (the Intel Memory Latency Checker
+// step of Section 3) and prints the machine profile.
+//
+// With -fit it generates access-path observations by running the
+// simulated executors (real B+-tree walks charged on the memory-hierarchy
+// simulator) across a (q, selectivity, N) sweep, fits the model's
+// constants with Nelder-Mead, and reports them with the normalized
+// least-square errors.
+//
+// With -fig20 it prints the eight panels of Figure 20: measured
+// (simulated) vs model-predicted latency as concurrency, selectivity and
+// data size vary, each annotated with the per-panel "S:… I:…" error sums.
+//
+// With -wall the observations come from wall-clock runs of the real
+// engine on the host instead of the simulator.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"fastcolumns/internal/exec"
+	"fastcolumns/internal/fit"
+	"fastcolumns/internal/index"
+	"fastcolumns/internal/memsim"
+	"fastcolumns/internal/model"
+	"fastcolumns/internal/simexec"
+	"fastcolumns/internal/storage"
+	"fastcolumns/internal/workload"
+)
+
+const domain = int32(1 << 24)
+
+var (
+	fitFlag  = flag.Bool("fit", false, "fit model constants to observations")
+	fig20    = flag.Bool("fig20", false, "print the Figure 20 panels")
+	wallFlag = flag.Bool("wall", false, "observe wall-clock runs instead of the simulator")
+	nFlag    = flag.Int("n", 1_000_000, "relation size for observations")
+	saveFlag = flag.String("save", "", "write the calibrated host profile to this JSON file")
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("calibrate: ")
+	flag.Parse()
+
+	if !*fitFlag && !*fig20 {
+		hw := memsim.Calibrate(0)
+		fmt.Println("host profile (Memory Latency Checker substitute):")
+		fmt.Printf("  scan bandwidth   %.1f GB/s\n", hw.ScanBandwidth/1e9)
+		fmt.Printf("  LLC miss         %.0f ns\n", hw.MemAccess*1e9)
+		fmt.Printf("  pipelining fp    %.4f (measured shared predicate-eval rate)\n", hw.Pipelining)
+		fmt.Printf("  result/leaf BW   %.1f GB/s (streaming/2)\n", hw.ResultBandwidth/1e9)
+		if *saveFlag != "" {
+			if err := memsim.SaveProfile(*saveFlag, hw); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("profile written to %s (reuse with cmd/bench -hwfile or cmd/fastcol -hwfile)\n", *saveFlag)
+		}
+		return
+	}
+
+	hw := model.HW1()
+	observe := simObserver(hw, *nFlag)
+	source := "simulated executors (HW1 profile)"
+	if *wallFlag {
+		hw = memsim.Calibrate(0)
+		observe = wallObserver(*nFlag)
+		source = "wall-clock engine runs (calibrated host profile)"
+	}
+
+	qs := []int{1, 4, 16, 64, 128}
+	sels := []float64{0, 0.001, 0.002, 0.01}
+	var obs []fit.Observation
+	for _, q := range qs {
+		for _, s := range sels {
+			o := observe(q, s)
+			obs = append(obs, o)
+		}
+	}
+	fr, err := fit.Fit(obs, hw, model.DefaultDesign())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("observations: %d from %s, N=%d\n", len(obs), source, *nFlag)
+	fmt.Printf("fitted constants: alpha=%.3f fp=%.5f fs=%.4g beta=%.3f\n",
+		fr.Alpha, fr.Pipelining, fr.SortFitScale, fr.SortFitExp)
+	fmt.Printf("normalized least-square error: scan %.4f, index %.4f\n", fr.ScanErr, fr.IndexErr)
+	fmt.Printf("(the paper reports alpha=8, beta=0.38, fs=6e-6 on its primary server)\n")
+
+	if *fig20 {
+		printPanels(hw, fr, observe, *nFlag)
+	}
+}
+
+// observer returns one measured Observation at (q, s).
+type observer func(q int, s float64) fit.Observation
+
+func simObserver(hw model.Hardware, n int) observer {
+	eng := simexec.New(hw, model.DefaultDesign(), workload.Uniform(1, n, domain), 4)
+	return func(q int, s float64) fit.Observation {
+		preds := workload.Batch(int64(q)*7919+int64(s*1e7), q, s, domain)
+		rows := 0
+		for _, p := range preds {
+			rows += eng.Count(p)
+		}
+		realized := float64(rows) / float64(q) / float64(n)
+		return fit.Observation{
+			Q: q, Selectivity: realized, N: float64(n), TupleSize: 4,
+			ScanSec:  eng.SharedScan(preds),
+			IndexSec: eng.ConcIndex(preds),
+		}
+	}
+}
+
+func wallObserver(n int) observer {
+	data := workload.Uniform(1, n, domain)
+	col := storage.NewColumn("v", data)
+	rel := &exec.Relation{Column: col, Index: index.Build(col, index.DefaultFanout)}
+	return func(q int, s float64) fit.Observation {
+		obs, err := fit.MeasureObservations(rel, 4, domain, []int{q}, []float64{s}, 3)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return obs[0]
+	}
+}
+
+// printPanels emits the Figure 20 panels: measured vs predicted latency
+// along each swept axis.
+func printPanels(hw model.Hardware, fr fit.FitResult, observe observer, n int) {
+	fittedHW := hw
+	fittedHW.Pipelining = fr.Pipelining
+	design := fr.Design(model.DefaultDesign())
+	predict := func(q int, s float64, nn float64) (scanSec, idxSec float64) {
+		p := model.Params{
+			Workload: model.Uniform(q, s),
+			Dataset:  model.Dataset{N: nn, TupleSize: 4},
+			Hardware: fittedHW,
+			Design:   design,
+		}
+		return model.SharedScan(p), model.ConcIndex(p)
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', tabwriter.AlignRight)
+	// Panels 1-4: latency vs q at fixed selectivity.
+	for _, s := range []float64{0, 0.001, 0.002, 0.01} {
+		fmt.Fprintf(w, "\npanel: N=%d, sel=%.1f%%, latency vs q\t\t\t\t\t\n", n, s*100)
+		fmt.Fprintln(w, "q\tscan(meas)\tscan(model)\tindex(meas)\tindex(model)\t")
+		var se, ie float64
+		for _, q := range []int{1, 2, 4, 8, 16, 32, 64, 128} {
+			o := observe(q, s)
+			ps, pi := predict(q, s, float64(n))
+			se += sq((ps - o.ScanSec) / o.ScanSec)
+			ie += sq((pi - o.IndexSec) / o.IndexSec)
+			fmt.Fprintf(w, "%d\t%.5f\t%.5f\t%.5f\t%.5f\t\n", q, o.ScanSec, ps, o.IndexSec, pi)
+		}
+		fmt.Fprintf(w, "errors\tS:%.3f\t\tI:%.3f\t\t\n", se, ie)
+	}
+	// Panels 5-6: latency vs selectivity at q=32 and q=128.
+	for _, q := range []int{32, 128} {
+		fmt.Fprintf(w, "\npanel: N=%d, q=%d, latency vs selectivity\t\t\t\t\t\n", n, q)
+		fmt.Fprintln(w, "sel%\tscan(meas)\tscan(model)\tindex(meas)\tindex(model)\t")
+		for _, s := range []float64{0.0002, 0.0005, 0.001, 0.002, 0.005, 0.01, 0.02} {
+			o := observe(q, s)
+			ps, pi := predict(q, s, float64(n))
+			fmt.Fprintf(w, "%.2f\t%.5f\t%.5f\t%.5f\t%.5f\t\n", s*100, o.ScanSec, ps, o.IndexSec, pi)
+		}
+	}
+	w.Flush()
+	fmt.Println("\npanels 7-8 (latency vs data size, q=64) require rebuilding the engine per size:")
+	w = tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', tabwriter.AlignRight)
+	for _, s := range []float64{0.001, 0.01} {
+		fmt.Fprintf(w, "\npanel: q=64, sel=%.1f%%, latency vs N\t\t\t\t\t\n", s*100)
+		fmt.Fprintln(w, "N\tscan(meas)\tscan(model)\tindex(meas)\tindex(model)\t")
+		for _, nn := range []int{100_000, 300_000, 1_000_000} {
+			eng := simexec.New(hw, model.DefaultDesign(), workload.Uniform(1, nn, domain), 4)
+			preds := workload.Batch(64*7919+int64(s*1e7), 64, s, domain)
+			var ms, mi float64
+			ms = eng.SharedScan(preds)
+			mi = eng.ConcIndex(preds)
+			ps, pi := predict(64, s, float64(nn))
+			fmt.Fprintf(w, "%d\t%.5f\t%.5f\t%.5f\t%.5f\t\n", nn, ms, ps, mi, pi)
+		}
+	}
+	w.Flush()
+}
+
+func sq(x float64) float64 { return x * x }

@@ -1,0 +1,293 @@
+// Command crossover regenerates the experimental crossover figures of
+// Section 4 (Figures 12-17). Wall-clock runs execute the real engine on
+// the host (at a scaled-down relation size); simulated runs execute the
+// real data structures under a hardware profile in the memory-hierarchy
+// simulator, which is how the paper's alternate machines are reproduced.
+//
+// Usage:
+//
+//	crossover -fig 12             # latency vs selectivity, q=1 (wall clock)
+//	crossover -fig 13             # crossover vs concurrency (sim + model)
+//	crossover -fig 13 -wall       # add wall-clock measured points
+//	crossover -fig 14             # crossover vs data size (sim + model)
+//	crossover -fig 15             # crossover vs column-group width
+//	crossover -fig 16             # measured(sim) vs predicted on 4 machines
+//	crossover -fig 17             # 32-bit vs 16-bit (compressed) keys
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"sort"
+	"text/tabwriter"
+	"time"
+
+	"fastcolumns/internal/exec"
+	"fastcolumns/internal/index"
+	"fastcolumns/internal/model"
+	"fastcolumns/internal/scan"
+	"fastcolumns/internal/simexec"
+	"fastcolumns/internal/storage"
+	"fastcolumns/internal/workload"
+)
+
+var (
+	figFlag    = flag.Int("fig", 12, "figure to regenerate (12-17)")
+	nFlag      = flag.Int("n", 2_000_000, "wall-clock relation size")
+	simNFlag   = flag.Int("simn", 1_000_000, "simulated relation size")
+	trialsFlag = flag.Int("trials", 3, "wall-clock trials per point (median)")
+	wallFlag   = flag.Bool("wall", false, "add wall-clock measurements to sim figures")
+)
+
+const domain = int32(1 << 24)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("crossover: ")
+	flag.Parse()
+	switch *figFlag {
+	case 12:
+		figure12()
+	case 13:
+		figure13()
+	case 14:
+		figure14()
+	case 15:
+		figure15()
+	case 16:
+		figure16()
+	case 17:
+		figure17()
+	default:
+		log.Fatalf("unknown figure %d", *figFlag)
+	}
+}
+
+// wallRig is a relation prepared for wall-clock measurements.
+type wallRig struct {
+	rel  *exec.Relation
+	data []storage.Value
+}
+
+func newWallRig(n int, groupWidth int) *wallRig {
+	data := workload.Uniform(1, n, domain)
+	var col *storage.Column
+	if groupWidth <= 1 {
+		col = storage.NewColumn("v", data)
+	} else {
+		names := make([]string, groupWidth)
+		cols := make([][]storage.Value, groupWidth)
+		names[0] = "v"
+		cols[0] = data
+		for j := 1; j < groupWidth; j++ {
+			names[j] = fmt.Sprintf("pad%d", j)
+			cols[j] = workload.Uniform(int64(j+10), n, domain)
+		}
+		g, err := storage.NewColumnGroup(names, cols)
+		if err != nil {
+			log.Fatal(err)
+		}
+		col = g.Column("v")
+	}
+	return &wallRig{
+		rel:  &exec.Relation{Column: col, Index: index.Build(col, index.DefaultFanout)},
+		data: data,
+	}
+}
+
+// median wall-clock latency of running the batch via the given path.
+func (r *wallRig) measure(path model.Path, preds []scan.Predicate, trials int) time.Duration {
+	times := make([]time.Duration, 0, trials)
+	for t := 0; t < trials; t++ {
+		res, err := exec.Run(r.rel, path, preds, exec.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		times = append(times, res.Elapsed)
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	return times[len(times)/2]
+}
+
+// wallCrossover bisects the per-query selectivity where index latency
+// meets scan latency for a batch of q queries.
+func (r *wallRig) wallCrossover(q, trials int) float64 {
+	diff := func(s float64) float64 {
+		preds := workload.Batch(7, q, s, domain)
+		idx := r.measure(model.PathIndex, preds, trials)
+		scn := r.measure(model.PathScan, preds, trials)
+		return float64(idx - scn)
+	}
+	lo, hi := 1e-6, 0.3
+	if diff(lo) >= 0 {
+		return 0
+	}
+	if diff(hi) <= 0 {
+		return 1
+	}
+	for i := 0; i < 9; i++ {
+		mid := math.Sqrt(lo * hi)
+		if diff(mid) < 0 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return math.Sqrt(lo * hi)
+}
+
+func figure12() {
+	n := *nFlag
+	rig := newWallRig(n, 1)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Printf("Figure 12: single-query latency vs selectivity, N=%d (wall clock)\n", n)
+	fmt.Fprintln(w, "selectivity\tindex\tfast scan\twinner\t")
+	sels := []float64{0.0001, 0.0003, 0.001, 0.002, 0.005, 0.01, 0.03, 0.1, 0.3, 1.0}
+	var crossLo, crossHi float64 = -1, -1
+	prevWinner := ""
+	for _, s := range sels {
+		preds := workload.Batch(3, 1, s, domain)
+		idx := rig.measure(model.PathIndex, preds, *trialsFlag)
+		scn := rig.measure(model.PathScan, preds, *trialsFlag)
+		winner := "index"
+		if scn < idx {
+			winner = "scan"
+		}
+		if prevWinner == "index" && winner == "scan" {
+			crossLo, crossHi = prevSel(sels, s), s
+		}
+		prevWinner = winner
+		fmt.Fprintf(w, "%.4f%%\t%v\t%v\t%s\t\n", s*100, idx.Round(time.Microsecond), scn.Round(time.Microsecond), winner)
+	}
+	w.Flush()
+	if crossLo > 0 {
+		fmt.Printf("crossover between %.4f%% and %.4f%% (paper on its server: 0.59%%)\n",
+			crossLo*100, crossHi*100)
+	}
+	s, ok := model.Crossover(1, model.Dataset{N: float64(n), TupleSize: 4}, model.HW1(), model.FittedDesign())
+	if ok {
+		fmt.Printf("fitted model (HW1 constants) predicts %.4f%% at this N\n", s*100)
+	}
+}
+
+func prevSel(sels []float64, cur float64) float64 {
+	for i, s := range sels {
+		if s == cur && i > 0 {
+			return sels[i-1]
+		}
+	}
+	return cur
+}
+
+func figure13() {
+	simN := *simNFlag
+	eng := simexec.New(model.HW1(), model.FittedDesign(), workload.Uniform(1, simN, domain), 4)
+	d := model.Dataset{N: float64(simN), TupleSize: 4}
+	fmt.Printf("Figure 13: crossover selectivity vs concurrency, N=%d\n", simN)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', tabwriter.AlignRight)
+	header := "q\tsimulated\tmodel\t"
+	if *wallFlag {
+		header += "wall\t"
+	}
+	fmt.Fprintln(w, header)
+	var rig *wallRig
+	if *wallFlag {
+		rig = newWallRig(*nFlag, 1)
+	}
+	for _, q := range []int{1, 2, 4, 8, 16, 32, 64, 128, 256, 512} {
+		sim, okSim := eng.Crossover(q, domain)
+		mod, okMod := model.Crossover(q, d, model.HW1(), model.FittedDesign())
+		row := fmt.Sprintf("%d\t%s\t%s\t", q, pct(sim, okSim), pct(mod, okMod))
+		if *wallFlag {
+			row += fmt.Sprintf("%.4f%%\t", rig.wallCrossover(q, *trialsFlag)*100)
+		}
+		fmt.Fprintln(w, row)
+	}
+	w.Flush()
+	// The 512 vs 512-batched comparison (Lesson 5).
+	preds := workload.Batch(5, 512, 0.002, domain)
+	whole := eng.SharedScan(preds)
+	batched := eng.SharedScanBatched(preds, 256)
+	fmt.Printf("shared scan of 512 queries: %.4fs as one run, %.4fs as 2x256 batches (sim)\n",
+		whole, batched)
+}
+
+func figure14() {
+	fmt.Println("Figure 14: crossover selectivity vs data size (q=8)")
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(w, "N\tsimulated\tmodel\t")
+	for _, n := range []int{10_000, 30_000, 100_000, 300_000, 1_000_000, 3_000_000} {
+		eng := simexec.New(model.HW1(), model.FittedDesign(), workload.Uniform(1, n, domain), 4)
+		sim, okSim := eng.Crossover(8, domain)
+		mod, okMod := model.Crossover(8, model.Dataset{N: float64(n), TupleSize: 4},
+			model.HW1(), model.FittedDesign())
+		fmt.Fprintf(w, "%d\t%s\t%s\t\n", n, pct(sim, okSim), pct(mod, okMod))
+	}
+	// Model-only extension to the paper's 1e9..1e15 range.
+	for _, n := range []float64{1e8, 1e9, 1e12, 1e15} {
+		mod, ok := model.Crossover(8, model.Dataset{N: n, TupleSize: 4},
+			model.HW1(), model.FittedDesign())
+		fmt.Fprintf(w, "%.0e\t-\t%s\t\n", n, pct(mod, ok))
+	}
+	w.Flush()
+}
+
+func figure15() {
+	n := *nFlag / 4
+	fmt.Printf("Figure 15: crossover vs column-group width, N=%d (wall clock + model)\n", n)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(w, "group width\twall\tmodel\t")
+	for _, g := range []int{1, 2, 4, 8, 16, 32} {
+		rig := newWallRig(n, g)
+		wall := rig.wallCrossover(1, *trialsFlag)
+		mod, ok := model.Crossover(1, model.Dataset{N: float64(n), TupleSize: float64(4 * g)},
+			model.HW1(), model.FittedDesign())
+		fmt.Fprintf(w, "%d\t%.4f%%\t%s\t\n", g, wall*100, pct(mod, ok))
+	}
+	w.Flush()
+}
+
+func figure16() {
+	simN := *simNFlag
+	data := workload.Uniform(1, simN, domain)
+	fmt.Printf("Figure 16: measured (simulated machines) vs model-predicted crossover, q=1, N=%d\n", simN)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(w, "machine\tmeasured(sim)\tpredicted(model)\t")
+	for _, hw := range model.EC2Profiles() {
+		eng := simexec.New(hw, model.DefaultDesign(), data, 4)
+		sim, okSim := eng.Crossover(1, domain)
+		mod, okMod := model.Crossover(1, model.Dataset{N: float64(simN), TupleSize: 4},
+			hw, model.DefaultDesign())
+		fmt.Fprintf(w, "%s\t%s\t%s\t\n", hw.Name, pct(sim, okSim), pct(mod, okMod))
+	}
+	w.Flush()
+}
+
+func figure17() {
+	simN := *simNFlag
+	data := workload.Uniform(1, simN, domain)
+	raw := simexec.New(model.HW1(), model.FittedDesign(), data, 4)
+	comp := simexec.New(model.HW1(), model.FittedDesign(), data, 2)
+	fmt.Printf("Figure 17: crossover vs concurrency, 32-bit vs 16-bit keys, N=%d (sim)\n", simN)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(w, "q\t32-bit\t16-bit\t")
+	for _, q := range []int{1, 2, 4, 8, 16, 32, 64, 128} {
+		s32, ok32 := raw.Crossover(q, domain)
+		s16, ok16 := comp.Crossover(q, domain)
+		fmt.Fprintf(w, "%d\t%s\t%s\t\n", q, pct(s32, ok32), pct(s16, ok16))
+	}
+	w.Flush()
+}
+
+func pct(s float64, ok bool) string {
+	if !ok {
+		if s == 0 {
+			return "scan-always"
+		}
+		return "index-always"
+	}
+	return fmt.Sprintf("%.4f%%", s*100)
+}

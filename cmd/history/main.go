@@ -1,0 +1,45 @@
+// Command history regenerates Table 2: how the access path selection
+// crossover point evolved from 1980s disk systems through 2016
+// main-memory systems to the projected F1/F2 configurations, computed by
+// running the APS model with each epoch's hardware, dataset, and index
+// design.
+package main
+
+import (
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"fastcolumns/internal/model"
+)
+
+func main() {
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "Table 2: access path selection crossover point evolution (q=1)")
+	fmt.Fprintln(w, "Year\tMedium\tLatency\tBandwidth\t#tuples\tTupleB\tFanout\tModel\tPaper")
+	for _, e := range model.HistoricalEpochs() {
+		s, ok := model.Crossover(1, e.Dataset, e.Hardware, e.Design)
+		cross := "always-scan"
+		if ok {
+			cross = fmt.Sprintf("%.2f%%", s*100)
+		} else if s == 1 {
+			cross = "always-index"
+		}
+		medium := "disk"
+		lat := fmt.Sprintf("%.0fms", e.Hardware.MemAccess*1e3)
+		bw := fmt.Sprintf("%.0fMB/s", e.Hardware.ScanBandwidth/1e6)
+		if e.Hardware.MemAccess < 1e-4 {
+			medium = "mem"
+			lat = fmt.Sprintf("%.0fns", e.Hardware.MemAccess*1e9)
+			bw = fmt.Sprintf("%.0fGB/s", e.Hardware.ScanBandwidth/1e9)
+		}
+		fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%.0e\t%.0f\t%.0f\t%s\t%.1f%%\n",
+			e.Year, medium, lat, bw, e.Dataset.N, e.Dataset.TupleSize,
+			e.Design.Fanout, cross, e.PaperCrossover*100)
+	}
+	w.Flush()
+	fmt.Println("\nTrend check: bandwidth growth pushes the crossover down through the disk era;")
+	fmt.Println("the move to main memory (2016) shifts the balance back towards indexes")
+	fmt.Println("relative to the 2010 disk column-store, because random access got relatively")
+	fmt.Println("cheaper (BW*CM fell from ~1e6 bytes per seek to ~7200 bytes per LLC miss).")
+}

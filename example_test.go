@@ -1,0 +1,84 @@
+package fastcolumns_test
+
+import (
+	"fmt"
+
+	"fastcolumns"
+)
+
+// ExampleTable_Select shows the optimizer switching access paths with
+// query shape: a point lookup probes the secondary index, a wide
+// analytical range scans.
+func ExampleTable_Select() {
+	eng := fastcolumns.New(fastcolumns.Config{})
+	tbl, _ := eng.CreateTable("events")
+	data := make([]fastcolumns.Value, 1_000_000)
+	for i := range data {
+		data[i] = fastcolumns.Value(i % 100_000)
+	}
+	_ = tbl.AddColumn("id", data)
+	_ = tbl.CreateIndex("id")
+	_ = tbl.Analyze("id", 128)
+
+	ids, d, _ := tbl.Select("id", 42, 42)
+	fmt.Println(len(ids), "rows via", d.Path)
+
+	ids, d, _ = tbl.Select("id", 0, 50_000)
+	fmt.Println(len(ids), "rows via", d.Path)
+	// Output:
+	// 10 rows via index
+	// 500010 rows via scan
+}
+
+// ExampleTable_SelectBatch shows the paper's headline behaviour: the
+// same per-query selectivity flips from index to scan once enough
+// queries share the batch.
+func ExampleTable_SelectBatch() {
+	eng := fastcolumns.New(fastcolumns.Config{})
+	tbl, _ := eng.CreateTable("events")
+	data := make([]fastcolumns.Value, 4_000_000)
+	for i := range data {
+		data[i] = fastcolumns.Value(i % 1_000_000)
+	}
+	_ = tbl.AddColumn("id", data)
+	_ = tbl.CreateIndex("id")
+	_ = tbl.Analyze("id", 128)
+
+	one := []fastcolumns.Predicate{{Lo: 0, Hi: 500}} // ~0.05%
+	res, _ := tbl.SelectBatch("id", one)
+	fmt.Println("q=1:", res.Decision.Path)
+
+	many := make([]fastcolumns.Predicate, 256)
+	for i := range many {
+		lo := fastcolumns.Value(i * 3000)
+		many[i] = fastcolumns.Predicate{Lo: lo, Hi: lo + 500}
+	}
+	res, _ = tbl.SelectBatch("id", many)
+	fmt.Println("q=256:", res.Decision.Path)
+	// Output:
+	// q=1: index
+	// q=256: scan
+}
+
+// ExampleEngine_Query runs the DSL front end: conjunctions are planned
+// (most selective conjunct drives the access path) and aggregates fold
+// the survivors.
+func ExampleEngine_Query() {
+	eng := fastcolumns.New(fastcolumns.Config{})
+	tbl, _ := eng.CreateTable("sales")
+	day := make([]fastcolumns.Value, 100_000)
+	price := make([]fastcolumns.Value, 100_000)
+	for i := range day {
+		day[i] = fastcolumns.Value(i % 365)
+		price[i] = fastcolumns.Value(100 + i%900)
+	}
+	_ = tbl.AddColumn("day", day)
+	_ = tbl.AddColumn("price", price)
+	_ = tbl.CreateIndex("day")
+	_ = tbl.Analyze("day", 64)
+
+	res, _ := eng.Query("SELECT COUNT(*) FROM sales WHERE day = 100 AND price < 500")
+	fmt.Println("count:", res.Agg.Count, "| driver:", res.DriverAttr)
+	// Output:
+	// count: 122 | driver: day
+}

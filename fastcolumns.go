@@ -1,0 +1,505 @@
+// Package fastcolumns is a main-memory analytical storage and execution
+// engine with cost-based access path selection, reproducing "Access Path
+// Selection in Main-Memory Optimized Data Systems: Should I Scan or
+// Should I Probe?" (Kester, Athanassoulis, Idreos; SIGMOD 2017).
+//
+// The engine stores fixed-width integer attributes in columns or
+// column-groups, optionally with order-preserving dictionary compression,
+// zonemaps, column imprints, secondary B+-trees, and (for low-cardinality
+// attributes) bitmap indexes. Batches of range-select queries are
+// answered through the cheapest available access path — a shared
+// sequential scan, a concurrent secondary-index scan, or a bitmap probe —
+// chosen at run time by the APS cost model, which weighs query
+// concurrency and total selectivity against the machine's memory
+// hierarchy (not just a fixed selectivity threshold). A small DSL
+// (Engine.Query) exposes selects and aggregates; tables persist to disk
+// with Table.Save / Engine.LoadTable.
+//
+// Quick start:
+//
+//	eng := fastcolumns.New(fastcolumns.Config{})
+//	tbl, _ := eng.CreateTable("events")
+//	tbl.AddColumn("ts", data)
+//	tbl.CreateIndex("ts")
+//	tbl.Analyze("ts", 128)
+//	res, _ := tbl.SelectBatch("ts", []fastcolumns.Predicate{{Lo: 10, Hi: 99}})
+//	// res.Decision.Path says whether the optimizer scanned or probed.
+package fastcolumns
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"fastcolumns/internal/bitmap"
+	"fastcolumns/internal/exec"
+	"fastcolumns/internal/imprints"
+	"fastcolumns/internal/index"
+	"fastcolumns/internal/memsim"
+	"fastcolumns/internal/model"
+	"fastcolumns/internal/optimizer"
+	"fastcolumns/internal/scan"
+	"fastcolumns/internal/stats"
+	"fastcolumns/internal/storage"
+)
+
+// Value is the engine's fixed-width attribute type (32-bit integers, as
+// in the paper's experiments).
+type Value = storage.Value
+
+// RowID is a tuple position in a dense column; select operators return
+// collections of RowIDs in ascending order.
+type RowID = storage.RowID
+
+// Predicate is an inclusive range predicate (point queries have Lo == Hi).
+type Predicate = scan.Predicate
+
+// Hardware describes a machine profile for the cost model.
+type Hardware = model.Hardware
+
+// Path identifies the access path the optimizer chose.
+type Path = model.Path
+
+// Decision records one access-path selection: the APS ratio, the
+// selectivity estimates behind it, and the (microsecond-scale) time the
+// decision itself took.
+type Decision = optimizer.Decision
+
+// Re-exported path constants.
+const (
+	PathScan   = model.PathScan
+	PathIndex  = model.PathIndex
+	PathBitmap = model.PathBitmap
+)
+
+// DefaultHardware returns the paper's primary server profile (HW1).
+func DefaultHardware() Hardware { return model.HW1() }
+
+// CalibrateHardware measures the host's memory bandwidth and latency
+// (the Intel Memory Latency Checker step of Section 3) and returns a
+// profile for Config.Hardware. It takes a few hundred milliseconds.
+func CalibrateHardware() Hardware { return memsim.Calibrate(0) }
+
+// Config tunes an Engine. The zero value is usable: HW1 hardware, all
+// cores, fitted model constants.
+type Config struct {
+	// Hardware is the machine profile the optimizer models. Zero value
+	// selects the paper's HW1; use CalibrateHardware for the host.
+	Hardware Hardware
+	// Workers bounds hardware threads for execution (<= 0: GOMAXPROCS).
+	Workers int
+	// Fanout sets the B+-tree branching factor (<= 0: the memory-tuned 21).
+	Fanout int
+}
+
+// Engine is a FastColumns instance: a set of tables plus the APS
+// optimizer configured for one machine profile.
+type Engine struct {
+	hw      Hardware
+	opt     *optimizer.Optimizer
+	workers int
+	fanout  int
+
+	mu     sync.RWMutex
+	tables map[string]*Table
+}
+
+// New creates an engine.
+func New(cfg Config) *Engine {
+	hw := cfg.Hardware
+	if hw.ScanBandwidth == 0 {
+		hw = model.HW1()
+	}
+	fanout := cfg.Fanout
+	if fanout <= 0 {
+		fanout = index.DefaultFanout
+	}
+	return &Engine{
+		hw:      hw,
+		opt:     optimizer.New(hw),
+		workers: cfg.Workers,
+		fanout:  fanout,
+		tables:  make(map[string]*Table),
+	}
+}
+
+// Hardware returns the profile the optimizer models.
+func (e *Engine) Hardware() Hardware { return e.hw }
+
+// CreateTable registers a new empty table.
+func (e *Engine) CreateTable(name string) (*Table, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, ok := e.tables[name]; ok {
+		return nil, fmt.Errorf("fastcolumns: table %q already exists", name)
+	}
+	t := &Table{
+		engine: e,
+		st:     storage.NewTable(name),
+		rels:   make(map[string]*exec.Relation),
+		hists:  make(map[string]*stats.Histogram),
+	}
+	e.tables[name] = t
+	return t, nil
+}
+
+// Table looks up a table by name.
+func (e *Engine) Table(name string) (*Table, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	t, ok := e.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("fastcolumns: no table %q", name)
+	}
+	return t, nil
+}
+
+// Table is one relation: columnar (or hybrid) storage plus per-attribute
+// access structures and statistics.
+type Table struct {
+	engine *Engine
+
+	mu    sync.RWMutex
+	st    *storage.Table
+	rels  map[string]*exec.Relation
+	hists map[string]*stats.Histogram
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.st.Name() }
+
+// Rows returns the read-store tuple count.
+func (t *Table) Rows() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.st.Rows()
+}
+
+// AddColumn installs a contiguous attribute.
+func (t *Table) AddColumn(name string, data []Value) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.st.AddColumn(name, data); err != nil {
+		return err
+	}
+	return t.buildRelation(name)
+}
+
+// AddColumnGroup installs a hybrid column-group layout over the named
+// attributes. Scans over any member stream the whole group's tuples,
+// which shifts access path selection towards the index (Figure 15).
+func (t *Table) AddColumnGroup(names []string, cols [][]Value) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.st.AddGroup(names, cols); err != nil {
+		return err
+	}
+	for _, name := range names {
+		if err := t.buildRelation(name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// buildRelation materializes the execution view of a just-added
+// attribute. Caller holds t.mu for writing.
+func (t *Table) buildRelation(attr string) error {
+	col, err := t.st.Column(attr)
+	if err != nil {
+		return err
+	}
+	t.rels[attr] = &exec.Relation{Column: col}
+	return nil
+}
+
+// relation returns the execution view of an attribute. Caller holds t.mu
+// (read suffices; views are created eagerly when attributes are added).
+func (t *Table) relation(attr string) (*exec.Relation, error) {
+	rel, ok := t.rels[attr]
+	if !ok {
+		return nil, fmt.Errorf("fastcolumns: table %q has no attribute %q", t.st.Name(), attr)
+	}
+	return rel, nil
+}
+
+// CreateIndex bulk-loads a secondary B+-tree over the attribute.
+func (t *Table) CreateIndex(attr string) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	rel, err := t.relation(attr)
+	if err != nil {
+		return err
+	}
+	rel.Index = index.Build(rel.Column, t.engine.fanout)
+	return nil
+}
+
+// CreateBitmapIndex builds the value-per-bitmap secondary index over a
+// low-cardinality attribute (256 distinct values or fewer). The optimizer
+// then arbitrates among scan, B+-tree, and bitmap per batch.
+func (t *Table) CreateBitmapIndex(attr string) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	rel, err := t.relation(attr)
+	if err != nil {
+		return err
+	}
+	bm, err := bitmap.Build(rel.Column)
+	if err != nil {
+		return err
+	}
+	rel.Bitmap = bm
+	return nil
+}
+
+// BuildImprints attaches cache-line-granular data skipping to a
+// contiguous attribute; it shines on clustered (naturally ordered) data.
+func (t *Table) BuildImprints(attr string) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	rel, err := t.relation(attr)
+	if err != nil {
+		return err
+	}
+	imp, err := imprints.Build(rel.Column)
+	if err != nil {
+		return err
+	}
+	rel.Imprints = imp
+	return nil
+}
+
+// Compress builds the order-preserving dictionary twin of a contiguous
+// attribute; scans then run over 16-bit codes.
+func (t *Table) Compress(attr string) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	rel, err := t.relation(attr)
+	if err != nil {
+		return err
+	}
+	cc, err := storage.Compress(rel.Column)
+	if err != nil {
+		return err
+	}
+	rel.Compressed = cc
+	return nil
+}
+
+// BuildZonemap attaches data-skipping bounds with the given zone size.
+func (t *Table) BuildZonemap(attr string, zoneSize int) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	rel, err := t.relation(attr)
+	if err != nil {
+		return err
+	}
+	rel.Zonemap = storage.BuildZonemap(rel.Column, zoneSize)
+	return nil
+}
+
+// Analyze builds the equi-depth histogram the optimizer estimates
+// selectivity from.
+func (t *Table) Analyze(attr string, buckets int) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	rel, err := t.relation(attr)
+	if err != nil {
+		return err
+	}
+	h, err := stats.BuildHistogram(rel.Column, buckets)
+	if err != nil {
+		return err
+	}
+	t.hists[attr] = h
+	return nil
+}
+
+// HasIndex reports whether the attribute carries a secondary index.
+func (t *Table) HasIndex(attr string) bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	rel, ok := t.rels[attr]
+	return ok && rel.Index != nil
+}
+
+// BatchResult is the outcome of answering a batch of select queries.
+type BatchResult struct {
+	// RowIDs holds one ascending result set per query, in batch order.
+	RowIDs [][]RowID
+	// Decision is the access path selection that produced the results.
+	Decision Decision
+	// Elapsed is the execution time (excluding optimization).
+	Elapsed time.Duration
+}
+
+// SelectBatch answers q concurrent range queries over one attribute,
+// performing run-time access path selection for the batch as a whole.
+func (t *Table) SelectBatch(attr string, preds []Predicate) (BatchResult, error) {
+	if len(preds) == 0 {
+		return BatchResult{}, fmt.Errorf("fastcolumns: empty batch")
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	rel, err := t.relation(attr)
+	if err != nil {
+		return BatchResult{}, err
+	}
+	d := t.engine.opt.Decide(rel, t.hists[attr], preds)
+	res, err := exec.Run(rel, d.Path, preds, t.execOptions(rel))
+	if err != nil {
+		return BatchResult{}, err
+	}
+	return BatchResult{RowIDs: res.RowIDs, Decision: d, Elapsed: res.Elapsed}, nil
+}
+
+// Count answers COUNT(*) for a batch of range queries without
+// materializing rowIDs: the access path is still chosen by APS, but the
+// tree and bitmap count inside their structures and the scan skips
+// result writing — the COUNT(*) fast path.
+func (t *Table) Count(attr string, preds []Predicate) ([]int, Decision, error) {
+	if len(preds) == 0 {
+		return nil, Decision{}, fmt.Errorf("fastcolumns: empty batch")
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	rel, err := t.relation(attr)
+	if err != nil {
+		return nil, Decision{}, err
+	}
+	d := t.engine.opt.Decide(rel, t.hists[attr], preds)
+	counts, err := exec.RunCount(rel, d.Path, preds)
+	if err != nil {
+		return nil, Decision{}, err
+	}
+	return counts, d, nil
+}
+
+// Select answers one range query (a batch of one).
+func (t *Table) Select(attr string, lo, hi Value) ([]RowID, Decision, error) {
+	res, err := t.SelectBatch(attr, []Predicate{{Lo: lo, Hi: hi}})
+	if err != nil {
+		return nil, Decision{}, err
+	}
+	return res.RowIDs[0], res.Decision, nil
+}
+
+// Explain runs access path selection for a batch without executing it.
+func (t *Table) Explain(attr string, preds []Predicate) (Decision, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	rel, err := t.relation(attr)
+	if err != nil {
+		return Decision{}, err
+	}
+	return t.engine.opt.Decide(rel, t.hists[attr], preds), nil
+}
+
+// SelectVia bypasses the optimizer and answers the batch through the
+// given access path (for experiments and baselines).
+func (t *Table) SelectVia(path Path, attr string, preds []Predicate) (BatchResult, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	rel, err := t.relation(attr)
+	if err != nil {
+		return BatchResult{}, err
+	}
+	res, err := exec.Run(rel, path, preds, t.execOptions(rel))
+	if err != nil {
+		return BatchResult{}, err
+	}
+	return BatchResult{
+		RowIDs:   res.RowIDs,
+		Decision: Decision{Path: path, Forced: true},
+		Elapsed:  res.Elapsed,
+	}, nil
+}
+
+func (t *Table) execOptions(rel *exec.Relation) exec.Options {
+	return exec.Options{
+		Workers:          t.engine.workers,
+		PreferCompressed: rel.Compressed != nil,
+		UseZonemap:       rel.Zonemap != nil,
+		UseImprints:      rel.Imprints != nil,
+	}
+}
+
+// Append buffers one tuple in the table's delta write store; it becomes
+// visible to queries after Merge. Tuple values follow the sorted order of
+// the attribute names (storage.Table.ColumnNames).
+func (t *Table) Append(tuple []Value) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.st.Delta().Append(tuple)
+}
+
+// Pending returns the number of buffered (not yet merged) tuples.
+func (t *Table) Pending() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.st.Delta().Pending()
+}
+
+// Merge folds the delta store into the read store, extends secondary
+// indexes incrementally, and rebuilds the derived per-attribute
+// structures (compressed twins, zonemaps, histograms).
+func (t *Table) Merge() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	oldRows := t.st.Rows()
+	added, err := t.st.MergeDelta()
+	if err != nil || added == 0 {
+		return err
+	}
+	for attr, rel := range t.rels {
+		col, err := t.st.Column(attr)
+		if err != nil {
+			return err
+		}
+		rel.Column = col
+		if rel.Index != nil {
+			for i := oldRows; i < oldRows+added; i++ {
+				rel.Index.Insert(col.Get(i), RowID(i))
+			}
+		}
+		if rel.Compressed != nil {
+			cc, err := storage.Compress(col)
+			if err != nil {
+				// New values can exceed the 16-bit dictionary: drop the
+				// compressed twin rather than serve stale data.
+				rel.Compressed = nil
+			} else {
+				rel.Compressed = cc
+			}
+		}
+		if rel.Zonemap != nil {
+			rel.Zonemap = storage.BuildZonemap(col, rel.Zonemap.ZoneSize())
+		}
+		if rel.Bitmap != nil {
+			bm, err := bitmap.Build(col)
+			if err != nil {
+				// The merge can widen the domain past bitmap range: drop
+				// the bitmap rather than serve stale data.
+				rel.Bitmap = nil
+			} else {
+				rel.Bitmap = bm
+			}
+		}
+		if rel.Imprints != nil {
+			imp, err := imprints.Build(col)
+			if err != nil {
+				rel.Imprints = nil
+			} else {
+				rel.Imprints = imp
+			}
+		}
+		if _, ok := t.hists[attr]; ok {
+			h, err := stats.BuildHistogram(col, t.hists[attr].Buckets())
+			if err == nil {
+				t.hists[attr] = h
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,3 @@
+module fastcolumns
+
+go 1.22

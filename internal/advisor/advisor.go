@@ -1,0 +1,124 @@
+// Package advisor is the offline physical-design use of the APS model
+// the paper's Section 6 describes: "similar to how traditional physical
+// design tools use optimizers during offline analysis, the APS model we
+// present can be used by physical design tools to decide whether to
+// create secondary indexes or not." Given an expected workload mix —
+// scenarios of (concurrency, per-query selectivity) with relative
+// frequencies — it compares the total expected cost of scan-only
+// operation against operation with a secondary index (each scenario
+// answered by whichever path APS picks) and recommends whether the index
+// pays for itself.
+package advisor
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"fastcolumns/internal/model"
+)
+
+// Scenario is one recurring workload shape.
+type Scenario struct {
+	// Q is the batch concurrency of this scenario.
+	Q int
+	// Selectivity is the per-query selectivity.
+	Selectivity float64
+	// Weight is the scenario's relative frequency (any positive scale).
+	Weight float64
+}
+
+// Recommendation is the advisor's verdict for one attribute.
+type Recommendation struct {
+	// BuildIndex is true when the index-equipped configuration beats
+	// scan-only by at least the Threshold factor.
+	BuildIndex bool
+	// ScanOnlyCost and WithIndexCost are the weighted expected costs in
+	// model seconds per unit weight.
+	ScanOnlyCost  float64
+	WithIndexCost float64
+	// Speedup is ScanOnlyCost / WithIndexCost.
+	Speedup float64
+	// IndexShare is the weight fraction of scenarios where APS would
+	// actually use the index — an index nothing selects is pure overhead.
+	IndexShare float64
+}
+
+// Config tunes the advisor.
+type Config struct {
+	// Threshold is the minimum expected speedup that justifies the
+	// index's build and maintenance costs (default 1.1).
+	Threshold float64
+}
+
+// Advise evaluates the workload mix for one attribute.
+func Advise(d model.Dataset, hw model.Hardware, dg model.Design, mix []Scenario, cfg Config) (Recommendation, error) {
+	if len(mix) == 0 {
+		return Recommendation{}, errors.New("advisor: empty workload mix")
+	}
+	threshold := cfg.Threshold
+	if threshold <= 0 {
+		threshold = 1.1
+	}
+	var rec Recommendation
+	var totalWeight float64
+	for i, sc := range mix {
+		if sc.Q < 1 || sc.Weight <= 0 || sc.Selectivity < 0 || sc.Selectivity > 1 {
+			return Recommendation{}, fmt.Errorf("advisor: invalid scenario %d: %+v", i, sc)
+		}
+		p := model.Params{
+			Workload: model.Uniform(sc.Q, sc.Selectivity),
+			Dataset:  d,
+			Hardware: hw,
+			Design:   dg,
+		}
+		scanCost := model.SharedScan(p)
+		bestCost := scanCost
+		if idxCost := model.ConcIndex(p); idxCost < bestCost {
+			bestCost = idxCost
+			rec.IndexShare += sc.Weight
+		}
+		rec.ScanOnlyCost += sc.Weight * scanCost
+		rec.WithIndexCost += sc.Weight * bestCost
+		totalWeight += sc.Weight
+	}
+	rec.ScanOnlyCost /= totalWeight
+	rec.WithIndexCost /= totalWeight
+	rec.IndexShare /= totalWeight
+	if rec.WithIndexCost > 0 {
+		rec.Speedup = rec.ScanOnlyCost / rec.WithIndexCost
+	} else {
+		rec.Speedup = math.Inf(1)
+	}
+	rec.BuildIndex = rec.Speedup >= threshold
+	return rec, nil
+}
+
+// ParseMix parses a workload mix of the form
+// "q:selectivity:weight[,q:selectivity:weight...]", the CLI syntax of
+// cmd/advisor.
+func ParseMix(s string) ([]Scenario, error) {
+	var mix []Scenario
+	for _, part := range strings.Split(s, ",") {
+		fields := strings.Split(strings.TrimSpace(part), ":")
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("advisor: bad mix element %q (want q:selectivity:weight)", part)
+		}
+		q, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("advisor: bad q in %q: %w", part, err)
+		}
+		sel, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("advisor: bad selectivity in %q: %w", part, err)
+		}
+		weight, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("advisor: bad weight in %q: %w", part, err)
+		}
+		mix = append(mix, Scenario{Q: q, Selectivity: sel, Weight: weight})
+	}
+	return mix, nil
+}

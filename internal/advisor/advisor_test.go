@@ -1,0 +1,137 @@
+package advisor
+
+import (
+	"testing"
+
+	"fastcolumns/internal/model"
+)
+
+func setup() (model.Dataset, model.Hardware, model.Design) {
+	return model.Dataset{N: 1e8, TupleSize: 4}, model.HW1(), model.FittedDesign()
+}
+
+func TestAdviseSelectiveWorkloadBuildsIndex(t *testing.T) {
+	d, hw, dg := setup()
+	// Point lookups dominate: the index pays massively.
+	mix := []Scenario{
+		{Q: 1, Selectivity: 1e-7, Weight: 8},
+		{Q: 4, Selectivity: 1e-6, Weight: 2},
+	}
+	rec, err := Advise(d, hw, dg, mix, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.BuildIndex {
+		t.Fatalf("lookup-heavy mix should build the index: %+v", rec)
+	}
+	if rec.Speedup < 5 {
+		t.Fatalf("lookup-heavy speedup %v implausibly small", rec.Speedup)
+	}
+	if rec.IndexShare < 0.99 {
+		t.Fatalf("index share %v, want ~1", rec.IndexShare)
+	}
+}
+
+func TestAdviseAnalyticalWorkloadSkipsIndex(t *testing.T) {
+	d, hw, dg := setup()
+	// Wide analytical ranges at high concurrency: scans win everywhere.
+	mix := []Scenario{
+		{Q: 64, Selectivity: 0.1, Weight: 5},
+		{Q: 256, Selectivity: 0.05, Weight: 5},
+	}
+	rec, err := Advise(d, hw, dg, mix, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.BuildIndex {
+		t.Fatalf("analytical mix should not build the index: %+v", rec)
+	}
+	if rec.IndexShare != 0 {
+		t.Fatalf("index share %v, want 0", rec.IndexShare)
+	}
+	if rec.Speedup != 1 {
+		t.Fatalf("speedup without index use = %v, want 1", rec.Speedup)
+	}
+}
+
+func TestAdviseMixedWorkloadWeighting(t *testing.T) {
+	d, hw, dg := setup()
+	lookup := Scenario{Q: 1, Selectivity: 1e-7, Weight: 1}
+	analytic := Scenario{Q: 64, Selectivity: 0.1, Weight: 1}
+	// Mostly analytic: modest speedup. Mostly lookups: large speedup.
+	mostlyAnalytic, err := Advise(d, hw, dg, []Scenario{lookup, {Q: 64, Selectivity: 0.1, Weight: 99}}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mostlyLookup, err := Advise(d, hw, dg, []Scenario{{Q: 1, Selectivity: 1e-7, Weight: 99}, analytic}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mostlyLookup.Speedup <= mostlyAnalytic.Speedup {
+		t.Fatalf("weighting ignored: lookup-heavy %v <= analytic-heavy %v",
+			mostlyLookup.Speedup, mostlyAnalytic.Speedup)
+	}
+}
+
+func TestAdviseThreshold(t *testing.T) {
+	d, hw, dg := setup()
+	// A mix with a barely-useful index: a high threshold rejects it.
+	mix := []Scenario{
+		{Q: 1, Selectivity: 1e-7, Weight: 1},
+		{Q: 64, Selectivity: 0.1, Weight: 999},
+	}
+	lax, err := Advise(d, hw, dg, mix, Config{Threshold: 1.0000001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	strict, err := Advise(d, hw, dg, mix, Config{Threshold: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lax.BuildIndex {
+		t.Fatalf("any improvement should pass the lax threshold: %+v", lax)
+	}
+	if strict.BuildIndex {
+		t.Fatalf("marginal improvement should fail the strict threshold: %+v", strict)
+	}
+}
+
+func TestAdviseValidation(t *testing.T) {
+	d, hw, dg := setup()
+	if _, err := Advise(d, hw, dg, nil, Config{}); err == nil {
+		t.Fatal("empty mix accepted")
+	}
+	bad := []Scenario{{Q: 0, Selectivity: 0.1, Weight: 1}}
+	if _, err := Advise(d, hw, dg, bad, Config{}); err == nil {
+		t.Fatal("q=0 accepted")
+	}
+	bad = []Scenario{{Q: 1, Selectivity: 2, Weight: 1}}
+	if _, err := Advise(d, hw, dg, bad, Config{}); err == nil {
+		t.Fatal("selectivity > 1 accepted")
+	}
+	bad = []Scenario{{Q: 1, Selectivity: 0.5, Weight: 0}}
+	if _, err := Advise(d, hw, dg, bad, Config{}); err == nil {
+		t.Fatal("zero weight accepted")
+	}
+}
+
+func TestParseMix(t *testing.T) {
+	mix, err := ParseMix("1:0.0001:50, 64:0.01:30,256:0.1:20")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mix) != 3 {
+		t.Fatalf("parsed %d scenarios", len(mix))
+	}
+	if mix[0].Q != 1 || mix[0].Selectivity != 0.0001 || mix[0].Weight != 50 {
+		t.Fatalf("first scenario %+v", mix[0])
+	}
+	if mix[2].Q != 256 || mix[2].Selectivity != 0.1 {
+		t.Fatalf("third scenario %+v", mix[2])
+	}
+	for _, bad := range []string{"", "1:2", "x:0.1:1", "1:y:1", "1:0.1:z", "1:0.1:1:9"} {
+		if _, err := ParseMix(bad); err == nil {
+			t.Fatalf("%q accepted", bad)
+		}
+	}
+}

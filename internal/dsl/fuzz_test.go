@@ -1,0 +1,49 @@
+package dsl
+
+import "testing"
+
+// FuzzParse checks the parser never panics and that accepted queries are
+// structurally sane. The seed corpus runs on every `go test`; `go test
+// -fuzz=FuzzParse ./internal/dsl` explores further.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"SELECT v FROM t WHERE v BETWEEN 10 AND 99",
+		"SELECT COUNT(*) FROM t WHERE v = 42",
+		"SELECT SUM(price) FROM sales WHERE day >= 700",
+		"EXPLAIN SELECT v FROM t WHERE v < 100",
+		"select avg(x) from t where x <= -5",
+		"SELECT MIN(x) FROM t",
+		"",
+		"SELECT",
+		"SELECT ((((",
+		"SELECT v FROM t WHERE v BETWEEN 99 AND 1",
+		"SELECT v FROM t WHERE v = 99999999999999999",
+		"\x00\x01\x02",
+		"SELECT v FROM t WHERE v = 1 ; DROP TABLE t",
+		"SELECT v FROM t WHERE a BETWEEN 1 AND 2 AND b = 3",
+		"SELECT v FROM t WHERE a = 1 AND",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		q, err := Parse(input)
+		if err != nil {
+			return
+		}
+		if q.Table == "" {
+			t.Fatalf("accepted query without table: %q -> %+v", input, q)
+		}
+		if len(q.Filters) == 0 {
+			t.Fatalf("accepted query without filters: %q -> %+v", input, q)
+		}
+		for _, f := range q.Filters {
+			if f.Attr == "" {
+				t.Fatalf("accepted filter without attribute: %q -> %+v", input, q)
+			}
+			if f.Pred.Lo > f.Pred.Hi {
+				t.Fatalf("accepted empty predicate: %q -> %+v", input, f.Pred)
+			}
+		}
+	})
+}

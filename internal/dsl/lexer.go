@@ -1,0 +1,98 @@
+// Package dsl implements the small query language FastColumns exposes in
+// place of a SQL front end (the paper: "all queries are described in a
+// domain specific language which maps to the logical plan of the query").
+// The language covers exactly the shapes the paper evaluates — selects
+// and simple aggregates over one table with one range predicate:
+//
+//	SELECT v FROM t WHERE v BETWEEN 10 AND 99
+//	SELECT COUNT(*) FROM t WHERE v = 42
+//	SELECT SUM(price) FROM sales WHERE day >= 700
+//	EXPLAIN SELECT v FROM t WHERE v < 100
+package dsl
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer output.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokStar
+	tokLParen
+	tokRParen
+	tokComma
+	tokOp // = < <= > >=
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+// lex splits the input into tokens. Keywords are returned as tokIdent;
+// the parser matches them case-insensitively.
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(input) {
+		c := rune(input[i])
+		switch {
+		case unicode.IsSpace(c):
+			i++
+		case c == '*':
+			toks = append(toks, token{tokStar, "*", i})
+			i++
+		case c == '(':
+			toks = append(toks, token{tokLParen, "(", i})
+			i++
+		case c == ')':
+			toks = append(toks, token{tokRParen, ")", i})
+			i++
+		case c == ',':
+			toks = append(toks, token{tokComma, ",", i})
+			i++
+		case c == '=' || c == '<' || c == '>':
+			op := string(c)
+			if (c == '<' || c == '>') && i+1 < len(input) && input[i+1] == '=' {
+				op += "="
+				i++
+			}
+			toks = append(toks, token{tokOp, op, i})
+			i++
+		case c == '-' || unicode.IsDigit(c):
+			start := i
+			i++
+			for i < len(input) && unicode.IsDigit(rune(input[i])) {
+				i++
+			}
+			if input[start:i] == "-" {
+				return nil, fmt.Errorf("dsl: bare '-' at position %d", start)
+			}
+			toks = append(toks, token{tokNumber, input[start:i], start})
+		case unicode.IsLetter(c) || c == '_':
+			start := i
+			for i < len(input) && (unicode.IsLetter(rune(input[i])) ||
+				unicode.IsDigit(rune(input[i])) || input[i] == '_') {
+				i++
+			}
+			toks = append(toks, token{tokIdent, input[start:i], start})
+		default:
+			return nil, fmt.Errorf("dsl: unexpected character %q at position %d", c, i)
+		}
+	}
+	toks = append(toks, token{tokEOF, "", len(input)})
+	return toks, nil
+}
+
+// isKeyword matches an identifier token against a keyword,
+// case-insensitively.
+func (t token) isKeyword(kw string) bool {
+	return t.kind == tokIdent && strings.EqualFold(t.text, kw)
+}

@@ -1,0 +1,250 @@
+package dsl
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+
+	"fastcolumns/internal/scan"
+	"fastcolumns/internal/storage"
+)
+
+// AggKind identifies the optional aggregate of a query.
+type AggKind int
+
+const (
+	// AggNone projects rowIDs (a plain select).
+	AggNone AggKind = iota
+	// AggCount is COUNT(*) or COUNT(attr).
+	AggCount
+	// AggSum, AggMin, AggMax, AggAvg aggregate one attribute.
+	AggSum
+	AggMin
+	AggMax
+	AggAvg
+)
+
+// String names the aggregate.
+func (a AggKind) String() string {
+	switch a {
+	case AggCount:
+		return "count"
+	case AggSum:
+		return "sum"
+	case AggMin:
+		return "min"
+	case AggMax:
+		return "max"
+	case AggAvg:
+		return "avg"
+	default:
+		return "select"
+	}
+}
+
+// Filter is one WHERE conjunct.
+type Filter struct {
+	Attr string
+	Pred scan.Predicate
+}
+
+// Query is the parsed logical plan: one table, an optional aggregate over
+// one attribute, and a conjunction of range predicates.
+type Query struct {
+	// Explain requests the access-path decision without execution.
+	Explain bool
+	// Agg and AggAttr describe the projection: AggNone projects the
+	// qualifying rowIDs; aggregates fold AggAttr's values.
+	Agg     AggKind
+	AggAttr string
+	// Table is the FROM relation.
+	Table string
+	// Filters holds the WHERE conjuncts in source order. An absent WHERE
+	// yields one full-range filter on the projected attribute.
+	Filters []Filter
+}
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) cur() token  { return p.toks[p.i] }
+func (p *parser) next() token { t := p.toks[p.i]; p.i++; return t }
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.cur().isKeyword(kw) {
+		return fmt.Errorf("dsl: expected %s at position %d, got %q", kw, p.cur().pos, p.cur().text)
+	}
+	p.i++
+	return nil
+}
+
+func (p *parser) expectIdent() (string, error) {
+	t := p.cur()
+	if t.kind != tokIdent {
+		return "", fmt.Errorf("dsl: expected identifier at position %d, got %q", t.pos, t.text)
+	}
+	p.i++
+	return t.text, nil
+}
+
+func (p *parser) expectNumber() (storage.Value, error) {
+	t := p.cur()
+	if t.kind != tokNumber {
+		return 0, fmt.Errorf("dsl: expected number at position %d, got %q", t.pos, t.text)
+	}
+	v, err := strconv.ParseInt(t.text, 10, 32)
+	if err != nil {
+		return 0, fmt.Errorf("dsl: value %q out of 32-bit range", t.text)
+	}
+	p.i++
+	return storage.Value(v), nil
+}
+
+// Parse turns one statement into a Query.
+func Parse(input string) (Query, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return Query{}, err
+	}
+	p := &parser{toks: toks}
+	var q Query
+
+	if p.cur().isKeyword("EXPLAIN") {
+		q.Explain = true
+		p.i++
+	}
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return Query{}, err
+	}
+
+	// Projection: attr | COUNT(*) | COUNT(attr) | SUM(attr) | ...
+	aggs := map[string]AggKind{
+		"COUNT": AggCount, "SUM": AggSum, "MIN": AggMin, "MAX": AggMax, "AVG": AggAvg,
+	}
+	matched := false
+	for kw, kind := range aggs {
+		if p.cur().isKeyword(kw) && p.toks[p.i+1].kind == tokLParen {
+			p.i += 2
+			switch {
+			case p.cur().kind == tokStar && kind == AggCount:
+				p.i++
+			default:
+				attr, err := p.expectIdent()
+				if err != nil {
+					return Query{}, err
+				}
+				q.AggAttr = attr
+			}
+			if p.cur().kind != tokRParen {
+				return Query{}, fmt.Errorf("dsl: expected ')' at position %d", p.cur().pos)
+			}
+			p.i++
+			q.Agg = kind
+			matched = true
+			break
+		}
+	}
+	if !matched {
+		attr, err := p.expectIdent()
+		if err != nil {
+			return Query{}, err
+		}
+		q.AggAttr = attr
+	}
+	if q.Agg != AggNone && q.Agg != AggCount && q.AggAttr == "" {
+		return Query{}, fmt.Errorf("dsl: %s requires an attribute", q.Agg)
+	}
+
+	if err := p.expectKeyword("FROM"); err != nil {
+		return Query{}, err
+	}
+	table, err := p.expectIdent()
+	if err != nil {
+		return Query{}, err
+	}
+	q.Table = table
+
+	// Optional WHERE clause: a conjunction of predicates.
+	if p.cur().isKeyword("WHERE") {
+		p.i++
+		for {
+			attr, err := p.expectIdent()
+			if err != nil {
+				return Query{}, err
+			}
+			pred, err := p.parsePredicate()
+			if err != nil {
+				return Query{}, err
+			}
+			q.Filters = append(q.Filters, Filter{Attr: attr, Pred: pred})
+			if !p.cur().isKeyword("AND") {
+				break
+			}
+			p.i++
+		}
+	} else {
+		// No filter: full-range predicate on the projected attribute.
+		if q.AggAttr == "" {
+			return Query{}, fmt.Errorf("dsl: COUNT(*) without WHERE needs no access path; add a predicate")
+		}
+		q.Filters = []Filter{{Attr: q.AggAttr,
+			Pred: scan.Predicate{Lo: math.MinInt32, Hi: math.MaxInt32}}}
+	}
+
+	if p.cur().kind != tokEOF {
+		return Query{}, fmt.Errorf("dsl: trailing input at position %d: %q", p.cur().pos, p.cur().text)
+	}
+	return q, nil
+}
+
+// parsePredicate parses BETWEEN lo AND hi | = v | < v | <= v | > v | >= v.
+func (p *parser) parsePredicate() (scan.Predicate, error) {
+	t := p.cur()
+	switch {
+	case t.isKeyword("BETWEEN"):
+		p.i++
+		lo, err := p.expectNumber()
+		if err != nil {
+			return scan.Predicate{}, err
+		}
+		if err := p.expectKeyword("AND"); err != nil {
+			return scan.Predicate{}, err
+		}
+		hi, err := p.expectNumber()
+		if err != nil {
+			return scan.Predicate{}, err
+		}
+		if lo > hi {
+			return scan.Predicate{}, fmt.Errorf("dsl: BETWEEN %d AND %d is empty", lo, hi)
+		}
+		return scan.Predicate{Lo: lo, Hi: hi}, nil
+	case t.kind == tokOp:
+		op := p.next().text
+		v, err := p.expectNumber()
+		if err != nil {
+			return scan.Predicate{}, err
+		}
+		switch op {
+		case "=":
+			return scan.Predicate{Lo: v, Hi: v}, nil
+		case "<":
+			if v == math.MinInt32 {
+				return scan.Predicate{}, fmt.Errorf("dsl: < %d matches nothing", v)
+			}
+			return scan.Predicate{Lo: math.MinInt32, Hi: v - 1}, nil
+		case "<=":
+			return scan.Predicate{Lo: math.MinInt32, Hi: v}, nil
+		case ">":
+			if v == math.MaxInt32 {
+				return scan.Predicate{}, fmt.Errorf("dsl: > %d matches nothing", v)
+			}
+			return scan.Predicate{Lo: v + 1, Hi: math.MaxInt32}, nil
+		case ">=":
+			return scan.Predicate{Lo: v, Hi: math.MaxInt32}, nil
+		}
+		return scan.Predicate{}, fmt.Errorf("dsl: unknown operator %q", op)
+	}
+	return scan.Predicate{}, fmt.Errorf("dsl: expected predicate at position %d, got %q", t.pos, t.text)
+}

@@ -1,0 +1,206 @@
+package dsl
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestParseBetween(t *testing.T) {
+	q, err := Parse("SELECT v FROM t WHERE v BETWEEN 10 AND 99")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Table != "t" || q.AggAttr != "v" || q.Agg != AggNone {
+		t.Fatalf("parsed %+v", q)
+	}
+	if len(q.Filters) != 1 || q.Filters[0].Attr != "v" {
+		t.Fatalf("filters %+v", q.Filters)
+	}
+	if q.Filters[0].Pred.Lo != 10 || q.Filters[0].Pred.Hi != 99 {
+		t.Fatalf("pred %+v", q.Filters[0].Pred)
+	}
+	if q.Explain {
+		t.Fatal("unexpected explain")
+	}
+}
+
+func TestParseOperators(t *testing.T) {
+	cases := []struct {
+		in     string
+		lo, hi int64
+	}{
+		{"SELECT v FROM t WHERE v = 5", 5, 5},
+		{"SELECT v FROM t WHERE v < 100", math.MinInt32, 99},
+		{"SELECT v FROM t WHERE v <= 100", math.MinInt32, 100},
+		{"SELECT v FROM t WHERE v > 7", 8, math.MaxInt32},
+		{"SELECT v FROM t WHERE v >= 7", 7, math.MaxInt32},
+	}
+	for _, c := range cases {
+		q, err := Parse(c.in)
+		if err != nil {
+			t.Fatalf("%s: %v", c.in, err)
+		}
+		pred := q.Filters[0].Pred
+		if int64(pred.Lo) != c.lo || int64(pred.Hi) != c.hi {
+			t.Fatalf("%s: pred [%d,%d], want [%d,%d]", c.in, pred.Lo, pred.Hi, c.lo, c.hi)
+		}
+	}
+}
+
+func TestParseAggregates(t *testing.T) {
+	cases := []struct {
+		in   string
+		agg  AggKind
+		attr string
+	}{
+		{"SELECT COUNT(*) FROM t WHERE v = 1", AggCount, ""},
+		{"SELECT count(v) FROM t WHERE v = 1", AggCount, "v"},
+		{"SELECT SUM(price) FROM sales WHERE day >= 10", AggSum, "price"},
+		{"SELECT MIN(x) FROM t WHERE x < 5", AggMin, "x"},
+		{"SELECT MAX(x) FROM t WHERE x < 5", AggMax, "x"},
+		{"SELECT AVG(x) FROM t WHERE x < 5", AggAvg, "x"},
+	}
+	for _, c := range cases {
+		q, err := Parse(c.in)
+		if err != nil {
+			t.Fatalf("%s: %v", c.in, err)
+		}
+		if q.Agg != c.agg || q.AggAttr != c.attr {
+			t.Fatalf("%s: agg=%v attr=%q", c.in, q.Agg, q.AggAttr)
+		}
+	}
+}
+
+func TestParseProjectionDiffersFromFilter(t *testing.T) {
+	// SUM over one attribute filtered on another: tuple reconstruction.
+	q, err := Parse("SELECT SUM(price) FROM sales WHERE day BETWEEN 1 AND 30")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Filters) != 1 || q.Filters[0].Attr != "day" || q.AggAttr != "price" {
+		t.Fatalf("parsed %+v", q)
+	}
+}
+
+func TestParseExplain(t *testing.T) {
+	q, err := Parse("EXPLAIN SELECT v FROM t WHERE v = 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.Explain {
+		t.Fatal("explain not detected")
+	}
+}
+
+func TestParseNoWhere(t *testing.T) {
+	q, err := Parse("SELECT SUM(v) FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Filters) != 1 {
+		t.Fatalf("filters %+v", q.Filters)
+	}
+	if q.Filters[0].Pred.Lo != math.MinInt32 || q.Filters[0].Pred.Hi != math.MaxInt32 {
+		t.Fatalf("full-range pred expected, got %+v", q.Filters[0].Pred)
+	}
+	if q.Filters[0].Attr != "v" {
+		t.Fatalf("filter attr %q", q.Filters[0].Attr)
+	}
+}
+
+func TestParseCaseInsensitiveKeywords(t *testing.T) {
+	if _, err := Parse("select v from t where v between 1 and 2"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseNegativeNumbers(t *testing.T) {
+	q, err := Parse("SELECT v FROM t WHERE v BETWEEN -100 AND -10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Filters[0].Pred.Lo != -100 || q.Filters[0].Pred.Hi != -10 {
+		t.Fatalf("pred %+v", q.Filters[0].Pred)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		in      string
+		wantSub string
+	}{
+		{"", "expected SELECT"},
+		{"SELECT", "expected identifier"},
+		{"SELECT v FROM", "expected identifier"},
+		{"SELECT v WHERE v = 1", "expected FROM"},
+		{"SELECT v FROM t WHERE", "expected identifier"},
+		{"SELECT v FROM t WHERE v", "expected predicate"},
+		{"SELECT v FROM t WHERE v BETWEEN 9 AND 1", "empty"},
+		{"SELECT v FROM t WHERE v = 99999999999", "out of 32-bit range"},
+		{"SELECT v FROM t WHERE v = 1 garbage", "trailing input"},
+		{"SELECT v FROM t WHERE v = 1; DROP", "unexpected character"},
+		{"SELECT COUNT(*) FROM t", "needs no access path"},
+		{"SELECT SUM() FROM t WHERE v = 1", "expected identifier"},
+		{"SELECT v FROM t WHERE v BETWEEN 1 OR 2", "expected AND"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.in)
+		if err == nil {
+			t.Fatalf("%q: expected error", c.in)
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Fatalf("%q: error %q does not mention %q", c.in, err, c.wantSub)
+		}
+	}
+}
+
+func TestParseConjunction(t *testing.T) {
+	q, err := Parse("SELECT SUM(price) FROM sales WHERE day BETWEEN 1 AND 30 AND discount = 5 AND quantity < 24")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Filters) != 3 {
+		t.Fatalf("filters = %+v", q.Filters)
+	}
+	if q.Filters[0].Attr != "day" || q.Filters[0].Pred.Lo != 1 || q.Filters[0].Pred.Hi != 30 {
+		t.Fatalf("first filter %+v", q.Filters[0])
+	}
+	if q.Filters[1].Attr != "discount" || q.Filters[1].Pred.Lo != 5 || q.Filters[1].Pred.Hi != 5 {
+		t.Fatalf("second filter %+v", q.Filters[1])
+	}
+	if q.Filters[2].Attr != "quantity" || q.Filters[2].Pred.Hi != 23 {
+		t.Fatalf("third filter %+v", q.Filters[2])
+	}
+}
+
+func TestParseConjunctionWithBetweenAmbiguity(t *testing.T) {
+	// The AND inside BETWEEN must not terminate the conjunct.
+	q, err := Parse("SELECT v FROM t WHERE a BETWEEN 1 AND 2 AND b BETWEEN 3 AND 4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Filters) != 2 || q.Filters[1].Attr != "b" || q.Filters[1].Pred.Lo != 3 {
+		t.Fatalf("filters %+v", q.Filters)
+	}
+}
+
+func TestParseConjunctionErrors(t *testing.T) {
+	if _, err := Parse("SELECT v FROM t WHERE a = 1 AND"); err == nil {
+		t.Fatal("dangling AND accepted")
+	}
+	if _, err := Parse("SELECT v FROM t WHERE a = 1 AND = 2"); err == nil {
+		t.Fatal("missing attribute after AND accepted")
+	}
+}
+
+func TestAggKindString(t *testing.T) {
+	for kind, want := range map[AggKind]string{
+		AggNone: "select", AggCount: "count", AggSum: "sum",
+		AggMin: "min", AggMax: "max", AggAvg: "avg",
+	} {
+		if kind.String() != want {
+			t.Fatalf("%d.String() = %q", kind, kind.String())
+		}
+	}
+}

@@ -1,0 +1,207 @@
+// Package exec implements the select operator of Section 2.1: given a
+// column (or column-group member) and a batch of range predicates, it
+// produces one rowID result set per query, in rowID order, through either
+// access path — a shared sequential scan or a concurrent secondary-index
+// scan — so the two are directly interchangeable for the next operator.
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"fastcolumns/internal/bitmap"
+	"fastcolumns/internal/imprints"
+	"fastcolumns/internal/index"
+	"fastcolumns/internal/model"
+	"fastcolumns/internal/scan"
+	"fastcolumns/internal/storage"
+)
+
+// Relation bundles one attribute's physical presence: the base column
+// view, and optionally a compressed twin, a zonemap, and a secondary
+// index. The optimizer consults what exists; the runner uses what it is
+// told to.
+type Relation struct {
+	Column     *storage.Column
+	Compressed *storage.CompressedColumn
+	Zonemap    *storage.Zonemap
+	Index      *index.Tree
+	// Bitmap is the Appendix E value-per-bitmap index, present only on
+	// low-cardinality attributes.
+	Bitmap *bitmap.Index
+	// Imprints accelerates scans with cache-line data skipping.
+	Imprints *imprints.Index
+}
+
+// Validate reports structural inconsistencies (mismatched sizes).
+func (r *Relation) Validate() error {
+	if r.Column == nil {
+		return errors.New("exec: relation has no base column")
+	}
+	n := r.Column.Len()
+	if r.Compressed != nil && r.Compressed.Len() != n {
+		return fmt.Errorf("exec: compressed column has %d rows, base has %d", r.Compressed.Len(), n)
+	}
+	if r.Index != nil && r.Index.Len() != n {
+		return fmt.Errorf("exec: index has %d entries, base has %d rows", r.Index.Len(), n)
+	}
+	if r.Bitmap != nil && r.Bitmap.Len() != n {
+		return fmt.Errorf("exec: bitmap index has %d rows, base has %d", r.Bitmap.Len(), n)
+	}
+	if r.Imprints != nil && r.Imprints.Len() != n {
+		return fmt.Errorf("exec: imprints cover %d rows, base has %d", r.Imprints.Len(), n)
+	}
+	return nil
+}
+
+// Options tunes the runner.
+type Options struct {
+	// Workers bounds the hardware threads used; <= 0 means GOMAXPROCS.
+	Workers int
+	// BlockTuples is the shared-scan block size; <= 0 selects the default.
+	BlockTuples int
+	// PreferCompressed scans the compressed column when present.
+	PreferCompressed bool
+	// UseZonemap lets scans skip zones when a zonemap is present.
+	UseZonemap bool
+	// UseImprints lets scans skip cache lines when imprints are present
+	// (takes precedence over the coarser zonemap).
+	UseImprints bool
+}
+
+// Result is the outcome of running one batch through one access path.
+type Result struct {
+	Path    model.Path
+	RowIDs  [][]storage.RowID // one per query, in rowID order
+	Elapsed time.Duration
+}
+
+// TotalRows returns the summed result cardinality across the batch.
+func (r Result) TotalRows() int {
+	t := 0
+	for _, ids := range r.RowIDs {
+		t += len(ids)
+	}
+	return t
+}
+
+// RunScan answers the batch with a shared sequential scan.
+func RunScan(rel *Relation, preds []scan.Predicate, opt Options) (Result, error) {
+	if err := rel.Validate(); err != nil {
+		return Result{}, err
+	}
+	start := time.Now()
+	var rowIDs [][]storage.RowID
+	switch {
+	case opt.PreferCompressed && rel.Compressed != nil:
+		rowIDs = scan.SharedCompressed(rel.Compressed, preds, opt.BlockTuples)
+	case opt.UseImprints && rel.Imprints != nil && rel.Column.Contiguous():
+		ranges := make([][2]storage.Value, len(preds))
+		for i, p := range preds {
+			ranges[i] = [2]storage.Value{p.Lo, p.Hi}
+		}
+		rowIDs = rel.Imprints.SharedSelect(rel.Column.Raw(), ranges)
+	case opt.UseZonemap && rel.Zonemap != nil && rel.Column.Contiguous():
+		rowIDs = scan.SharedWithZonemap(rel.Column.Raw(), rel.Zonemap, preds)
+	case rel.Column.Contiguous():
+		rowIDs = scan.SharedParallel(rel.Column.Raw(), preds, opt.BlockTuples, opt.Workers)
+	default:
+		// Column-group member: blocked strided shared scan across workers.
+		rowIDs = scan.SharedStrided(rel.Column, preds, opt.BlockTuples, opt.Workers)
+	}
+	return Result{Path: model.PathScan, RowIDs: rowIDs, Elapsed: time.Since(start)}, nil
+}
+
+// RunIndex answers the batch with a concurrent secondary-index scan,
+// sorting each result into rowID order to stay scan-compatible.
+func RunIndex(rel *Relation, preds []scan.Predicate, opt Options) (Result, error) {
+	if err := rel.Validate(); err != nil {
+		return Result{}, err
+	}
+	if rel.Index == nil {
+		return Result{}, errors.New("exec: relation has no secondary index")
+	}
+	ranges := make([][2]storage.Value, len(preds))
+	for i, p := range preds {
+		ranges[i] = [2]storage.Value{p.Lo, p.Hi}
+	}
+	start := time.Now()
+	rowIDs := rel.Index.SharedSelect(ranges, opt.Workers)
+	return Result{Path: model.PathIndex, RowIDs: rowIDs, Elapsed: time.Since(start)}, nil
+}
+
+// RunBitmap answers the batch with the bitmap index; results emerge in
+// rowID order with no sort step.
+func RunBitmap(rel *Relation, preds []scan.Predicate, opt Options) (Result, error) {
+	if err := rel.Validate(); err != nil {
+		return Result{}, err
+	}
+	if rel.Bitmap == nil {
+		return Result{}, errors.New("exec: relation has no bitmap index")
+	}
+	ranges := make([][2]storage.Value, len(preds))
+	for i, p := range preds {
+		ranges[i] = [2]storage.Value{p.Lo, p.Hi}
+	}
+	start := time.Now()
+	rowIDs := rel.Bitmap.SharedSelect(ranges)
+	return Result{Path: model.PathBitmap, RowIDs: rowIDs, Elapsed: time.Since(start)}, nil
+}
+
+// Run dispatches to the chosen access path.
+func Run(rel *Relation, path model.Path, preds []scan.Predicate, opt Options) (Result, error) {
+	switch path {
+	case model.PathIndex:
+		return RunIndex(rel, preds, opt)
+	case model.PathBitmap:
+		return RunBitmap(rel, preds, opt)
+	default:
+		return RunScan(rel, preds, opt)
+	}
+}
+
+// RunCount answers COUNT(*) for the batch without materializing rowIDs:
+// the tree and bitmap count in their own structures, the scan counts in
+// a write-free pass. Returns one count per query.
+func RunCount(rel *Relation, path model.Path, preds []scan.Predicate) ([]int, error) {
+	if err := rel.Validate(); err != nil {
+		return nil, err
+	}
+	counts := make([]int, len(preds))
+	switch path {
+	case model.PathIndex:
+		if rel.Index == nil {
+			return nil, errors.New("exec: relation has no secondary index")
+		}
+		for i, p := range preds {
+			counts[i] = rel.Index.RangeCount(p.Lo, p.Hi)
+		}
+	case model.PathBitmap:
+		if rel.Bitmap == nil {
+			return nil, errors.New("exec: relation has no bitmap index")
+		}
+		for i, p := range preds {
+			counts[i] = rel.Bitmap.Count(p.Lo, p.Hi)
+		}
+	default:
+		if rel.Column.Contiguous() {
+			data := rel.Column.Raw()
+			for i, p := range preds {
+				counts[i] = scan.Count(data, p)
+			}
+		} else {
+			for i, p := range preds {
+				n := rel.Column.Len()
+				c := 0
+				for r := 0; r < n; r++ {
+					if p.Matches(rel.Column.Get(r)) {
+						c++
+					}
+				}
+				counts[i] = c
+			}
+		}
+	}
+	return counts, nil
+}

@@ -1,0 +1,152 @@
+package fit
+
+import (
+	"math"
+	"testing"
+
+	"fastcolumns/internal/model"
+)
+
+// synthObservations generates observations from the model itself with
+// known ground-truth constants, so the fit can be checked for parameter
+// recovery — the same self-consistency check Appendix C performs before
+// fitting real measurements.
+func synthObservations(truth model.Design, fp float64) []Observation {
+	hw := model.HW1()
+	hw.Pipelining = fp
+	var obs []Observation
+	for _, q := range []int{1, 4, 16, 64, 128} {
+		for _, s := range []float64{0, 0.001, 0.002, 0.01} {
+			for _, n := range []float64{1e7, 1e8, 5e8} {
+				p := model.Params{
+					Workload: model.Uniform(q, s),
+					Dataset:  model.Dataset{N: n, TupleSize: 4},
+					Hardware: hw,
+					Design:   truth,
+				}
+				obs = append(obs, Observation{
+					Q: q, Selectivity: s, N: n, TupleSize: 4,
+					ScanSec:  model.SharedScan(p),
+					IndexSec: model.ConcIndex(p),
+				})
+			}
+		}
+	}
+	return obs
+}
+
+func TestFitRecoversKnownConstants(t *testing.T) {
+	truth := model.DefaultDesign()
+	truth.Alpha = 8
+	truth.SortFitScale = 6e-6
+	truth.SortFitExp = 0.38
+	trueFP := 0.004
+
+	obs := synthObservations(truth, trueFP)
+	r, err := Fit(obs, model.HW1(), model.DefaultDesign())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.Alpha-8)/8 > 0.05 {
+		t.Fatalf("alpha = %v, want ~8", r.Alpha)
+	}
+	if math.Abs(r.Pipelining-trueFP)/trueFP > 0.1 {
+		t.Fatalf("fp = %v, want ~%v", r.Pipelining, trueFP)
+	}
+	if math.Abs(r.SortFitExp-0.38) > 0.05 {
+		t.Fatalf("beta = %v, want ~0.38", r.SortFitExp)
+	}
+	if r.ScanErr > 1e-4 || r.IndexErr > 1e-4 {
+		t.Fatalf("residuals too large: scan %v index %v", r.ScanErr, r.IndexErr)
+	}
+}
+
+func TestFitNoisyObservations(t *testing.T) {
+	// With multiplicative noise the fit must still land near the truth
+	// and report a small (but nonzero) residual.
+	truth := model.DefaultDesign()
+	truth.Alpha = 8
+	truth.SortFitScale = 6e-6
+	truth.SortFitExp = 0.38
+	obs := synthObservations(truth, 0.002)
+	for i := range obs {
+		// Deterministic ±3% wobble.
+		f := 1 + 0.03*math.Sin(float64(i)*1.7)
+		obs[i].ScanSec *= f
+		obs[i].IndexSec *= 2 - f
+	}
+	r, err := Fit(obs, model.HW1(), model.DefaultDesign())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.Alpha-8)/8 > 0.3 {
+		t.Fatalf("alpha = %v drifted too far from 8 under 3%% noise", r.Alpha)
+	}
+	if r.ScanErr == 0 {
+		t.Fatal("zero residual on noisy data is implausible")
+	}
+}
+
+func TestFitScanOnly(t *testing.T) {
+	truth := model.DefaultDesign()
+	truth.Alpha = 5
+	obs := synthObservations(truth, 0.002)
+	for i := range obs {
+		obs[i].IndexSec = math.NaN()
+	}
+	r, err := Fit(obs, model.HW1(), model.DefaultDesign())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.Alpha-5)/5 > 0.05 {
+		t.Fatalf("alpha = %v, want ~5", r.Alpha)
+	}
+	if r.SortFitScale != 0 {
+		t.Fatalf("index constants should stay unfitted, got fs=%v", r.SortFitScale)
+	}
+}
+
+func TestFitNoObservations(t *testing.T) {
+	obs := []Observation{{Q: 1, Selectivity: 0.1, N: 1e6, TupleSize: 4,
+		ScanSec: math.NaN(), IndexSec: math.NaN()}}
+	if _, err := Fit(obs, model.HW1(), model.DefaultDesign()); err == nil {
+		t.Fatal("expected error with no usable observations")
+	}
+}
+
+func TestErrorsOnHeldOutData(t *testing.T) {
+	truth := model.DefaultDesign()
+	truth.Alpha = 8
+	truth.SortFitScale = 6e-6
+	truth.SortFitExp = 0.38
+	obs := synthObservations(truth, 0.002)
+	// Interleave train/test so both halves span the full (q, s, N) range;
+	// fp is only identifiable where the scan is CPU bound (high q).
+	var train, test []Observation
+	for i, o := range obs {
+		if i%2 == 0 {
+			train = append(train, o)
+		} else {
+			test = append(test, o)
+		}
+	}
+	r, err := Fit(train, model.HW1(), model.DefaultDesign())
+	if err != nil {
+		t.Fatal(err)
+	}
+	scanErr, indexErr := r.Errors(test, model.HW1(), model.DefaultDesign())
+	if scanErr > 0.01 || indexErr > 0.01 {
+		t.Fatalf("held-out errors too large: scan %v index %v", scanErr, indexErr)
+	}
+}
+
+func TestFitResultDesign(t *testing.T) {
+	r := FitResult{Alpha: 8, SortFitScale: 6e-6, SortFitExp: 0.38}
+	dg := r.Design(model.DefaultDesign())
+	if dg.Alpha != 8 || dg.SortFitScale != 6e-6 || dg.SortFitExp != 0.38 {
+		t.Fatalf("Design did not carry the fitted constants: %+v", dg)
+	}
+	if dg.Fanout != model.DefaultDesign().Fanout {
+		t.Fatal("Design must preserve the base structural parameters")
+	}
+}

@@ -1,0 +1,59 @@
+package fit
+
+import (
+	"sort"
+	"time"
+
+	"fastcolumns/internal/exec"
+	"fastcolumns/internal/model"
+	"fastcolumns/internal/scan"
+	"fastcolumns/internal/workload"
+)
+
+// MeasureObservations runs both access paths on the relation across a
+// (concurrency x selectivity) sweep and returns wall-clock observations
+// ready for Fit — the "small number of experiments" Appendix C says a new
+// setup needs before the model captures machine performance.
+func MeasureObservations(rel *exec.Relation, tupleSize float64, domain int32,
+	qs []int, sels []float64, trials int) ([]Observation, error) {
+	if trials < 1 {
+		trials = 1
+	}
+	n := rel.Column.Len()
+	var obs []Observation
+	for _, q := range qs {
+		for _, s := range sels {
+			preds := workload.Batch(int64(q)*1000+int64(s*1e6), q, s, domain)
+			scanSec, rows, err := medianRun(rel, model.PathScan, preds, trials)
+			if err != nil {
+				return nil, err
+			}
+			indexSec, _, err := medianRun(rel, model.PathIndex, preds, trials)
+			if err != nil {
+				return nil, err
+			}
+			// Record the realized mean selectivity, not the nominal target:
+			// the model is fitted against what actually qualified.
+			realized := float64(rows) / float64(q) / float64(n)
+			obs = append(obs, Observation{
+				Q: q, Selectivity: realized, N: float64(n), TupleSize: tupleSize,
+				ScanSec: scanSec, IndexSec: indexSec,
+			})
+		}
+	}
+	return obs, nil
+}
+
+func medianRun(rel *exec.Relation, path model.Path, preds []scan.Predicate, trials int) (sec float64, totalRows int, err error) {
+	times := make([]time.Duration, 0, trials)
+	for t := 0; t < trials; t++ {
+		res, err := exec.Run(rel, path, preds, exec.Options{})
+		if err != nil {
+			return 0, 0, err
+		}
+		totalRows = res.TotalRows()
+		times = append(times, res.Elapsed)
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	return times[len(times)/2].Seconds(), totalRows, nil
+}

@@ -1,0 +1,203 @@
+// Package fit implements the model-verification machinery of Appendix C of
+// the paper: a multidimensional unconstrained nonlinear minimizer
+// (Nelder-Mead) and a harness that fits the cost model's machine-specific
+// constants (alpha, beta, f_s, fp) to observed access-path latencies.
+package fit
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// Objective is a function to minimize over R^n.
+type Objective func(x []float64) float64
+
+// Options tunes the Nelder-Mead iteration. Zero values select defaults.
+type Options struct {
+	// MaxIter bounds the number of simplex transformations (default 2000).
+	MaxIter int
+	// TolF stops when the simplex function-value spread falls below it
+	// (default 1e-10).
+	TolF float64
+	// TolX stops when the simplex collapses below this diameter
+	// (default 1e-10).
+	TolX float64
+	// Scale sets the initial simplex edge length relative to each starting
+	// coordinate (default 0.05; absolute 0.00025 for zero coordinates,
+	// following the classic fminsearch construction).
+	Scale float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxIter == 0 {
+		o.MaxIter = 2000
+	}
+	if o.TolF == 0 {
+		o.TolF = 1e-10
+	}
+	if o.TolX == 0 {
+		o.TolX = 1e-10
+	}
+	if o.Scale == 0 {
+		o.Scale = 0.05
+	}
+	return o
+}
+
+// Result reports the minimizer outcome.
+type Result struct {
+	// X is the best point found.
+	X []float64
+	// F is the objective value at X.
+	F float64
+	// Iterations is the number of simplex transformations performed.
+	Iterations int
+	// Converged is true when a tolerance (rather than MaxIter) stopped the
+	// search.
+	Converged bool
+}
+
+// standard Nelder-Mead coefficients.
+const (
+	reflectC  = 1.0
+	expandC   = 2.0
+	contractC = 0.5
+	shrinkC   = 0.5
+)
+
+// Minimize runs the Nelder-Mead downhill-simplex method from x0.
+func Minimize(f Objective, x0 []float64, opts Options) (Result, error) {
+	if len(x0) == 0 {
+		return Result{}, errors.New("fit: empty starting point")
+	}
+	o := opts.withDefaults()
+	n := len(x0)
+
+	// Build the initial simplex: x0 plus n perturbed vertices.
+	simplex := make([][]float64, n+1)
+	simplex[0] = append([]float64(nil), x0...)
+	for i := 0; i < n; i++ {
+		v := append([]float64(nil), x0...)
+		if v[i] != 0 {
+			v[i] *= 1 + o.Scale
+		} else {
+			v[i] = o.Scale * 0.005
+		}
+		simplex[i+1] = v
+	}
+	fv := make([]float64, n+1)
+	for i, v := range simplex {
+		fv[i] = f(v)
+		if math.IsNaN(fv[i]) {
+			fv[i] = math.Inf(1)
+		}
+	}
+
+	order := func() {
+		idx := make([]int, n+1)
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.SliceStable(idx, func(a, b int) bool { return fv[idx[a]] < fv[idx[b]] })
+		ns := make([][]float64, n+1)
+		nf := make([]float64, n+1)
+		for i, j := range idx {
+			ns[i], nf[i] = simplex[j], fv[j]
+		}
+		simplex, fv = ns, nf
+	}
+	eval := func(x []float64) float64 {
+		v := f(x)
+		if math.IsNaN(v) {
+			return math.Inf(1)
+		}
+		return v
+	}
+
+	res := Result{}
+	for iter := 0; iter < o.MaxIter; iter++ {
+		order()
+		res.Iterations = iter
+
+		// Convergence: function spread and simplex diameter.
+		if math.Abs(fv[n]-fv[0]) <= o.TolF*(math.Abs(fv[0])+o.TolF) {
+			diam := 0.0
+			for i := 1; i <= n; i++ {
+				for j := 0; j < n; j++ {
+					diam = math.Max(diam, math.Abs(simplex[i][j]-simplex[0][j]))
+				}
+			}
+			if diam <= o.TolX*(1+norm(simplex[0])) {
+				res.Converged = true
+				break
+			}
+		}
+
+		// Centroid of all but the worst vertex.
+		centroid := make([]float64, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				centroid[j] += simplex[i][j]
+			}
+		}
+		for j := range centroid {
+			centroid[j] /= float64(n)
+		}
+
+		worst := simplex[n]
+		reflected := combine(centroid, worst, 1+reflectC, -reflectC)
+		fr := eval(reflected)
+
+		switch {
+		case fr < fv[0]:
+			// Try expanding past the reflection.
+			expanded := combine(centroid, worst, 1+reflectC*expandC, -reflectC*expandC)
+			if fe := eval(expanded); fe < fr {
+				simplex[n], fv[n] = expanded, fe
+			} else {
+				simplex[n], fv[n] = reflected, fr
+			}
+		case fr < fv[n-1]:
+			simplex[n], fv[n] = reflected, fr
+		default:
+			// Contract towards the better of worst/reflected.
+			var contracted []float64
+			if fr < fv[n] {
+				contracted = combine(centroid, reflected, 1-contractC, contractC)
+			} else {
+				contracted = combine(centroid, worst, 1-contractC, contractC)
+			}
+			if fc := eval(contracted); fc < math.Min(fr, fv[n]) {
+				simplex[n], fv[n] = contracted, fc
+			} else {
+				// Shrink everything towards the best vertex.
+				for i := 1; i <= n; i++ {
+					simplex[i] = combine(simplex[0], simplex[i], 1-shrinkC, shrinkC)
+					fv[i] = eval(simplex[i])
+				}
+			}
+		}
+	}
+	order()
+	res.X = append([]float64(nil), simplex[0]...)
+	res.F = fv[0]
+	return res, nil
+}
+
+// combine returns a*x + b*y elementwise.
+func combine(x, y []float64, a, b float64) []float64 {
+	out := make([]float64, len(x))
+	for i := range x {
+		out[i] = a*x[i] + b*y[i]
+	}
+	return out
+}
+
+func norm(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}

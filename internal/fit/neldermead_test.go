@@ -1,0 +1,100 @@
+package fit
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMinimizeQuadratic(t *testing.T) {
+	// f(x) = (x0-3)^2 + (x1+2)^2 + 1, minimum 1 at (3, -2).
+	f := func(x []float64) float64 {
+		return (x[0]-3)*(x[0]-3) + (x[1]+2)*(x[1]+2) + 1
+	}
+	r, err := Minimize(f, []float64{0, 0}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Converged {
+		t.Fatalf("did not converge in %d iterations", r.Iterations)
+	}
+	if math.Abs(r.X[0]-3) > 1e-4 || math.Abs(r.X[1]+2) > 1e-4 {
+		t.Fatalf("minimum at %v, want (3,-2)", r.X)
+	}
+	if math.Abs(r.F-1) > 1e-6 {
+		t.Fatalf("minimum value %v, want 1", r.F)
+	}
+}
+
+func TestMinimizeRosenbrock(t *testing.T) {
+	// The classic banana function: narrow curved valley, minimum 0 at (1,1).
+	f := func(x []float64) float64 {
+		a := 1 - x[0]
+		b := x[1] - x[0]*x[0]
+		return a*a + 100*b*b
+	}
+	r, err := Minimize(f, []float64{-1.2, 1}, Options{MaxIter: 10000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.X[0]-1) > 1e-3 || math.Abs(r.X[1]-1) > 1e-3 {
+		t.Fatalf("Rosenbrock minimum at %v (f=%v), want (1,1)", r.X, r.F)
+	}
+}
+
+func TestMinimizeOneDimension(t *testing.T) {
+	f := func(x []float64) float64 { return math.Abs(x[0] - 7) }
+	r, err := Minimize(f, []float64{100}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.X[0]-7) > 1e-3 {
+		t.Fatalf("minimum at %v, want 7", r.X[0])
+	}
+}
+
+func TestMinimizeFromZeroStart(t *testing.T) {
+	// Zero coordinates use the absolute initial step.
+	f := func(x []float64) float64 { return (x[0] - 0.01) * (x[0] - 0.01) }
+	r, err := Minimize(f, []float64{0}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.X[0]-0.01) > 1e-5 {
+		t.Fatalf("minimum at %v, want 0.01", r.X[0])
+	}
+}
+
+func TestMinimizeHandlesNaNObjective(t *testing.T) {
+	// NaN regions are treated as +Inf barriers, not poison.
+	f := func(x []float64) float64 {
+		if x[0] < 0 {
+			return math.NaN()
+		}
+		return (x[0] - 2) * (x[0] - 2)
+	}
+	r, err := Minimize(f, []float64{5}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.X[0]-2) > 1e-3 {
+		t.Fatalf("minimum at %v, want 2", r.X[0])
+	}
+}
+
+func TestMinimizeEmptyStart(t *testing.T) {
+	if _, err := Minimize(func([]float64) float64 { return 0 }, nil, Options{}); err == nil {
+		t.Fatal("expected error for empty start")
+	}
+}
+
+func TestMinimizeRespectsMaxIter(t *testing.T) {
+	calls := 0
+	f := func(x []float64) float64 { calls++; return x[0] * x[0] }
+	r, err := Minimize(f, []float64{1e9}, Options{MaxIter: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Iterations > 5 {
+		t.Fatalf("iterations %d exceed MaxIter", r.Iterations)
+	}
+}

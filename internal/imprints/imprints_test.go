@@ -1,0 +1,177 @@
+package imprints
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"fastcolumns/internal/storage"
+)
+
+func uniform(seed int64, n int, domain int32) []storage.Value {
+	rng := rand.New(rand.NewSource(seed))
+	data := make([]storage.Value, n)
+	for i := range data {
+		data[i] = rng.Int31n(domain)
+	}
+	return data
+}
+
+func clustered(seed int64, n int, domain int32) []storage.Value {
+	data := uniform(seed, n, domain)
+	sort.Slice(data, func(i, j int) bool { return data[i] < data[j] })
+	return data
+}
+
+func refIDs(data []storage.Value, lo, hi storage.Value) []storage.RowID {
+	var out []storage.RowID
+	for i, v := range data {
+		if v >= lo && v <= hi {
+			out = append(out, storage.RowID(i))
+		}
+	}
+	return out
+}
+
+func equalIDs(a, b []storage.RowID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSelectMatchesReference(t *testing.T) {
+	for name, data := range map[string][]storage.Value{
+		"uniform":   uniform(1, 30000, 1<<20),
+		"clustered": clustered(2, 30000, 1<<20),
+	} {
+		x, err := Build(storage.NewColumn("v", data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range [][2]storage.Value{
+			{0, 1 << 14}, {1 << 19, 1<<19 + 1<<15}, {1 << 21, 1 << 22}, {500, 500},
+		} {
+			got := x.Select(data, r[0], r[1], nil)
+			want := refIDs(data, r[0], r[1])
+			if !equalIDs(got, want) {
+				t.Fatalf("%s range %v: %d rows, want %d", name, r, len(got), len(want))
+			}
+		}
+	}
+}
+
+func TestClusteredDataCompressesAndSkips(t *testing.T) {
+	data := clustered(3, 64000, 1<<20)
+	x, err := Build(storage.NewColumn("v", data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := (len(data) + LineValues - 1) / LineValues
+	// Sorted data: long runs of identical imprints, so RLE must compress
+	// far below one entry per line.
+	if x.Entries() > lines/4 {
+		t.Fatalf("RLE ineffective on sorted data: %d entries for %d lines", x.Entries(), lines)
+	}
+	// A narrow query on sorted data checks a small fraction of lines.
+	frac := x.CheckedFraction(1000, 3000)
+	if frac > 0.10 {
+		t.Fatalf("narrow query checks %.2f of a sorted column", frac)
+	}
+}
+
+func TestUniformDataSkipsLittle(t *testing.T) {
+	// On random data nearly every line holds values from many bins; wide
+	// queries check almost everything (the structure's documented limit).
+	data := uniform(4, 32000, 1<<20)
+	x, err := Build(storage.NewColumn("v", data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac := x.CheckedFraction(0, 1<<19)
+	if frac < 0.5 {
+		t.Fatalf("random data should not skip a 50%% query: checked %.2f", frac)
+	}
+}
+
+func TestCheckedFractionBounds(t *testing.T) {
+	data := clustered(5, 10000, 1<<16)
+	x, _ := Build(storage.NewColumn("v", data))
+	if got := x.CheckedFraction(10, 5); got != 0 {
+		t.Fatalf("inverted range checked %v", got)
+	}
+	if got := x.CheckedFraction(0, 1<<16); got < 0.99 {
+		t.Fatalf("full range should check everything, got %v", got)
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := Build(storage.NewColumn("v", nil)); err == nil {
+		t.Fatal("empty column accepted")
+	}
+	g, _ := storage.NewColumnGroup([]string{"a", "b"}, [][]storage.Value{{1}, {2}})
+	if _, err := Build(g.Column("a")); err == nil {
+		t.Fatal("strided column accepted")
+	}
+}
+
+func TestSharedSelect(t *testing.T) {
+	data := clustered(6, 20000, 1<<18)
+	x, _ := Build(storage.NewColumn("v", data))
+	ranges := [][2]storage.Value{{0, 100}, {1 << 17, 1<<17 + 5000}, {1 << 19, 1 << 20}}
+	results := x.SharedSelect(data, ranges)
+	for qi, r := range ranges {
+		if !equalIDs(results[qi], refIDs(data, r[0], r[1])) {
+			t.Fatalf("query %d disagrees", qi)
+		}
+	}
+}
+
+func TestQuickProperty(t *testing.T) {
+	f := func(seed int64, loRaw, hiRaw int16, sortIt bool) bool {
+		var data []storage.Value
+		if sortIt {
+			data = clustered(seed, 2000, 1<<14)
+		} else {
+			data = uniform(seed, 2000, 1<<14)
+		}
+		lo, hi := storage.Value(loRaw), storage.Value(hiRaw)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		x, err := Build(storage.NewColumn("v", data))
+		if err != nil {
+			return false
+		}
+		return equalIDs(x.Select(data, lo, hi, nil), refIDs(data, lo, hi))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConstantColumn(t *testing.T) {
+	data := make([]storage.Value, 1000)
+	for i := range data {
+		data[i] = 42
+	}
+	x, err := Build(storage.NewColumn("v", data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := x.Select(data, 42, 42, nil); len(got) != 1000 {
+		t.Fatalf("constant column select found %d rows", len(got))
+	}
+	if got := x.Select(data, 43, 100, nil); len(got) != 0 {
+		t.Fatalf("out-of-domain select found %d rows", len(got))
+	}
+	if x.Entries() != 1 {
+		t.Fatalf("constant column should RLE to one entry, got %d", x.Entries())
+	}
+}

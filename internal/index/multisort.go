@@ -1,0 +1,106 @@
+package index
+
+import (
+	"container/heap"
+	"sort"
+
+	"fastcolumns/internal/storage"
+)
+
+// SortRowIDsMultiway sorts a result set into rowID order with a W-way
+// merge sort — the scalar stand-in for the SIMD-register merge sort of
+// Appendix D. The cost model's Equation 26 describes exactly this
+// algorithm: sort N/W runs of W in-register (here: insertion sort), then
+// W-way merge, giving (S_tot*N/W)*log(S_tot*N/W) merge steps plus
+// S_tot*N*log(W) intra-register work.
+//
+// w < 2 falls back to the standard sort.
+func SortRowIDsMultiway(ids []storage.RowID, w int) {
+	if w < 2 || len(ids) <= w {
+		SortRowIDs(ids)
+		return
+	}
+	// Phase 1: sort runs of w "in register".
+	for lo := 0; lo < len(ids); lo += w {
+		hi := min(lo+w, len(ids))
+		insertionSort(ids[lo:hi])
+	}
+	// Phase 2: repeatedly w-way merge runs until one remains.
+	runLen := w
+	buf := make([]storage.RowID, len(ids))
+	src, dst := ids, buf
+	for runLen < len(ids) {
+		mergeWidth := runLen * w
+		for lo := 0; lo < len(src); lo += mergeWidth {
+			hi := min(lo+mergeWidth, len(src))
+			mergeKWay(src[lo:hi], dst[lo:hi], runLen)
+		}
+		src, dst = dst, src
+		runLen = mergeWidth
+	}
+	if &src[0] != &ids[0] {
+		copy(ids, src)
+	}
+}
+
+func insertionSort(a []storage.RowID) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// runHeap is a min-heap of run cursors for the k-way merge.
+type runHeap struct {
+	src  []storage.RowID
+	pos  []int // cursor per run
+	ends []int // exclusive end per run
+	idx  []int // heap of run indices
+}
+
+func (h *runHeap) Len() int { return len(h.idx) }
+func (h *runHeap) Less(i, j int) bool {
+	return h.src[h.pos[h.idx[i]]] < h.src[h.pos[h.idx[j]]]
+}
+func (h *runHeap) Swap(i, j int)      { h.idx[i], h.idx[j] = h.idx[j], h.idx[i] }
+func (h *runHeap) Push(x interface{}) { h.idx = append(h.idx, x.(int)) }
+func (h *runHeap) Pop() interface{} {
+	last := h.idx[len(h.idx)-1]
+	h.idx = h.idx[:len(h.idx)-1]
+	return last
+}
+
+// mergeKWay merges the sorted runs of length runLen inside src into dst.
+func mergeKWay(src, dst []storage.RowID, runLen int) {
+	runs := (len(src) + runLen - 1) / runLen
+	if runs == 1 {
+		copy(dst, src)
+		return
+	}
+	h := &runHeap{src: src, pos: make([]int, runs), ends: make([]int, runs)}
+	for r := 0; r < runs; r++ {
+		h.pos[r] = r * runLen
+		h.ends[r] = min((r+1)*runLen, len(src))
+		if h.pos[r] < h.ends[r] {
+			h.idx = append(h.idx, r)
+		}
+	}
+	heap.Init(h)
+	for out := 0; h.Len() > 0; out++ {
+		r := h.idx[0]
+		dst[out] = src[h.pos[r]]
+		h.pos[r]++
+		if h.pos[r] >= h.ends[r] {
+			heap.Pop(h)
+		} else {
+			heap.Fix(h, 0)
+		}
+	}
+}
+
+// sortedRowIDs reports whether ids is in ascending rowID order (test and
+// verification helper).
+func sortedRowIDs(ids []storage.RowID) bool {
+	return sort.SliceIsSorted(ids, func(i, j int) bool { return ids[i] < ids[j] })
+}

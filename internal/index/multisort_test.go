@@ -1,0 +1,77 @@
+package index
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fastcolumns/internal/storage"
+)
+
+func TestMultiwaySortMatchesStandard(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{0, 1, 2, 3, 4, 5, 15, 16, 17, 64, 1000, 4097} {
+		for _, w := range []int{1, 2, 4, 8, 16} {
+			a := make([]storage.RowID, n)
+			for i := range a {
+				a[i] = storage.RowID(rng.Uint32())
+			}
+			b := append([]storage.RowID(nil), a...)
+			SortRowIDsMultiway(a, w)
+			SortRowIDs(b)
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("n=%d w=%d: mismatch at %d (%d vs %d)", n, w, i, a[i], b[i])
+				}
+			}
+		}
+	}
+}
+
+func TestMultiwaySortProperty(t *testing.T) {
+	f := func(raw []uint32, wSeed uint8) bool {
+		w := 2 + int(wSeed)%7
+		ids := make([]storage.RowID, len(raw))
+		for i, v := range raw {
+			ids[i] = storage.RowID(v)
+		}
+		// Sorting must preserve the multiset: compare against a sorted copy.
+		want := append([]storage.RowID(nil), ids...)
+		SortRowIDs(want)
+		SortRowIDsMultiway(ids, w)
+		if !sortedRowIDs(ids) {
+			return false
+		}
+		for i := range ids {
+			if ids[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultiwaySortDuplicates(t *testing.T) {
+	ids := []storage.RowID{5, 5, 5, 1, 1, 9, 9, 9, 9, 0}
+	SortRowIDsMultiway(ids, 4)
+	want := []storage.RowID{0, 1, 1, 5, 5, 5, 9, 9, 9, 9}
+	for i := range ids {
+		if ids[i] != want[i] {
+			t.Fatalf("duplicates mishandled: %v", ids)
+		}
+	}
+}
+
+func TestMultiwaySortAlreadySorted(t *testing.T) {
+	ids := make([]storage.RowID, 1000)
+	for i := range ids {
+		ids[i] = storage.RowID(i)
+	}
+	SortRowIDsMultiway(ids, 4)
+	if !sortedRowIDs(ids) {
+		t.Fatal("sorted input broken")
+	}
+}

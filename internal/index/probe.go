@@ -1,0 +1,198 @@
+package index
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"fastcolumns/internal/storage"
+)
+
+// RangeRowIDs appends the rowIDs of every entry with lo <= key <= hi to
+// out, in key order (ties in rowID order) — the natural order a leaf walk
+// produces. The caller sorts by rowID if the next operator needs a
+// scan-compatible result (Section 2.3, "Sorting the Result Set").
+func (t *Tree) RangeRowIDs(lo, hi storage.Value, out []storage.RowID) []storage.RowID {
+	if lo > hi || t.count == 0 {
+		return out
+	}
+	leaf, i := t.seek(lo)
+	for leaf != nil {
+		for ; i < len(leaf.keys); i++ {
+			if leaf.keys[i] > hi {
+				return out
+			}
+			out = append(out, leaf.rowIDs[i])
+		}
+		leaf = leaf.next
+		i = 0
+	}
+	return out
+}
+
+// RangeRowIDsLimit is RangeRowIDs with an early-abort budget: it stops
+// after appending limit rowIDs and reports whether the walk completed.
+// Adaptive access paths use it to probe optimistically and abandon the
+// index when the result outgrows the estimate that justified probing.
+func (t *Tree) RangeRowIDsLimit(lo, hi storage.Value, limit int, out []storage.RowID) ([]storage.RowID, bool) {
+	if lo > hi || t.count == 0 {
+		return out, true
+	}
+	taken := 0
+	leaf, i := t.seek(lo)
+	for leaf != nil {
+		for ; i < len(leaf.keys); i++ {
+			if leaf.keys[i] > hi {
+				return out, true
+			}
+			if taken >= limit {
+				return out, false
+			}
+			out = append(out, leaf.rowIDs[i])
+			taken++
+		}
+		leaf = leaf.next
+		i = 0
+	}
+	return out, true
+}
+
+// RangeCount returns the number of entries in [lo, hi] without
+// materializing them (used by statistics and tests).
+func (t *Tree) RangeCount(lo, hi storage.Value) int {
+	if lo > hi || t.count == 0 {
+		return 0
+	}
+	n := 0
+	leaf, i := t.seek(lo)
+	for leaf != nil {
+		for ; i < len(leaf.keys); i++ {
+			if leaf.keys[i] > hi {
+				return n
+			}
+			n++
+		}
+		leaf = leaf.next
+		i = 0
+	}
+	return n
+}
+
+// seek descends to the first leaf position whose key is >= lo. The
+// descent takes the leftmost viable child on separator equality: a
+// separator equal to lo means duplicates of lo may extend into the child
+// to its left, and the leaf chain recovers if that child holds none.
+func (t *Tree) seek(lo storage.Value) (*node, int) {
+	n := t.root
+	for !n.leaf {
+		ci := sort.Search(len(n.keys), func(i int) bool { return n.keys[i] >= lo })
+		n = n.children[ci]
+	}
+	i := sort.Search(len(n.keys), func(i int) bool { return n.keys[i] >= lo })
+	if i == len(n.keys) {
+		return n.next, 0
+	}
+	return n, i
+}
+
+// Select answers one select operator through the index: probe, then sort
+// the result into rowID order so it is directly interchangeable with a
+// scan's output.
+func (t *Tree) Select(lo, hi storage.Value, out []storage.RowID) []storage.RowID {
+	start := len(out)
+	out = t.RangeRowIDs(lo, hi, out)
+	SortRowIDs(out[start:])
+	return out
+}
+
+// SortRowIDs sorts a result set into rowID order — the SC term of the
+// cost model.
+func SortRowIDs(ids []storage.RowID) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+}
+
+// ProbeStats counts the work one range probe performs; the simulated-time
+// executor charges hardware costs per counted event.
+type ProbeStats struct {
+	// LevelsVisited is the number of tree levels the descent touched.
+	LevelsVisited int
+	// InternalKeysRead counts separator keys compared during the descent.
+	InternalKeysRead int
+	// LeavesTouched is the number of distinct leaf nodes visited.
+	LeavesTouched int
+	// EntriesRead is the number of (key, rowID) pairs streamed out of the
+	// leaves (the qualifying result size).
+	EntriesRead int
+}
+
+// RangeWithStats is RangeRowIDs instrumented with the event counts the
+// memory-hierarchy simulator charges for.
+func (t *Tree) RangeWithStats(lo, hi storage.Value, out []storage.RowID) ([]storage.RowID, ProbeStats) {
+	var st ProbeStats
+	if lo > hi || t.count == 0 {
+		return out, st
+	}
+	n := t.root
+	for !n.leaf {
+		st.LevelsVisited++
+		ci := sort.Search(len(n.keys), func(i int) bool { return n.keys[i] >= lo })
+		// A linear intra-node search reads ci+1 separators on average; the
+		// model charges b/2 sequential key reads per level.
+		st.InternalKeysRead += ci + 1
+		n = n.children[ci]
+	}
+	st.LevelsVisited++
+	i := sort.Search(len(n.keys), func(i int) bool { return n.keys[i] >= lo })
+	if i == len(n.keys) {
+		n = n.next
+		i = 0
+	}
+	for n != nil {
+		st.LeavesTouched++
+		for ; i < len(n.keys); i++ {
+			if n.keys[i] > hi {
+				return out, st
+			}
+			out = append(out, n.rowIDs[i])
+			st.EntriesRead++
+		}
+		n = n.next
+		i = 0
+	}
+	return out, st
+}
+
+// SharedSelect answers a batch of q range queries over the index, the
+// shared index scan of Figure 2(c)/3(b): queries are spread across
+// workers (hardware threads), each probing the tree independently, with
+// natural sharing of the top levels left to the CPU caches. Results are
+// per query, sorted by rowID. workers <= 0 selects GOMAXPROCS.
+func (t *Tree) SharedSelect(ranges [][2]storage.Value, workers int) [][]storage.RowID {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	results := make([][]storage.RowID, len(ranges))
+	if len(ranges) == 0 {
+		return results
+	}
+	if workers > len(ranges) {
+		workers = len(ranges)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		qlo := len(ranges) * w / workers
+		qhi := len(ranges) * (w + 1) / workers
+		if qlo == qhi {
+			continue
+		}
+		wg.Add(1)
+		go func(qlo, qhi int) {
+			defer wg.Done()
+			for qi := qlo; qi < qhi; qi++ {
+				results[qi] = t.Select(ranges[qi][0], ranges[qi][1], nil)
+			}
+		}(qlo, qhi)
+	}
+	wg.Wait()
+	return results
+}

@@ -1,0 +1,92 @@
+package index
+
+import (
+	"testing"
+
+	"fastcolumns/internal/storage"
+)
+
+func TestTraceCountsMatchProbe(t *testing.T) {
+	c := randomColumn(21, 30000, 1<<16)
+	tr := Build(c, 21)
+	for _, r := range [][2]storage.Value{
+		{0, 1 << 12}, {40000, 50000}, {1 << 17, 1 << 18}, {100, 100},
+	} {
+		var internals, leaves, keys, entries int
+		got := tr.Trace(r[0], r[1], func(ev TraceEvent) {
+			switch ev.Kind {
+			case TraceInternal:
+				internals++
+				keys += ev.KeysRead
+			case TraceLeaf:
+				leaves++
+				entries += ev.Entries
+			}
+		})
+		want := tr.RangeCount(r[0], r[1])
+		if got != want || entries != want {
+			t.Fatalf("range %v: trace total=%d entries=%d, RangeCount=%d", r, got, entries, want)
+		}
+		if want > 0 {
+			if internals != tr.Height()-1 {
+				t.Fatalf("range %v: %d internal visits, height %d", r, internals, tr.Height())
+			}
+			if leaves < want/tr.Fanout() {
+				t.Fatalf("range %v: only %d leaves for %d entries", r, leaves, want)
+			}
+			if keys < internals {
+				t.Fatalf("range %v: keys read %d below one per internal node", r, keys)
+			}
+		}
+	}
+}
+
+func TestTraceEmptyRange(t *testing.T) {
+	c := randomColumn(22, 1000, 100)
+	tr := Build(c, 8)
+	calls := 0
+	got := tr.Trace(50, 40, func(TraceEvent) { calls++ })
+	if got != 0 || calls != 0 {
+		t.Fatalf("inverted range traced %d entries across %d events", got, calls)
+	}
+	// Out-of-domain range still descends but finds nothing.
+	got = tr.Trace(1000, 2000, func(TraceEvent) { calls++ })
+	if got != 0 {
+		t.Fatalf("out-of-domain range counted %d entries", got)
+	}
+	if calls == 0 {
+		t.Fatal("out-of-domain probe should still visit the descent path")
+	}
+}
+
+func TestTraceNodeIDsStable(t *testing.T) {
+	c := randomColumn(23, 5000, 1000)
+	tr := Build(c, 16)
+	ids1 := map[int]bool{}
+	tr.Trace(100, 200, func(ev TraceEvent) { ids1[ev.NodeID] = true })
+	ids2 := map[int]bool{}
+	tr.Trace(100, 200, func(ev TraceEvent) { ids2[ev.NodeID] = true })
+	if len(ids1) != len(ids2) {
+		t.Fatalf("repeat trace visited %d nodes, first visited %d", len(ids2), len(ids1))
+	}
+	for id := range ids1 {
+		if !ids2[id] {
+			t.Fatalf("node %d missing from repeat trace", id)
+		}
+	}
+	// Distinct probes share the root.
+	var root1, root2 int
+	tr.Trace(0, 10, func(ev TraceEvent) {
+		if ev.Kind == TraceInternal && ev.Level == 0 {
+			root1 = ev.NodeID
+		}
+	})
+	tr.Trace(900, 999, func(ev TraceEvent) {
+		if ev.Kind == TraceInternal && ev.Level == 0 {
+			root2 = ev.NodeID
+		}
+	})
+	if root1 != root2 {
+		t.Fatalf("root id differs between probes: %d vs %d", root1, root2)
+	}
+}

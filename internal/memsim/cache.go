@@ -1,0 +1,91 @@
+// Package memsim simulates the memory hierarchy the cost model abstracts:
+// a set-associative last-level cache in front of a latency/bandwidth
+// memory model, plus a simulated clock. It substitutes for the paper's
+// four physical machines — executors in package simexec walk real data
+// structures and charge each event here, so hardware variation
+// (Figures 7 and 16, Table 2) can be reproduced without the hardware.
+package memsim
+
+// Cache is a set-associative cache with LRU replacement, indexed by
+// abstract line addresses. It only tracks tags; no data is stored.
+type Cache struct {
+	sets     int
+	ways     int
+	lineBits uint
+	tags     [][]uint64 // tags[set][way]; 0 means empty
+	stamps   [][]uint64 // LRU timestamps
+	tick     uint64
+
+	hits   uint64
+	misses uint64
+}
+
+// NewCache builds a cache of the given capacity, line size and
+// associativity. Capacity is rounded down to a whole number of sets.
+func NewCache(capacityBytes int64, lineBytes, ways int) *Cache {
+	if lineBytes <= 0 {
+		lineBytes = 64
+	}
+	if ways <= 0 {
+		ways = 16
+	}
+	lineBits := uint(0)
+	for 1<<lineBits < lineBytes {
+		lineBits++
+	}
+	sets := int(capacityBytes) / (lineBytes * ways)
+	if sets < 1 {
+		sets = 1
+	}
+	c := &Cache{
+		sets:     sets,
+		ways:     ways,
+		lineBits: lineBits,
+		tags:     make([][]uint64, sets),
+		stamps:   make([][]uint64, sets),
+	}
+	for i := range c.tags {
+		c.tags[i] = make([]uint64, ways)
+		c.stamps[i] = make([]uint64, ways)
+	}
+	return c
+}
+
+// Access touches the line containing addr and reports whether it hit.
+// Address 0 is reserved (the empty tag); callers should use nonzero
+// address spaces.
+func (c *Cache) Access(addr uint64) bool {
+	c.tick++
+	line := (addr >> c.lineBits) | 1<<63 // force nonzero tags
+	set := int(line % uint64(c.sets))
+	tags, stamps := c.tags[set], c.stamps[set]
+	victim := 0
+	for w := 0; w < c.ways; w++ {
+		if tags[w] == line {
+			stamps[w] = c.tick
+			c.hits++
+			return true
+		}
+		if stamps[w] < stamps[victim] {
+			victim = w
+		}
+	}
+	tags[victim] = line
+	stamps[victim] = c.tick
+	c.misses++
+	return false
+}
+
+// Stats returns cumulative hit and miss counts.
+func (c *Cache) Stats() (hits, misses uint64) { return c.hits, c.misses }
+
+// Reset clears the cache contents and counters.
+func (c *Cache) Reset() {
+	for i := range c.tags {
+		for w := range c.tags[i] {
+			c.tags[i][w] = 0
+			c.stamps[i][w] = 0
+		}
+	}
+	c.tick, c.hits, c.misses = 0, 0, 0
+}

@@ -1,0 +1,177 @@
+package memsim
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"fastcolumns/internal/model"
+)
+
+// Calibrate measures the host's memory characteristics the way the paper
+// uses Intel's Memory Latency Checker at system initialization
+// (Section 3): a streaming pass estimates scan bandwidth and a dependent
+// pointer chase estimates random-access latency. The returned profile
+// plugs straight into the cost model; cache access time and the
+// pipelining factor are taken from the paper's defaults since they are
+// fitted constants anyway.
+//
+// sizeBytes controls the working set (it should exceed the LLC; 128 MB by
+// default when <= 0). The measurement takes a few hundred milliseconds.
+func Calibrate(sizeBytes int) model.Hardware {
+	if sizeBytes <= 0 {
+		sizeBytes = 128 << 20
+	}
+	bw := measureBandwidth(sizeBytes)
+	lat := measureLatency(sizeBytes / 2)
+	base := model.HW1()
+	hw := model.Hardware{
+		Name:            "host-calibrated",
+		CacheAccess:     base.CacheAccess,
+		MemAccess:       lat,
+		ScanBandwidth:   bw,
+		ResultBandwidth: bw / 2,
+		LeafBandwidth:   bw / 2,
+		ClockPeriod:     base.ClockPeriod,
+		Pipelining:      base.Pipelining,
+	}
+	hw.Pipelining = measureEvalRate(hw.ClockPeriod)
+	return hw
+}
+
+// measureEvalRate measures the host's effective predicate-evaluation
+// throughput — the fp of Equation 2 — by timing a CPU-bound shared-scan
+// kernel: many range predicates over a cache-resident block, spread
+// across all cores the way the engine's shared scan spreads queries.
+// fp absorbs SIMD width, superscalar issue and core count, so it must be
+// measured the way the engine actually evaluates predicates.
+func measureEvalRate(clockPeriod float64) float64 {
+	const tuples = 1 << 16 // 256 KB of int32: cache resident
+	const queries = 64
+	data := make([]int32, tuples)
+	rng := rand.New(rand.NewSource(2))
+	for i := range data {
+		data[i] = rng.Int31()
+	}
+	workers := runtime.GOMAXPROCS(0)
+	var wg sync.WaitGroup
+	sink := make([]int64, workers*8) // padded to avoid false sharing
+	start := time.Now()
+	const passes = 16
+	for w := 0; w < workers; w++ {
+		qlo := queries * w / workers
+		qhi := queries * (w + 1) / workers
+		if qlo == qhi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, qlo, qhi int) {
+			defer wg.Done()
+			var count int64
+			for p := 0; p < passes; p++ {
+				for qi := qlo; qi < qhi; qi++ {
+					lo := int32(qi) << 20
+					hi := lo + 1<<24
+					for _, v := range data {
+						if v >= lo && v <= hi {
+							count++
+						}
+					}
+				}
+			}
+			sink[w*8] = count
+		}(w, qlo, qhi)
+	}
+	wg.Wait()
+	el := time.Since(start).Seconds()
+	if el <= 0 {
+		return model.HW1().Pipelining
+	}
+	// Wall seconds per (query x tuple) pair, expressed as fp via
+	// PE = 2 * fp * p * N per query: fp = wall / (2 * p * q * N * passes).
+	return el / (2 * clockPeriod * queries * tuples * passes)
+}
+
+// measureBandwidth streams a large uint64 array and returns bytes/sec.
+func measureBandwidth(sizeBytes int) float64 {
+	n := sizeBytes / 8
+	data := make([]uint64, n)
+	for i := range data {
+		data[i] = uint64(i)
+	}
+	var sink uint64
+	start := time.Now()
+	const passes = 3
+	for p := 0; p < passes; p++ {
+		for _, v := range data {
+			sink += v
+		}
+	}
+	el := time.Since(start).Seconds()
+	_ = sink
+	if el <= 0 {
+		return model.HW1().ScanBandwidth
+	}
+	return float64(passes) * float64(sizeBytes) / el
+}
+
+// measureLatency chases a random permutation cycle (each load depends on
+// the previous) and returns seconds per dependent access.
+func measureLatency(sizeBytes int) float64 {
+	n := sizeBytes / 8
+	if n < 1024 {
+		n = 1024
+	}
+	perm := rand.New(rand.NewSource(1)).Perm(n)
+	next := make([]uint64, n)
+	// Build one big cycle: next[perm[i]] = perm[i+1].
+	for i := 0; i < n; i++ {
+		next[perm[i]] = uint64(perm[(i+1)%n])
+	}
+	const hops = 1 << 20
+	idx := uint64(perm[0])
+	start := time.Now()
+	for i := 0; i < hops; i++ {
+		idx = next[idx]
+	}
+	el := time.Since(start).Seconds()
+	if idx == ^uint64(0) { // keep the chase alive
+		return 0
+	}
+	if el <= 0 {
+		return model.HW1().MemAccess
+	}
+	return el / hops
+}
+
+// SaveProfile writes a hardware profile to path as JSON so calibration
+// (a few hundred milliseconds of microbenchmarks) runs once per machine,
+// the way the paper collects hardware specs "once per machine during
+// initial setup".
+func SaveProfile(path string, hw model.Hardware) error {
+	raw, err := json.MarshalIndent(hw, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, raw, 0o644)
+}
+
+// LoadProfile reads a profile written by SaveProfile and validates it.
+func LoadProfile(path string) (model.Hardware, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return model.Hardware{}, err
+	}
+	var hw model.Hardware
+	if err := json.Unmarshal(raw, &hw); err != nil {
+		return model.Hardware{}, fmt.Errorf("memsim: bad profile file: %w", err)
+	}
+	if err := hw.Validate(); err != nil {
+		return model.Hardware{}, fmt.Errorf("memsim: invalid profile: %w", err)
+	}
+	return hw, nil
+}

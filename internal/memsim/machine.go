@@ -1,0 +1,114 @@
+package memsim
+
+import "fastcolumns/internal/model"
+
+// DefaultLLCBytes mirrors the paper's primary server (16 MB of L3).
+const DefaultLLCBytes = 16 << 20
+
+// DefaultLineBytes is the usual 64-byte cache line.
+const DefaultLineBytes = 64
+
+// Machine is a simulated execution environment: a hardware profile, an
+// LLC, and a clock. Executors charge events; the clock advances by the
+// profile's latencies and bandwidths.
+type Machine struct {
+	HW  model.Hardware
+	LLC *Cache
+	now float64
+}
+
+// NewMachine builds a machine for the hardware profile with a default
+// 16 MB, 16-way LLC.
+func NewMachine(hw model.Hardware) *Machine {
+	return &Machine{HW: hw, LLC: NewCache(DefaultLLCBytes, DefaultLineBytes, 16)}
+}
+
+// NewMachineWithLLC builds a machine with an explicit LLC geometry.
+func NewMachineWithLLC(hw model.Hardware, llcBytes int64, lineBytes, ways int) *Machine {
+	return &Machine{HW: hw, LLC: NewCache(llcBytes, lineBytes, ways)}
+}
+
+// Now returns the simulated time in seconds.
+func (m *Machine) Now() float64 { return m.now }
+
+// Reset rewinds the clock and clears the cache.
+func (m *Machine) Reset() {
+	m.now = 0
+	m.LLC.Reset()
+}
+
+// Advance adds raw seconds (for overlap math computed by the caller).
+func (m *Machine) Advance(sec float64) { m.now += sec }
+
+// SeqRead charges streaming the given bytes at bandwidth bw.
+func (m *Machine) SeqRead(bytes, bw float64) { m.now += bytes / bw }
+
+// Write charges writing the given bytes at the result bandwidth.
+func (m *Machine) Write(bytes float64) { m.now += bytes / m.HW.ResultBandwidth }
+
+// Random charges one dependent memory access at addr: a cache access on
+// hit, a full memory access on miss.
+func (m *Machine) Random(addr uint64) {
+	if m.LLC.Access(addr) {
+		m.now += m.HW.CacheAccess
+	} else {
+		m.now += m.HW.MemAccess
+	}
+}
+
+// CacheReads charges n L1-resident reads (intra-node key comparisons).
+func (m *Machine) CacheReads(n int) { m.now += float64(n) * m.HW.CacheAccess }
+
+// CPU charges n pipelined instructions at the effective issue rate.
+func (m *Machine) CPU(n float64) { m.now += n * m.HW.Pipelining * m.HW.ClockPeriod }
+
+// Hierarchy is a two-level cache front (L1 + LLC) for machines where the
+// single-LLC approximation is too coarse: L1 hits cost the profile's
+// cache access, LLC hits cost an intermediate latency, and misses pay the
+// full memory access. The paper's model only distinguishes CA and CM, so
+// the simulated executors default to the single-LLC Machine; Hierarchy
+// exists to study how sensitive results are to that simplification.
+type Hierarchy struct {
+	HW  model.Hardware
+	L1  *Cache
+	LLC *Cache
+	// LLCLatency is the seconds charged for an L1 miss that hits the LLC
+	// (defaults to a third of the memory access).
+	LLCLatency float64
+	now        float64
+}
+
+// NewHierarchy builds a 32 KB 8-way L1 in front of the default LLC.
+func NewHierarchy(hw model.Hardware) *Hierarchy {
+	return &Hierarchy{
+		HW:         hw,
+		L1:         NewCache(32<<10, DefaultLineBytes, 8),
+		LLC:        NewCache(DefaultLLCBytes, DefaultLineBytes, 16),
+		LLCLatency: hw.MemAccess / 3,
+	}
+}
+
+// Now returns the simulated time in seconds.
+func (h *Hierarchy) Now() float64 { return h.now }
+
+// Reset rewinds the clock and clears both levels.
+func (h *Hierarchy) Reset() {
+	h.now = 0
+	h.L1.Reset()
+	h.LLC.Reset()
+}
+
+// Random charges one dependent access through the hierarchy. An L1 miss
+// still installs the line in both levels (inclusive caches).
+func (h *Hierarchy) Random(addr uint64) {
+	if h.L1.Access(addr) {
+		h.now += h.HW.CacheAccess
+		h.LLC.Access(addr) // keep inclusion without charging again
+		return
+	}
+	if h.LLC.Access(addr) {
+		h.now += h.LLCLatency
+		return
+	}
+	h.now += h.HW.MemAccess
+}

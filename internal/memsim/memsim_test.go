@@ -1,0 +1,221 @@
+package memsim
+
+import (
+	"os"
+	"testing"
+
+	"fastcolumns/internal/model"
+)
+
+func TestCacheHitAfterMiss(t *testing.T) {
+	c := NewCache(1<<20, 64, 8)
+	if c.Access(4096) {
+		t.Fatal("cold access hit")
+	}
+	if !c.Access(4096) {
+		t.Fatal("warm access missed")
+	}
+	if !c.Access(4096 + 32) {
+		t.Fatal("same-line access missed")
+	}
+	if c.Access(4096 + 64) {
+		t.Fatal("next-line access hit cold")
+	}
+	hits, misses := c.Stats()
+	if hits != 2 || misses != 2 {
+		t.Fatalf("stats hits=%d misses=%d", hits, misses)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	// 2-way, single-set cache: third distinct line evicts the LRU one.
+	c := NewCache(128, 64, 2)
+	a, b, d := uint64(0), uint64(64), uint64(128)
+	c.Access(a)
+	c.Access(b)
+	c.Access(a) // refresh a; b becomes LRU
+	c.Access(d) // evicts b
+	if !c.Access(a) {
+		t.Fatal("a should have survived")
+	}
+	if c.Access(b) {
+		t.Fatal("b should have been evicted")
+	}
+}
+
+func TestCacheCapacityBehaviour(t *testing.T) {
+	// A working set within capacity keeps hitting; one far above keeps
+	// missing.
+	c := NewCache(64<<10, 64, 16)
+	small := 256 // lines: 16 KB, fits
+	for pass := 0; pass < 3; pass++ {
+		for i := 0; i < small; i++ {
+			c.Access(uint64(i * 64))
+		}
+	}
+	hits, misses := c.Stats()
+	if hits < uint64(2*small) {
+		t.Fatalf("resident set should hit on repeat passes: hits=%d misses=%d", hits, misses)
+	}
+	c.Reset()
+	big := 1 << 14 // 1 MB of lines through a 64 KB cache
+	for pass := 0; pass < 2; pass++ {
+		for i := 0; i < big; i++ {
+			c.Access(uint64(i * 64))
+		}
+	}
+	hits, misses = c.Stats()
+	if hits > misses/4 {
+		t.Fatalf("thrashing set should mostly miss: hits=%d misses=%d", hits, misses)
+	}
+}
+
+func TestCacheReset(t *testing.T) {
+	c := NewCache(1<<16, 64, 4)
+	c.Access(64)
+	c.Reset()
+	if c.Access(64) {
+		t.Fatal("hit after reset")
+	}
+	hits, misses := c.Stats()
+	if hits != 0 || misses != 1 {
+		t.Fatalf("counters not reset: %d/%d", hits, misses)
+	}
+}
+
+func TestMachineCharges(t *testing.T) {
+	hw := model.HW1()
+	m := NewMachine(hw)
+	m.SeqRead(40e9, hw.ScanBandwidth) // exactly one second of streaming
+	if got := m.Now(); got < 0.999 || got > 1.001 {
+		t.Fatalf("SeqRead charged %v, want ~1s", got)
+	}
+	m.Reset()
+	m.Random(1 << 20) // cold: full memory access
+	if got := m.Now(); got != hw.MemAccess {
+		t.Fatalf("cold Random charged %v, want %v", got, hw.MemAccess)
+	}
+	m.Random(1 << 20) // warm: cache access
+	if got := m.Now(); got != hw.MemAccess+hw.CacheAccess {
+		t.Fatalf("warm Random charged %v", got)
+	}
+	m.Reset()
+	m.CacheReads(10)
+	if got := m.Now(); got != 10*hw.CacheAccess {
+		t.Fatalf("CacheReads charged %v", got)
+	}
+	m.Reset()
+	m.CPU(1000)
+	if got := m.Now(); got != 1000*hw.Pipelining*hw.ClockPeriod {
+		t.Fatalf("CPU charged %v", got)
+	}
+	m.Reset()
+	m.Write(20e9) // one second at BWR
+	if got := m.Now(); got < 0.999 || got > 1.001 {
+		t.Fatalf("Write charged %v, want ~1s", got)
+	}
+}
+
+func TestMachineAdvanceAndCustomLLC(t *testing.T) {
+	m := NewMachineWithLLC(model.HW2(), 1<<16, 64, 4)
+	m.Advance(0.5)
+	if m.Now() != 0.5 {
+		t.Fatalf("Advance = %v", m.Now())
+	}
+	if m.LLC == nil {
+		t.Fatal("no LLC")
+	}
+}
+
+func TestCalibrateReturnsPlausibleHardware(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration takes hundreds of milliseconds")
+	}
+	hw := Calibrate(32 << 20)
+	if err := hw.Validate(); err != nil {
+		t.Fatalf("calibrated profile invalid: %v", err)
+	}
+	// Any machine this century: 100 MB/s..1 TB/s and 10ns..10µs.
+	if hw.ScanBandwidth < 1e8 || hw.ScanBandwidth > 1e12 {
+		t.Fatalf("implausible bandwidth %v", hw.ScanBandwidth)
+	}
+	if hw.MemAccess < 1e-8 || hw.MemAccess > 1e-5 {
+		t.Fatalf("implausible latency %v", hw.MemAccess)
+	}
+}
+
+func TestProfileSaveLoad(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/hw.json"
+	hw := model.HW2()
+	if err := SaveProfile(path, hw); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadProfile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != hw {
+		t.Fatalf("round trip changed the profile: %+v vs %+v", got, hw)
+	}
+	// Corrupt file rejected.
+	if err := os.WriteFile(path, []byte("{nope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadProfile(path); err == nil {
+		t.Fatal("corrupt profile accepted")
+	}
+	// Structurally valid but physically invalid profile rejected.
+	bad := hw
+	bad.ScanBandwidth = -1
+	if err := SaveProfile(path, bad); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadProfile(path); err == nil {
+		t.Fatal("invalid profile accepted")
+	}
+	if _, err := LoadProfile(dir + "/missing.json"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestHierarchyLatencyOrdering(t *testing.T) {
+	h := NewHierarchy(model.HW1())
+	// Cold: full memory latency.
+	h.Random(1 << 30)
+	cold := h.Now()
+	if cold != h.HW.MemAccess {
+		t.Fatalf("cold access charged %v", cold)
+	}
+	near := func(a, b float64) bool {
+		d := a - b
+		if d < 0 {
+			d = -d
+		}
+		return d < 1e-12
+	}
+	// Immediately warm in L1.
+	h.Random(1 << 30)
+	if got := h.Now() - cold; !near(got, h.HW.CacheAccess) {
+		t.Fatalf("L1 hit charged %v", got)
+	}
+	// Evict from L1 (stream 1024 distinct lines through a 512-line L1)
+	// but stay in the LLC: intermediate latency.
+	for i := 0; i < 1024; i++ {
+		h.Random(uint64(1<<20 + i*64))
+	}
+	before := h.Now()
+	h.Random(1 << 30)
+	got := h.Now() - before
+	if !near(got, h.LLCLatency) {
+		t.Fatalf("LLC hit charged %v, want %v", got, h.LLCLatency)
+	}
+	h.Reset()
+	if h.Now() != 0 {
+		t.Fatal("reset did not rewind")
+	}
+	h.Random(1 << 30)
+	if h.Now() != h.HW.MemAccess {
+		t.Fatal("reset did not clear the caches")
+	}
+}

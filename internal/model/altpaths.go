@@ -1,0 +1,63 @@
+package model
+
+// Alternative access paths (Appendix E). The paper's analysis covers the
+// shared scan and the B+-tree; for very small domains it points at bitmap
+// indexes as the third contender. This file extends the cost model with a
+// bitmap term and a three-way chooser so the optimizer can arbitrate all
+// materialized paths.
+
+// ConcBitmap estimates the cost of answering the batch with a
+// value-per-bitmap index of the given domain cardinality. Each query ORs
+// the bitmaps of the domain values its range covers (≈ s_i * card bitmaps
+// of N/8 bytes, streamed at scan bandwidth), then extracts the set
+// positions — which emerge already in rowID order, so unlike the B+-tree
+// there is no sorting term — and writes s_i*N results.
+func ConcBitmap(p Params, cardinality float64) float64 {
+	if cardinality < 1 {
+		cardinality = 1
+	}
+	d, h, dg := p.Dataset, p.Hardware, p.Design
+	bitmapBytes := d.N / 8
+	var total float64
+	for _, s := range p.Workload.Selectivities {
+		covered := s * cardinality
+		if covered < 1 {
+			covered = 1 // at least one bitmap is read
+		}
+		// Stream the covered bitmaps and OR them word by word.
+		total += covered * bitmapBytes / h.ScanBandwidth
+		total += covered * (d.N / 64) * h.Pipelining * h.ClockPeriod
+	}
+	stot := p.Workload.TotalSelectivity()
+	// Position extraction is a dependent bit-twiddle per set bit — charge
+	// a cache access per result, like the model does for sort comparisons.
+	// Without this term a bitmap covering half its domain would look free
+	// while actually emitting S_tot*N positions one at a time.
+	total += stot * d.N * h.CacheAccess
+	total += dg.alphaOrOne() * stot * ResultWriteTime(d, h, dg)
+	return total
+}
+
+// PathBitmap extends the Path enum with the bitmap index.
+const PathBitmap Path = 2
+
+// ChooseAmong picks the cheapest of the available access paths for the
+// batch: the shared scan (optionally credited with zonemap/imprint
+// skipping), the concurrent B+-tree scan, and the bitmap index.
+// hasIndex/bitmapCard gate which contenders exist (bitmapCard <= 0 means
+// no bitmap index).
+func ChooseAmong(p Params, scanSkipFraction float64, hasIndex bool, bitmapCard float64) (Path, float64) {
+	scanCost := SharedScanWithSkipping(p, scanSkipFraction)
+	best, bestCost := PathScan, scanCost
+	if hasIndex {
+		if c := ConcIndex(p); c < bestCost {
+			best, bestCost = PathIndex, c
+		}
+	}
+	if bitmapCard > 0 {
+		if c := ConcBitmap(p, bitmapCard); c < bestCost {
+			best, bestCost = PathBitmap, c
+		}
+	}
+	return best, bestCost
+}

@@ -1,0 +1,79 @@
+package model
+
+import "testing"
+
+func TestConcBitmapScalesWithCardinalityAndSelectivity(t *testing.T) {
+	p := testParams(4, 0.01)
+	lo := ConcBitmap(p, 16)
+	hi := ConcBitmap(p, 256)
+	if hi <= lo {
+		t.Fatalf("more bitmaps must cost more to OR: %v vs %v", hi, lo)
+	}
+	narrow := ConcBitmap(testParams(4, 0.001), 256)
+	wide := ConcBitmap(testParams(4, 0.1), 256)
+	if wide <= narrow {
+		t.Fatalf("wider ranges must cost more: %v vs %v", wide, narrow)
+	}
+}
+
+func TestConcBitmapBeatsTreeAtLowCardinalityPoints(t *testing.T) {
+	// Equality query on a 100-value domain: the bitmap reads one N/8-byte
+	// bitmap and never sorts; the tree pays leaf traversal plus the sort
+	// of ~N/100 rowIDs. The bitmap should win.
+	p := testParams(1, 0.01) // one value of a 100-value domain
+	bm := ConcBitmap(p, 100)
+	tree := ConcIndex(p)
+	if bm >= tree {
+		t.Fatalf("bitmap %v should beat tree %v for a low-cardinality point", bm, tree)
+	}
+}
+
+func TestChooseAmongRespectsAvailability(t *testing.T) {
+	p := testParams(1, 0.0001) // index territory
+	path, _ := ChooseAmong(p, 0, false, 0)
+	if path != PathScan {
+		t.Fatalf("with only a scan available, chose %v", path)
+	}
+	path, _ = ChooseAmong(p, 0, true, 0)
+	if path != PathIndex {
+		t.Fatalf("low selectivity with a tree should probe, chose %v", path)
+	}
+}
+
+func TestChooseAmongPicksCheapest(t *testing.T) {
+	// Sweep: each contender must win somewhere.
+	wins := map[Path]bool{}
+	for _, s := range []float64{1e-6, 1e-4, 0.01, 0.3} {
+		for _, card := range []float64{0, 100} {
+			p := testParams(2, s)
+			path, cost := ChooseAmong(p, 0, true, card)
+			if cost <= 0 {
+				t.Fatalf("non-positive cost %v", cost)
+			}
+			wins[path] = true
+		}
+	}
+	for _, want := range []Path{PathScan, PathIndex, PathBitmap} {
+		if !wins[want] {
+			t.Fatalf("path %v never won across the sweep: %v", want, wins)
+		}
+	}
+}
+
+func TestChooseAmongSkippingFavorsScan(t *testing.T) {
+	p := testParams(4, 0.0002) // index territory without skipping
+	noSkip, _ := ChooseAmong(p, 0, true, 0)
+	if noSkip != PathIndex {
+		t.Fatalf("expected index without skipping, got %v", noSkip)
+	}
+	skip, _ := ChooseAmong(p, 0.999, true, 0)
+	if skip != PathScan {
+		t.Fatalf("99.9%% skipping should hand the win to the scan, got %v", skip)
+	}
+}
+
+func TestPathBitmapString(t *testing.T) {
+	if PathBitmap.String() != "bitmap" {
+		t.Fatalf("PathBitmap = %q", PathBitmap.String())
+	}
+}

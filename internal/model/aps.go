@@ -1,0 +1,91 @@
+package model
+
+import "math"
+
+// Path identifies an access path choice.
+type Path int
+
+const (
+	// PathScan is a (shared) sequential scan of the base column.
+	PathScan Path = iota
+	// PathIndex is a (concurrent) secondary B+-tree index scan.
+	PathIndex
+)
+
+// String returns "scan", "index", or "bitmap".
+func (p Path) String() string {
+	switch p {
+	case PathIndex:
+		return "index"
+	case PathBitmap:
+		return "bitmap"
+	default:
+		return "scan"
+	}
+}
+
+// APS returns the access-path-selection ratio ConcIndex/SharedScan
+// (Equation 15). Values >= 1 favor the scan; values < 1 favor the index.
+func APS(p Params) float64 {
+	ss := SharedScan(p)
+	if ss == 0 {
+		return math.Inf(1)
+	}
+	return ConcIndex(p) / ss
+}
+
+// Choose runs access path selection for the batch: the scan when APS >= 1,
+// the secondary index otherwise. This is the optimizer's decision rule
+// from Section 2.4.
+func Choose(p Params) Path {
+	if APS(p) < 1 {
+		return PathIndex
+	}
+	return PathScan
+}
+
+// APSClosedForm evaluates the expanded ratio of Equation 21 (the unfitted
+// printed form) or Equation 25 (when the design carries the fitting
+// constants), written in terms of the raw Table 1 parameters. It must
+// agree with APS up to floating-point error; the tests check that. It
+// exists because the paper analyzes this algebraic form directly
+// (Section 2.4 and Appendix B).
+func APSClosedForm(p Params) float64 {
+	q := float64(p.Workload.Q())
+	stot := p.Workload.TotalSelectivity()
+	d, h, dg := p.Dataset, p.Hardware, p.Design
+
+	alpha := dg.alphaOrOne()
+	fc := dg.sortCorrection(d.N)
+
+	// Denominator: max(ts, 2*fp*p*q*BWS) + alpha*Stot*rw*BWS/BWR.
+	den := math.Max(d.TupleSize, 2*h.Pipelining*h.ClockPeriod*q*h.ScanBandwidth) +
+		alpha*stot*dg.ResultWidth*h.ScanBandwidth/h.ResultBandwidth
+
+	// First numerator part: tree traversal, q times.
+	levels := 1 + math.Ceil(math.Log(d.N)/math.Log(dg.Fanout))
+	tree := q * levels / d.N *
+		(h.ScanBandwidth*h.MemAccess +
+			dg.Fanout*h.ScanBandwidth*h.CacheAccess/2 +
+			dg.Fanout*h.ScanBandwidth*h.Pipelining*h.ClockPeriod/2)
+
+	// Second part: leaves, leaf data and result writing, scaled by Stot.
+	data := stot * (h.ScanBandwidth*h.MemAccess/dg.Fanout +
+		(dg.AttrWidth+dg.OffsetWidth)*h.ScanBandwidth/h.LeafBandwidth +
+		dg.ResultWidth*h.ScanBandwidth/h.ResultBandwidth)
+
+	// Third part: the sorting factor.
+	sort := fc * SortFactor(stot, d, dg) / d.N * h.ScanBandwidth * h.CacheAccess
+
+	return (tree + data + sort) / den
+}
+
+// Speedup reports how much faster the better path is than the worse one
+// for this batch: max(APS, 1/APS). A wrong decision costs this factor.
+func Speedup(p Params) float64 {
+	r := APS(p)
+	if r < 1 {
+		return 1 / r
+	}
+	return r
+}

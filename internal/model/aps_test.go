@@ -1,0 +1,119 @@
+package model
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAPSMatchesClosedForm(t *testing.T) {
+	// Equation 15 (ratio of Equations 5 and 13) and Equation 21/25 (the
+	// expanded algebraic form) are the same quantity; check they agree to
+	// floating-point precision across a broad random sweep, for both the
+	// unfitted and fitted designs.
+	rng := rand.New(rand.NewSource(1))
+	designs := []Design{DefaultDesign(), FittedDesign()}
+	hws := []Hardware{HW1(), HW2()}
+	for i := 0; i < 500; i++ {
+		q := 1 + rng.Intn(512)
+		s := math.Pow(10, -6+6*rng.Float64()) // 1e-6 .. 1
+		if s > 1 {
+			s = 1
+		}
+		n := math.Pow(10, 4+8*rng.Float64())
+		ts := []float64{2, 4, 8, 40, 128}[rng.Intn(5)]
+		p := Params{
+			Workload: Uniform(q, s),
+			Dataset:  Dataset{N: n, TupleSize: ts},
+			Hardware: hws[rng.Intn(2)],
+			Design:   designs[rng.Intn(2)],
+		}
+		a, b := APS(p), APSClosedForm(p)
+		if !approxEqual(a, b, 1e-9) {
+			t.Fatalf("APS=%v closed=%v for q=%d s=%v N=%v ts=%v", a, b, q, s, n, ts)
+		}
+	}
+}
+
+func TestChooseFollowsRatio(t *testing.T) {
+	lo := testParams(1, 0.0001) // far below the q=1 crossover: index
+	hi := testParams(1, 0.2)    // far above: scan
+	if got := Choose(lo); got != PathIndex {
+		t.Fatalf("Choose(low selectivity) = %v, want index (APS=%v)", got, APS(lo))
+	}
+	if got := Choose(hi); got != PathScan {
+		t.Fatalf("Choose(high selectivity) = %v, want scan (APS=%v)", got, APS(hi))
+	}
+}
+
+func TestChooseConsistentWithAPS(t *testing.T) {
+	f := func(qSeed uint8, sSeed, nSeed float64) bool {
+		q := 1 + int(qSeed)%300
+		s := math.Mod(math.Abs(sSeed), 1)
+		n := 1e4 + math.Mod(math.Abs(nSeed), 1e10)
+		p := Params{Workload: Uniform(q, s), Dataset: Dataset{N: n, TupleSize: 4},
+			Hardware: HW1(), Design: DefaultDesign()}
+		if APS(p) < 1 {
+			return Choose(p) == PathIndex
+		}
+		return Choose(p) == PathScan
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpeedupAtLeastOne(t *testing.T) {
+	for _, q := range []int{1, 16, 256} {
+		for _, s := range []float64{1e-5, 1e-3, 0.1, 1} {
+			if sp := Speedup(testParams(q, s)); sp < 1 {
+				t.Fatalf("Speedup(q=%d,s=%v) = %v < 1", q, s, sp)
+			}
+		}
+	}
+}
+
+func TestPathString(t *testing.T) {
+	if PathScan.String() != "scan" || PathIndex.String() != "index" {
+		t.Fatalf("unexpected Path strings: %q %q", PathScan, PathIndex)
+	}
+}
+
+func TestAPSGrowsWithSelectivity(t *testing.T) {
+	// Observation 2.1/2.2: for fixed q the ratio must increase with
+	// selectivity — more qualifying tuples mean more leaf traversal and
+	// sorting for the index but only more result writing for the scan.
+	for _, q := range []int{1, 8, 64, 512} {
+		prev := -1.0
+		for _, s := range logspace(1e-6, 1, 60) {
+			r := APS(testParams(q, s))
+			if r < prev {
+				t.Fatalf("APS not monotone in s at q=%d s=%v: %v < %v", q, s, r, prev)
+			}
+			prev = r
+		}
+	}
+}
+
+func TestAPSGrowsWithConcurrencyAtFixedPerQuerySelectivity(t *testing.T) {
+	// Figure 4's sloped divide: at a per-query selectivity near the q=1
+	// crossover, adding concurrency pushes the decision towards the scan.
+	s := 0.002
+	r1 := APS(testParams(1, s))
+	r64 := APS(testParams(64, s))
+	if r64 <= r1 {
+		t.Fatalf("APS(q=64)=%v should exceed APS(q=1)=%v at s=%v", r64, r1, s)
+	}
+}
+
+func TestColumnGroupsFavorIndex(t *testing.T) {
+	// Observation 2.3: larger tuples (column-groups) lower the APS ratio,
+	// making the index useful in more cases.
+	narrow := testParams(4, 0.01)
+	wide := narrow
+	wide.Dataset.TupleSize = 40
+	if APS(wide) >= APS(narrow) {
+		t.Fatalf("APS(ts=40)=%v should be below APS(ts=4)=%v", APS(wide), APS(narrow))
+	}
+}

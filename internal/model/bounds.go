@@ -1,0 +1,69 @@
+package model
+
+import "math"
+
+// This file implements Appendix A: entropy bounds on the total sorting
+// cost SC = sum_i s_i*N*log2(s_i*N) for a batch with total selectivity
+// S_tot split across q queries.
+
+// ExactSortComparisons returns the exact comparison count
+// sum_i s_i*N*log2(s_i*N) for the given workload, skipping result sets
+// with fewer than two entries (nothing to sort).
+func ExactSortComparisons(w Workload, d Dataset) float64 {
+	var t float64
+	for _, s := range w.Selectivities {
+		k := s * d.N
+		if k >= 2 {
+			t += k * math.Log2(k)
+		}
+	}
+	return t
+}
+
+// MaxSortComparisons returns MaxSC (Equation 20): S_tot*N*log2(S_tot*N),
+// attained when one query holds the entire selectivity and the rest are
+// empty (the zero-entropy extreme).
+func MaxSortComparisons(stot float64, d Dataset) float64 {
+	k := stot * d.N
+	if k < 2 {
+		return 0
+	}
+	return k * math.Log2(k)
+}
+
+// MinSortComparisons returns MinSC (Equation 19):
+// S_tot*N*(log2(1/q) + log2(S_tot*N)), attained when all q selectivities
+// are equal (the maximum-entropy extreme). It is clamped at zero: for
+// very small per-query results the formula goes negative while the true
+// comparison count cannot.
+func MinSortComparisons(stot float64, q int, d Dataset) float64 {
+	k := stot * d.N
+	if k < 2 || q < 1 {
+		return 0
+	}
+	v := k * (math.Log2(1/float64(q)) + math.Log2(k))
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// SortEntropy returns the entropy term E(s_1..s_q) =
+// sum_i (s_i/S_tot)*log2(s_i/S_tot) of Equation 17. It is always in
+// [log2(1/q), 0]: zero when one query dominates, log2(1/q) when the
+// selectivities are all equal.
+func SortEntropy(w Workload) float64 {
+	stot := w.TotalSelectivity()
+	if stot == 0 {
+		return 0
+	}
+	var e float64
+	for _, s := range w.Selectivities {
+		if s == 0 {
+			continue
+		}
+		f := s / stot
+		e += f * math.Log2(f)
+	}
+	return e
+}

@@ -1,0 +1,108 @@
+package model
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomWorkload builds a workload of q queries whose selectivities sum to
+// stot, with a random (Dirichlet-ish) split.
+func randomWorkload(rng *rand.Rand, q int, stot float64) Workload {
+	weights := make([]float64, q)
+	var sum float64
+	for i := range weights {
+		weights[i] = -math.Log(1 - rng.Float64()) // Exp(1)
+		sum += weights[i]
+	}
+	sel := make([]float64, q)
+	for i := range sel {
+		sel[i] = stot * weights[i] / sum
+	}
+	return Workload{Selectivities: sel}
+}
+
+func TestSortComparisonBoundsProperty(t *testing.T) {
+	// Appendix A: for any split of S_tot across q queries,
+	// MinSC <= exact <= MaxSC.
+	d := Dataset{N: 1e8, TupleSize: 4}
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 2000; i++ {
+		q := 1 + rng.Intn(64)
+		stot := math.Pow(10, -4+4.3*rng.Float64()) // up to ~2.0
+		w := randomWorkload(rng, q, stot)
+		exact := ExactSortComparisons(w, d)
+		lo := MinSortComparisons(stot, q, d)
+		hi := MaxSortComparisons(stot, d)
+		if exact > hi*(1+1e-9) {
+			t.Fatalf("exact %v exceeds MaxSC %v (q=%d stot=%v)", exact, hi, q, stot)
+		}
+		if exact < lo*(1-1e-9)-1 {
+			t.Fatalf("exact %v below MinSC %v (q=%d stot=%v)", exact, lo, q, stot)
+		}
+	}
+}
+
+func TestMaxAttainedBySingleQuery(t *testing.T) {
+	// The zero-entropy extreme: all selectivity in one query.
+	d := Dataset{N: 1e7, TupleSize: 4}
+	stot := 0.12
+	w := Workload{Selectivities: []float64{stot, 0, 0, 0, 0}}
+	exact := ExactSortComparisons(w, d)
+	if !approxEqual(exact, MaxSortComparisons(stot, d), 1e-12) {
+		t.Fatalf("single-query workload: exact %v != MaxSC %v", exact, MaxSortComparisons(stot, d))
+	}
+}
+
+func TestMinAttainedByEqualSplit(t *testing.T) {
+	// The maximum-entropy extreme: equal selectivities.
+	d := Dataset{N: 1e7, TupleSize: 4}
+	q, stot := 16, 0.08
+	exact := ExactSortComparisons(Uniform(q, stot/float64(q)), d)
+	if !approxEqual(exact, MinSortComparisons(stot, q, d), 1e-9) {
+		t.Fatalf("equal-split workload: exact %v != MinSC %v", exact, MinSortComparisons(stot, q, d))
+	}
+}
+
+func TestSortEntropyRange(t *testing.T) {
+	f := func(seed int64, qSeed uint8, sSeed float64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := 1 + int(qSeed)%32
+		stot := 1e-4 + math.Mod(math.Abs(sSeed), 2)
+		w := randomWorkload(rng, q, stot)
+		e := SortEntropy(w)
+		return e <= 1e-12 && e >= math.Log2(1/float64(q))-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSortEntropyExtremes(t *testing.T) {
+	single := Workload{Selectivities: []float64{0.3, 0, 0}}
+	if e := SortEntropy(single); !approxEqual(e, 0, 1e-12) && e != 0 {
+		t.Fatalf("entropy of single-query split = %v, want 0", e)
+	}
+	q := 8
+	equal := Uniform(q, 0.01)
+	if e := SortEntropy(equal); !approxEqual(e, math.Log2(1/float64(q)), 1e-9) {
+		t.Fatalf("entropy of equal split = %v, want %v", e, math.Log2(1/float64(q)))
+	}
+}
+
+func TestBoundsDegenerateCases(t *testing.T) {
+	d := Dataset{N: 1e8, TupleSize: 4}
+	if MaxSortComparisons(0, d) != 0 {
+		t.Fatal("MaxSC(0) != 0")
+	}
+	if MinSortComparisons(0, 4, d) != 0 {
+		t.Fatal("MinSC(0) != 0")
+	}
+	if MinSortComparisons(1e-9, 1024, d) < 0 {
+		t.Fatal("MinSC went negative")
+	}
+	if SortEntropy(Workload{Selectivities: []float64{0, 0}}) != 0 {
+		t.Fatal("entropy of empty result sets != 0")
+	}
+}

@@ -1,0 +1,166 @@
+package model
+
+import "math"
+
+// This file implements the cost equations of Section 2 of the paper.
+// Everything is in seconds. Equation numbers refer to the paper.
+
+// DataScanTime returns T_DS (Equation 1): the time to stream N tuples of
+// ts bytes each at scan bandwidth.
+func DataScanTime(d Dataset, h Hardware) float64 {
+	return d.N * d.TupleSize / h.ScanBandwidth
+}
+
+// PredicateEval returns PE (Equation 2): the CPU cost of evaluating one
+// query's range predicate (a lower and an upper bound, hence the factor 2)
+// over all N tuples.
+func PredicateEval(d Dataset, h Hardware) float64 {
+	return 2 * h.Pipelining * h.ClockPeriod * d.N
+}
+
+// ResultWriteTime returns T_DR (Equation 3): the time to write a full
+// column of N rowIDs of rw bytes at result bandwidth. Actual result writes
+// are s_i * T_DR.
+func ResultWriteTime(d Dataset, h Hardware, dg Design) float64 {
+	return d.N * dg.ResultWidth / h.ResultBandwidth
+}
+
+// TreeTraversal returns T_T (Equation 6): the root-to-leaf descent cost of
+// a B+-tree of fanout b over N tuples. Each level costs one random memory
+// access plus, on average, b/2 sequential key reads and b/2 pipelined
+// comparisons.
+func TreeTraversal(d Dataset, h Hardware, dg Design) float64 {
+	levels := 1 + math.Ceil(math.Log(d.N)/math.Log(dg.Fanout))
+	perLevel := h.MemAccess +
+		dg.Fanout*h.CacheAccess/2 +
+		dg.Fanout*h.Pipelining*h.ClockPeriod/2
+	return levels * perLevel
+}
+
+// LeafTraversal returns T_L (Equation 7): the cost of visiting every leaf
+// of the tree, one LLC miss per leaf (leaves live at arbitrary addresses).
+// A query touching selectivity s pays s * T_L.
+func LeafTraversal(d Dataset, h Hardware, dg Design) float64 {
+	return d.N * h.MemAccess / dg.Fanout
+}
+
+// LeafDataTraversal returns T_DI (Equation 8): the cost of streaming the
+// (value, rowID) pairs held in the leaves at leaf bandwidth. A query
+// touching selectivity s pays s * T_DI.
+func LeafDataTraversal(d Dataset, h Hardware, dg Design) float64 {
+	return d.N * (dg.AttrWidth + dg.OffsetWidth) / h.LeafBandwidth
+}
+
+// SortCost returns SC_i (Equation 9): the cost of sorting one query's
+// result of s*N rowIDs back into rowID order, one cache access per
+// comparison. Zero when the result holds fewer than two entries.
+func SortCost(s float64, d Dataset, h Hardware) float64 {
+	k := s * d.N
+	if k < 2 {
+		return 0
+	}
+	return k * math.Log2(k) * h.CacheAccess
+}
+
+// SortFactor returns SF (Equation 14): the worst-case number of
+// comparisons for sorting all q result sets, S_tot*N*log2(S_tot*N),
+// derived from the entropy bound of Appendix A. When the design sets
+// SIMDSortWidth = W > 1 it returns the Appendix D variant (Equation 26):
+// S_tot*N/W * log2(S_tot*N/W) + S_tot*N*log2(W).
+func SortFactor(stot float64, d Dataset, dg Design) float64 {
+	k := stot * d.N
+	if k < 2 {
+		return 0
+	}
+	if w := dg.SIMDSortWidth; w > 1 {
+		inner := k / w
+		var t float64
+		if inner > 1 {
+			t = inner * math.Log2(inner)
+		}
+		return t + k*math.Log2(w)
+	}
+	return k * math.Log2(k)
+}
+
+// SingleQueryScan returns Equation 4: the cost of one query answered by a
+// sequential scan — data movement overlapped with predicate evaluation,
+// plus the result write.
+func SingleQueryScan(s float64, d Dataset, h Hardware, dg Design) float64 {
+	return math.Max(DataScanTime(d, h), PredicateEval(d, h)) +
+		dg.alphaOrOne()*s*ResultWriteTime(d, h, dg)
+}
+
+// SharedScan returns Equation 5 (or its fitted form, Equation 22, when the
+// design carries alpha): the cost of q queries sharing one scan. Data is
+// read once; predicate evaluation multiplies by q; each query writes its
+// own result, so writes scale with S_tot.
+func SharedScan(p Params) float64 {
+	q := float64(p.Workload.Q())
+	stot := p.Workload.TotalSelectivity()
+	return math.Max(DataScanTime(p.Dataset, p.Hardware), q*PredicateEval(p.Dataset, p.Hardware)) +
+		p.Design.alphaOrOne()*stot*ResultWriteTime(p.Dataset, p.Hardware, p.Design)
+}
+
+// SingleIndexProbe returns Equation 10: one query through the secondary
+// index — tree descent, leaf and leaf-data traversal proportional to s,
+// result write, and the per-query sort back into rowID order.
+func SingleIndexProbe(s float64, d Dataset, h Hardware, dg Design) float64 {
+	return TreeTraversal(d, h, dg) +
+		s*(LeafTraversal(d, h, dg)+LeafDataTraversal(d, h, dg)) +
+		s*ResultWriteTime(d, h, dg) +
+		dg.sortCorrection(d.N)*SortCost(s, d, h)
+}
+
+// ConcIndex returns Equation 13 (or its fitted form, Equation 23): the
+// worst-case cost of q queries sharing a concurrent secondary-index scan.
+// The tree is descended q times; leaves, leaf data and result writes scale
+// with S_tot; sorting uses the worst-case factor SF of Equation 14.
+func ConcIndex(p Params) float64 {
+	q := float64(p.Workload.Q())
+	stot := p.Workload.TotalSelectivity()
+	d, h, dg := p.Dataset, p.Hardware, p.Design
+	return q*TreeTraversal(d, h, dg) +
+		stot*(LeafTraversal(d, h, dg)+LeafDataTraversal(d, h, dg)) +
+		stot*ResultWriteTime(d, h, dg) +
+		dg.sortCorrection(d.N)*SortFactor(stot, d, dg)*h.CacheAccess
+}
+
+// ConcIndexOptimistic is the best-case counterpart of ConcIndex. The
+// paper notes its concurrent analysis is worst case: "concurrent accesses
+// often lead to natural sharing in the cache as different queries
+// traverse overlapping parts of the tree", and Appendix A's MinSC bounds
+// the sorting cost from below. Here the first descent pays full memory
+// misses while the remaining q-1 ride the cache, and sorting uses MinSC.
+// Together with ConcIndex this brackets where the measured cost can land.
+func ConcIndexOptimistic(p Params) float64 {
+	q := float64(p.Workload.Q())
+	stot := p.Workload.TotalSelectivity()
+	d, h, dg := p.Dataset, p.Hardware, p.Design
+	levels := 1 + math.Ceil(math.Log(d.N)/math.Log(dg.Fanout))
+	// A fully cached descent: node access and key reads both at CA.
+	cached := levels * (h.CacheAccess +
+		dg.Fanout*h.CacheAccess/2 +
+		dg.Fanout*h.Pipelining*h.ClockPeriod/2)
+	tt := TreeTraversal(d, h, dg) + (q-1)*cached
+	return tt +
+		stot*(LeafTraversal(d, h, dg)+LeafDataTraversal(d, h, dg)) +
+		stot*ResultWriteTime(d, h, dg) +
+		dg.sortCorrection(d.N)*MinSortComparisons(stot, p.Workload.Q(), d)*h.CacheAccess
+}
+
+// ConcIndexExact is Equation 11: like ConcIndex but with the exact
+// per-query sorting cost sum instead of the worst-case entropy bound.
+func ConcIndexExact(p Params) float64 {
+	q := float64(p.Workload.Q())
+	stot := p.Workload.TotalSelectivity()
+	d, h, dg := p.Dataset, p.Hardware, p.Design
+	var sort float64
+	for _, s := range p.Workload.Selectivities {
+		sort += SortCost(s, d, h)
+	}
+	return q*TreeTraversal(d, h, dg) +
+		stot*(LeafTraversal(d, h, dg)+LeafDataTraversal(d, h, dg)) +
+		stot*ResultWriteTime(d, h, dg) +
+		dg.sortCorrection(d.N)*sort
+}

@@ -1,0 +1,263 @@
+package model
+
+import (
+	"math"
+	"testing"
+)
+
+func approxEqual(a, b, rel float64) bool {
+	if a == b {
+		return true
+	}
+	d := math.Abs(a - b)
+	m := math.Max(math.Abs(a), math.Abs(b))
+	return d <= rel*m
+}
+
+func testParams(q int, s float64) Params {
+	return Params{
+		Workload: Uniform(q, s),
+		Dataset:  Dataset{N: 1e8, TupleSize: 4},
+		Hardware: HW1(),
+		Design:   DefaultDesign(),
+	}
+}
+
+func TestDataScanTime(t *testing.T) {
+	d := Dataset{N: 1e8, TupleSize: 4}
+	got := DataScanTime(d, HW1())
+	want := 1e8 * 4 / 40e9 // 10ms on HW1
+	if !approxEqual(got, want, 1e-12) {
+		t.Fatalf("DataScanTime = %v, want %v", got, want)
+	}
+	// Doubling the tuple size doubles the scan time.
+	d.TupleSize = 8
+	if got2 := DataScanTime(d, HW1()); !approxEqual(got2, 2*want, 1e-12) {
+		t.Fatalf("DataScanTime(ts=8) = %v, want %v", got2, 2*want)
+	}
+}
+
+func TestPredicateEvalScalesWithN(t *testing.T) {
+	h := HW1()
+	a := PredicateEval(Dataset{N: 1e6, TupleSize: 4}, h)
+	b := PredicateEval(Dataset{N: 2e6, TupleSize: 4}, h)
+	if !approxEqual(b, 2*a, 1e-12) {
+		t.Fatalf("PE not linear in N: %v vs %v", a, b)
+	}
+	want := 2 * h.Pipelining * h.ClockPeriod * 1e6
+	if !approxEqual(a, want, 1e-12) {
+		t.Fatalf("PE = %v, want %v", a, want)
+	}
+}
+
+func TestResultWriteTime(t *testing.T) {
+	d := Dataset{N: 1e8, TupleSize: 4}
+	got := ResultWriteTime(d, HW1(), DefaultDesign())
+	want := 1e8 * 4 / 20e9 // 20ms on HW1
+	if !approxEqual(got, want, 1e-12) {
+		t.Fatalf("ResultWriteTime = %v, want %v", got, want)
+	}
+}
+
+func TestTreeTraversalHeight(t *testing.T) {
+	h := HW1()
+	dg := DefaultDesign()
+	// N = b^3 exactly: height term is 1 + ceil(log_b N) = 4.
+	b := dg.Fanout
+	d := Dataset{N: b * b * b, TupleSize: 4}
+	perLevel := h.MemAccess + b*h.CacheAccess/2 + b*h.Pipelining*h.ClockPeriod/2
+	got := TreeTraversal(d, h, dg)
+	if !approxEqual(got, 4*perLevel, 1e-9) {
+		t.Fatalf("TreeTraversal = %v, want %v", got, 4*perLevel)
+	}
+	// Tree descent must grow logarithmically: going from N to N*b adds one level.
+	d2 := Dataset{N: d.N * b, TupleSize: 4}
+	if got2 := TreeTraversal(d2, h, dg); !approxEqual(got2-got, perLevel, 1e-6) {
+		t.Fatalf("adding a level cost %v, want %v", got2-got, perLevel)
+	}
+}
+
+func TestLeafTraversal(t *testing.T) {
+	d := Dataset{N: 2.1e7, TupleSize: 4}
+	h := HW1()
+	dg := DefaultDesign()
+	// N/b leaves, one LLC miss each.
+	want := 2.1e7 / 21 * 180e-9
+	if got := LeafTraversal(d, h, dg); !approxEqual(got, want, 1e-12) {
+		t.Fatalf("LeafTraversal = %v, want %v", got, want)
+	}
+}
+
+func TestLeafDataTraversal(t *testing.T) {
+	d := Dataset{N: 1e8, TupleSize: 4}
+	want := 1e8 * 8 / 20e9 // (aw+ow)=8 bytes per entry at BWI
+	if got := LeafDataTraversal(d, HW1(), DefaultDesign()); !approxEqual(got, want, 1e-12) {
+		t.Fatalf("LeafDataTraversal = %v, want %v", got, want)
+	}
+}
+
+func TestSortCostSmallResults(t *testing.T) {
+	d := Dataset{N: 1e8, TupleSize: 4}
+	if got := SortCost(0, d, HW1()); got != 0 {
+		t.Fatalf("SortCost(0) = %v, want 0", got)
+	}
+	// One qualifying tuple: nothing to sort.
+	if got := SortCost(1/1e8, d, HW1()); got != 0 {
+		t.Fatalf("SortCost(1 tuple) = %v, want 0", got)
+	}
+	k := 1e6
+	want := k * math.Log2(k) * 2e-9
+	if got := SortCost(k/1e8, d, HW1()); !approxEqual(got, want, 1e-9) {
+		t.Fatalf("SortCost = %v, want %v", got, want)
+	}
+}
+
+func TestSortFactorSIMDReducesCost(t *testing.T) {
+	d := Dataset{N: 1e8, TupleSize: 4}
+	scalar := DefaultDesign()
+	simd := DefaultDesign()
+	simd.SIMDSortWidth = 4
+	for _, stot := range []float64{1e-4, 1e-2, 0.5, 2} {
+		a := SortFactor(stot, d, scalar)
+		b := SortFactor(stot, d, simd)
+		if b >= a {
+			t.Fatalf("SIMD sort factor %v not below scalar %v at stot=%v", b, a, stot)
+		}
+		if b <= 0 {
+			t.Fatalf("SIMD sort factor %v must stay positive at stot=%v", b, stot)
+		}
+	}
+}
+
+func TestSharedScanReducesToSingleQuery(t *testing.T) {
+	p := testParams(1, 0.01)
+	got := SharedScan(p)
+	want := SingleQueryScan(0.01, p.Dataset, p.Hardware, p.Design)
+	if !approxEqual(got, want, 1e-12) {
+		t.Fatalf("SharedScan(q=1) = %v, want SingleQueryScan = %v", got, want)
+	}
+}
+
+func TestSharedScanSharesDataMovement(t *testing.T) {
+	// While memory bound, q queries sharing one scan must cost far less
+	// than q independent scans: data moves once.
+	q := 8
+	s := 0.001
+	p := testParams(q, s)
+	shared := SharedScan(p)
+	independent := float64(q) * SingleQueryScan(s, p.Dataset, p.Hardware, p.Design)
+	if shared >= independent {
+		t.Fatalf("shared scan %v not cheaper than %d independent scans %v", shared, q, independent)
+	}
+	if independent/shared < 4 {
+		t.Fatalf("sharing 8 low-selectivity queries should save ~8x data movement, got %.2fx", independent/shared)
+	}
+}
+
+func TestSharedScanBecomesCPUBound(t *testing.T) {
+	// Equation 5: once q*PE > T_DS the scan cost grows with concurrency.
+	p1 := testParams(1, 0)
+	d, h := p1.Dataset, p1.Hardware
+	qStar := DataScanTime(d, h) / PredicateEval(d, h)
+	q := int(qStar*4) + 2
+	pHigh := testParams(q, 0)
+	if SharedScan(pHigh) <= SharedScan(p1)*1.5 {
+		t.Fatalf("scan at q=%d (%.4fs) should be CPU bound vs q=1 (%.4fs)",
+			q, SharedScan(pHigh), SharedScan(p1))
+	}
+}
+
+func TestConcIndexReducesToSingleProbe(t *testing.T) {
+	// With one query, the worst-case sorting bound equals the exact
+	// per-query cost, so ConcIndex == SingleIndexProbe.
+	p := testParams(1, 0.003)
+	got := ConcIndex(p)
+	want := SingleIndexProbe(0.003, p.Dataset, p.Hardware, p.Design)
+	if !approxEqual(got, want, 1e-9) {
+		t.Fatalf("ConcIndex(q=1) = %v, want SingleIndexProbe = %v", got, want)
+	}
+}
+
+func TestConcIndexExactNeverAboveWorstCase(t *testing.T) {
+	d := Dataset{N: 1e8, TupleSize: 4}
+	h := HW1()
+	dg := DefaultDesign()
+	workloads := []Workload{
+		Uniform(4, 0.002),
+		{Selectivities: []float64{0.01, 0, 0, 0}},
+		{Selectivities: []float64{0.004, 0.001, 0.002, 0.003}},
+		{Selectivities: []float64{0.5, 0.25, 0.125}},
+	}
+	for _, w := range workloads {
+		p := Params{Workload: w, Dataset: d, Hardware: h, Design: dg}
+		exact, worst := ConcIndexExact(p), ConcIndex(p)
+		if exact > worst*(1+1e-9) {
+			t.Fatalf("exact cost %v exceeds worst-case bound %v for %v", exact, worst, w.Selectivities)
+		}
+	}
+}
+
+func TestFittedDesignChangesCosts(t *testing.T) {
+	p := testParams(16, 0.01)
+	fitted := p
+	fitted.Design = FittedDesign()
+	// Alpha = 8 inflates scan result writing.
+	if SharedScan(fitted) <= SharedScan(p) {
+		t.Fatalf("fitted scan %v should cost more than unfitted %v (alpha=8)",
+			SharedScan(fitted), SharedScan(p))
+	}
+	// fc(N) < 1 at N=1e8 discounts the worst-case sort term.
+	if ConcIndex(fitted) >= ConcIndex(p) {
+		t.Fatalf("fitted index %v should cost less than unfitted %v (fc<1)",
+			ConcIndex(fitted), ConcIndex(p))
+	}
+}
+
+func TestCostsArePositiveAndFinite(t *testing.T) {
+	for _, q := range []int{1, 7, 100, 512} {
+		for _, s := range []float64{0, 1e-7, 0.005, 0.3, 1} {
+			p := testParams(q, s)
+			for name, v := range map[string]float64{
+				"SharedScan": SharedScan(p),
+				"ConcIndex":  ConcIndex(p),
+				"Exact":      ConcIndexExact(p),
+			} {
+				if v <= 0 || math.IsInf(v, 0) || math.IsNaN(v) {
+					t.Fatalf("%s(q=%d, s=%v) = %v", name, q, s, v)
+				}
+			}
+		}
+	}
+}
+
+func TestConcIndexOptimisticBracketsExact(t *testing.T) {
+	// Optimistic <= exact <= worst-case, for equal-split batches (where
+	// the exact sort cost equals MinSC, the other terms still order the
+	// three because tree traversals dominate at high q).
+	for _, q := range []int{1, 8, 64, 512} {
+		for _, s := range []float64{0.0001, 0.001, 0.01} {
+			p := testParams(q, s)
+			opt := ConcIndexOptimistic(p)
+			exact := ConcIndexExact(p)
+			worst := ConcIndex(p)
+			if opt > exact*(1+1e-9) {
+				t.Fatalf("q=%d s=%v: optimistic %v above exact %v", q, s, opt, exact)
+			}
+			if exact > worst*(1+1e-9) {
+				t.Fatalf("q=%d s=%v: exact %v above worst %v", q, s, exact, worst)
+			}
+		}
+	}
+}
+
+func TestConcIndexOptimisticSharesTraversals(t *testing.T) {
+	// At high concurrency and tiny selectivity the optimistic cost grows
+	// far slower with q than the worst case: descents ride the cache.
+	p1 := testParams(1, 1e-6)
+	p256 := testParams(256, 1e-6)
+	worstGrowth := ConcIndex(p256) / ConcIndex(p1)
+	optGrowth := ConcIndexOptimistic(p256) / ConcIndexOptimistic(p1)
+	if optGrowth >= worstGrowth {
+		t.Fatalf("optimistic growth %v should undercut worst-case growth %v", optGrowth, worstGrowth)
+	}
+}

@@ -1,0 +1,72 @@
+package model
+
+import "math"
+
+// This file finds the break-even ("crossover") selectivity at which
+// APS(q, S_tot) = 1: below it the secondary index wins, above it the
+// shared scan wins. The paper's Figures 1 and 13-17 and Table 2 are all
+// crossover curves of this kind.
+
+// Crossover returns the per-query selectivity s* at which a batch of q
+// equal-selectivity queries switches from index to scan, found by
+// bisection on APS = 1. The second result is false when no crossover
+// exists in (0, 1]: either the scan always wins (the returned selectivity
+// is 0) or the index always wins (the returned selectivity is 1).
+//
+// APS(q, S_tot) is monotonically increasing in S_tot for fixed q — every
+// S_tot term in the numerator (leaves, leaf data, sorting) grows at least
+// linearly while the denominator grows linearly with a large constant
+// offset — so bisection is exact here; the tests verify monotonicity.
+func Crossover(q int, d Dataset, h Hardware, dg Design) (sel float64, ok bool) {
+	f := func(s float64) float64 {
+		p := Params{Workload: Uniform(q, s), Dataset: d, Hardware: h, Design: dg}
+		return APS(p) - 1
+	}
+	lo, hi := 1e-12, 1.0
+	flo, fhi := f(lo), f(hi)
+	if flo >= 0 {
+		return 0, false // scan wins even at vanishing selectivity
+	}
+	if fhi <= 0 {
+		return 1, false // index wins even at full selectivity
+	}
+	for i := 0; i < 200; i++ {
+		mid := math.Sqrt(lo * hi) // geometric bisection: s spans many decades
+		if f(mid) < 0 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+		if hi/lo < 1+1e-12 {
+			break
+		}
+	}
+	return math.Sqrt(lo * hi), true
+}
+
+// CrossoverTotal is Crossover expressed as total batch selectivity
+// S_tot = q * s*.
+func CrossoverTotal(q int, d Dataset, h Hardware, dg Design) (float64, bool) {
+	s, ok := Crossover(q, d, h, dg)
+	return float64(q) * s, ok
+}
+
+// CrossoverCurve returns the crossover selectivity for each concurrency
+// level in qs, the shape plotted in Figures 1 and 13.
+func CrossoverCurve(qs []int, d Dataset, h Hardware, dg Design) []float64 {
+	out := make([]float64, len(qs))
+	for i, q := range qs {
+		s, _ := Crossover(q, d, h, dg)
+		out[i] = s
+	}
+	return out
+}
+
+// ScanAlwaysWins reports whether, at concurrency q, the shared scan is
+// preferred at every selectivity in (0,1] — the "far right" regime of
+// Figure 1 where concurrency is so high that the q tree traversals and
+// predicate evaluation dominate any index advantage.
+func ScanAlwaysWins(q int, d Dataset, h Hardware, dg Design) bool {
+	s, ok := Crossover(q, d, h, dg)
+	return !ok && s == 0
+}

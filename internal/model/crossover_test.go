@@ -1,0 +1,204 @@
+package model
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCrossoverExistsOnHW1(t *testing.T) {
+	d := Dataset{N: 1e8, TupleSize: 4}
+	s, ok := Crossover(1, d, HW1(), FittedDesign())
+	if !ok {
+		t.Fatalf("no crossover found at q=1 (s=%v)", s)
+	}
+	// Figure 12 measures ~0.59% on the primary server; the fitted model
+	// must land in the same low-single-percent regime.
+	if s < 0.0005 || s > 0.05 {
+		t.Fatalf("q=1 crossover %.4f%% outside the plausible [0.05%%, 5%%] band", s*100)
+	}
+}
+
+func TestCrossoverDecreasesWithConcurrency(t *testing.T) {
+	// Figure 13 / Observation 4.1: the crossover selectivity falls as
+	// concurrency rises, then plateaus — never rises.
+	d := Dataset{N: 1e8, TupleSize: 4}
+	for _, dg := range []Design{DefaultDesign(), FittedDesign()} {
+		prev := math.Inf(1)
+		for _, q := range []int{1, 2, 4, 8, 16, 32, 64, 128, 256, 512} {
+			s, ok := Crossover(q, d, HW1(), dg)
+			if !ok {
+				t.Fatalf("no crossover at q=%d", q)
+			}
+			if s > prev*(1+1e-9) {
+				t.Fatalf("crossover rose with concurrency at q=%d: %v > %v", q, s, prev)
+			}
+			prev = s
+		}
+	}
+}
+
+func TestCrossoverPlateaus(t *testing.T) {
+	// Once the scan is CPU bound, extra concurrency hurts scan and index
+	// alike and the crossover flattens (the plateau in Figure 13).
+	d := Dataset{N: 1e8, TupleSize: 4}
+	s256, _ := Crossover(256, d, HW1(), FittedDesign())
+	s512, _ := Crossover(512, d, HW1(), FittedDesign())
+	if s256 <= 0 || s512 <= 0 {
+		t.Fatal("crossover vanished at high q; both paths should stay useful")
+	}
+	if s256/s512 > 1.5 {
+		t.Fatalf("crossover still falling steeply at q=256→512: %v → %v", s256, s512)
+	}
+}
+
+func TestColumnGroupsRaiseCrossover(t *testing.T) {
+	// Figure 15 / Observation 4.3: wider tuples make the index useful over
+	// a wider selectivity range, at every concurrency level.
+	for _, q := range []int{1, 8, 64} {
+		narrow, _ := Crossover(q, Dataset{N: 1e8, TupleSize: 4}, HW1(), DefaultDesign())
+		wide, _ := Crossover(q, Dataset{N: 1e8, TupleSize: 40}, HW1(), DefaultDesign())
+		if wide <= narrow {
+			t.Fatalf("q=%d: column-group crossover %v not above single-column %v", q, wide, narrow)
+		}
+	}
+}
+
+func TestCompressionLowersCrossover(t *testing.T) {
+	// Figure 17 / Observation 4.5: 2-byte compressed scans shift the
+	// balance slightly towards scans; both paths remain useful.
+	raw, _ := Crossover(8, Dataset{N: 1e8, TupleSize: 4}, HW1(), DefaultDesign())
+	comp, okc := Crossover(8, Dataset{N: 1e8, TupleSize: 2}, HW1(), DefaultDesign())
+	if !okc {
+		t.Fatal("compression removed the crossover entirely")
+	}
+	if comp >= raw {
+		t.Fatalf("compressed crossover %v not below uncompressed %v", comp, raw)
+	}
+	if comp < raw/10 {
+		t.Fatalf("compression shifted the crossover too much: %v vs %v", comp, raw)
+	}
+}
+
+func TestDataSizeSweepRisesThenFalls(t *testing.T) {
+	// Figure 14 / Observation 4.2: the crossover vs data size reaches a
+	// maximum and then gradually drops (sorting overhead grows as
+	// N log N while scanning grows as N).
+	dg := FittedDesign()
+	var xs []float64
+	for _, n := range []float64{1e5, 1e6, 1e7, 1e8, 1e9, 1e11, 1e13, 1e15} {
+		s, _ := Crossover(8, Dataset{N: n, TupleSize: 4}, HW1(), dg)
+		xs = append(xs, s)
+	}
+	peak := 0
+	for i, v := range xs {
+		if v > xs[peak] {
+			peak = i
+		}
+	}
+	if peak == 0 || peak == len(xs)-1 {
+		t.Fatalf("no interior maximum in data-size sweep: %v", xs)
+	}
+	if xs[len(xs)-1] >= xs[peak]/2 {
+		t.Fatalf("crossover should drop well below its peak at huge N: %v", xs)
+	}
+}
+
+func TestSmallDataScanAlwaysWins(t *testing.T) {
+	// Figures 9/10: below ~1e5 tuples at q=8+, the scan wins at every
+	// selectivity — q tree traversals already cost more than streaming
+	// the whole (tiny) column.
+	if !ScanAlwaysWins(64, Dataset{N: 1e4, TupleSize: 4}, HW1(), FittedDesign()) {
+		t.Fatal("scan should always win on 1e4 tuples at q=64")
+	}
+	if ScanAlwaysWins(1, Dataset{N: 1e9, TupleSize: 4}, HW1(), FittedDesign()) {
+		t.Fatal("index must stay useful on 1e9 tuples at q=1")
+	}
+}
+
+func TestCrossoverTotalScalesWithQ(t *testing.T) {
+	d := Dataset{N: 1e8, TupleSize: 4}
+	s, _ := Crossover(16, d, HW1(), DefaultDesign())
+	tot, _ := CrossoverTotal(16, d, HW1(), DefaultDesign())
+	if !approxEqual(tot, 16*s, 1e-12) {
+		t.Fatalf("CrossoverTotal = %v, want %v", tot, 16*s)
+	}
+}
+
+func TestCrossoverCurveShape(t *testing.T) {
+	d := Dataset{N: 1e8, TupleSize: 4}
+	qs := []int{1, 4, 16, 64, 256}
+	curve := CrossoverCurve(qs, d, HW1(), FittedDesign())
+	if len(curve) != len(qs) {
+		t.Fatalf("curve length %d, want %d", len(curve), len(qs))
+	}
+	if curve[0] <= curve[len(curve)-1] {
+		t.Fatalf("curve should slope down: %v", curve)
+	}
+}
+
+func TestCrossoverIsBreakEven(t *testing.T) {
+	// At the solved crossover the two paths must cost the same to within
+	// the bisection tolerance; slightly below the index wins, slightly
+	// above the scan wins.
+	d := Dataset{N: 1e8, TupleSize: 4}
+	for _, q := range []int{1, 32, 256} {
+		s, ok := Crossover(q, d, HW1(), FittedDesign())
+		if !ok {
+			t.Fatalf("no crossover at q=%d", q)
+		}
+		at := APS(Params{Workload: Uniform(q, s), Dataset: d, Hardware: HW1(), Design: FittedDesign()})
+		if !approxEqual(at, 1, 1e-6) {
+			t.Fatalf("APS at crossover = %v, want 1", at)
+		}
+		below := APS(Params{Workload: Uniform(q, s/2), Dataset: d, Hardware: HW1(), Design: FittedDesign()})
+		above := APS(Params{Workload: Uniform(q, math.Min(1, s*2)), Dataset: d, Hardware: HW1(), Design: FittedDesign()})
+		if below >= 1 || above <= 1 {
+			t.Fatalf("q=%d: APS(s/2)=%v APS(2s)=%v around crossover %v", q, below, above, s)
+		}
+	}
+}
+
+func TestHistoricalEpochsMatchTable2(t *testing.T) {
+	// Table 2: the model-computed crossover per epoch must fall within a
+	// small factor of the paper's value and preserve the historical trend
+	// (disk-era crossovers falling with bandwidth; memory systems shifting
+	// the balance back towards the index relative to the 2010 disk
+	// column-store).
+	epochs := HistoricalEpochs()
+	got := make(map[string]float64, len(epochs))
+	for _, e := range epochs {
+		s, ok := Crossover(1, e.Dataset, e.Hardware, e.Design)
+		if !ok {
+			t.Fatalf("epoch %s: no crossover", e.Year)
+		}
+		got[e.Year] = s
+		ratio := s / e.PaperCrossover
+		if ratio < 0.15 || ratio > 6.5 {
+			t.Fatalf("epoch %s: model crossover %.4f%% vs paper %.2f%% (off by %.1fx)",
+				e.Year, s*100, e.PaperCrossover*100, math.Max(ratio, 1/ratio))
+		}
+	}
+	if !(got["1980"] > got["1990"] && got["1990"] > got["2000"] && got["2000"] > got["2010"]) {
+		t.Fatalf("disk-era crossover not monotonically falling: %v", got)
+	}
+	if got["2016"] <= got["2010"] {
+		t.Fatalf("main-memory 2016 (%v) should favor the index more than the 2010 disk column-store (%v)",
+			got["2016"], got["2010"])
+	}
+}
+
+func TestSIMDSortFavorsIndex(t *testing.T) {
+	// Figure 21 / Appendix D: W=4 SIMD-aware sorting moves the crossover
+	// to higher selectivity.
+	scalar := DefaultDesign()
+	simd := DefaultDesign()
+	simd.SIMDSortWidth = 4
+	d := Dataset{N: 1e8, TupleSize: 4}
+	for _, q := range []int{1, 16, 128} {
+		a, _ := Crossover(q, d, HW1(), scalar)
+		b, _ := Crossover(q, d, HW1(), simd)
+		if b <= a {
+			t.Fatalf("q=%d: SIMD-sort crossover %v not above scalar %v", q, b, a)
+		}
+	}
+}

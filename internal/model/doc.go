@@ -1,0 +1,22 @@
+// Package model implements the analytical access-path cost model from
+// "Access Path Selection in Main-Memory Optimized Data Systems: Should I
+// Scan or Should I Probe?" (Kester, Athanassoulis, Idreos; SIGMOD 2017).
+//
+// The model estimates, in seconds, the cost of answering a batch of q
+// concurrent select queries over one column (or column-group) using either
+//
+//   - a shared sequential scan (Equation 5 in the paper), or
+//   - a concurrent secondary B+-tree index scan (Equation 13),
+//
+// and defines the access-path-selection ratio APS = ConcIndex/SharedScan
+// (Equations 15/16/21). APS >= 1 means the scan should be used; APS < 1
+// means the secondary index wins. Unlike the traditional fixed selectivity
+// threshold, the break-even point depends on query concurrency q and the
+// total selectivity S_tot of the batch.
+//
+// All equations are implemented exactly as printed, including the fitted
+// variant with the result-writing factor alpha and the sublinear sorting
+// correction fc(N) (Appendix C, Equation 25), the entropy bounds on the
+// sorting cost (Appendix A), and the SIMD-aware sorting cost (Appendix D,
+// Equation 26).
+package model

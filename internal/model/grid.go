@@ -1,0 +1,99 @@
+package model
+
+import "math"
+
+// This file generates the APS heatmap grids behind Figures 4-10 and 21.
+// Each grid cell holds the APS ratio at one (x, y) point; the figures'
+// contour lines are level sets of that surface.
+
+// Grid is a 2-D sweep of the APS ratio.
+type Grid struct {
+	// XLabel / YLabel name the swept parameters ("q", "selectivity", "N").
+	XLabel, YLabel string
+	// Xs and Ys hold the axis sample points.
+	Xs, Ys []float64
+	// Ratio[i][j] is APS at (Xs[j], Ys[i]).
+	Ratio [][]float64
+}
+
+// logspace returns n points geometrically spaced over [lo, hi].
+func logspace(lo, hi float64, n int) []float64 {
+	if n == 1 {
+		return []float64{lo}
+	}
+	out := make([]float64, n)
+	step := math.Pow(hi/lo, 1/float64(n-1))
+	v := lo
+	for i := range out {
+		out[i] = v
+		v *= step
+	}
+	out[n-1] = hi
+	return out
+}
+
+// ConcurrencyGrid sweeps APS over query concurrency (x) and per-query
+// selectivity (y) for a fixed dataset: the layout of Figures 4-7 and 21.
+func ConcurrencyGrid(d Dataset, h Hardware, dg Design, maxQ int, selLo, selHi float64, nx, ny int) Grid {
+	g := Grid{
+		XLabel: "q",
+		YLabel: "selectivity",
+		Xs:     logspace(1, float64(maxQ), nx),
+		Ys:     logspace(selLo, selHi, ny),
+	}
+	g.Ratio = make([][]float64, ny)
+	for i, s := range g.Ys {
+		row := make([]float64, nx)
+		for j, qf := range g.Xs {
+			q := int(math.Round(qf))
+			if q < 1 {
+				q = 1
+			}
+			row[j] = APS(Params{Workload: Uniform(q, s), Dataset: d, Hardware: h, Design: dg})
+		}
+		g.Ratio[i] = row
+	}
+	return g
+}
+
+// DataSizeGrid sweeps APS over relation size (x) and per-query selectivity
+// (y) for a fixed concurrency level: the layout of Figures 8-10.
+func DataSizeGrid(q int, ts float64, h Hardware, dg Design, nLo, nHi, selLo, selHi float64, nx, ny int) Grid {
+	g := Grid{
+		XLabel: "N",
+		YLabel: "selectivity",
+		Xs:     logspace(nLo, nHi, nx),
+		Ys:     logspace(selLo, selHi, ny),
+	}
+	g.Ratio = make([][]float64, ny)
+	for i, s := range g.Ys {
+		row := make([]float64, nx)
+		for j, n := range g.Xs {
+			d := Dataset{N: n, TupleSize: ts}
+			row[j] = APS(Params{Workload: Uniform(q, s), Dataset: d, Hardware: h, Design: dg})
+		}
+		g.Ratio[i] = row
+	}
+	return g
+}
+
+// ContourCrossings returns, for each x column of the grid, the y value at
+// which the ratio first crosses the given level (linear interpolation in
+// log-y), or NaN if it never does. Tracing level 1.0 recovers the
+// break-even line drawn solid in the paper's figures.
+func (g Grid) ContourCrossings(level float64) []float64 {
+	out := make([]float64, len(g.Xs))
+	for j := range g.Xs {
+		out[j] = math.NaN()
+		for i := 1; i < len(g.Ys); i++ {
+			a, b := g.Ratio[i-1][j], g.Ratio[i][j]
+			if (a-level)*(b-level) <= 0 && a != b {
+				t := (level - a) / (b - a)
+				ly := math.Log(g.Ys[i-1]) + t*(math.Log(g.Ys[i])-math.Log(g.Ys[i-1]))
+				out[j] = math.Exp(ly)
+				break
+			}
+		}
+	}
+	return out
+}

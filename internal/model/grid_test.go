@@ -1,0 +1,91 @@
+package model
+
+import (
+	"math"
+	"testing"
+)
+
+func TestConcurrencyGridShape(t *testing.T) {
+	d := Dataset{N: 1e8, TupleSize: 4}
+	g := ConcurrencyGrid(d, HW1(), DefaultDesign(), 512, 1e-5, 0.1, 24, 30)
+	if g.XLabel != "q" || g.YLabel != "selectivity" {
+		t.Fatalf("unexpected labels %q %q", g.XLabel, g.YLabel)
+	}
+	if len(g.Xs) != 24 || len(g.Ys) != 30 || len(g.Ratio) != 30 {
+		t.Fatalf("grid dims wrong: %d x %d (%d rows)", len(g.Xs), len(g.Ys), len(g.Ratio))
+	}
+	if g.Xs[0] != 1 || g.Xs[len(g.Xs)-1] != 512 {
+		t.Fatalf("x axis should span [1,512], got [%v,%v]", g.Xs[0], g.Xs[len(g.Xs)-1])
+	}
+	// Every cell finite and positive; each column monotone in selectivity.
+	for j := range g.Xs {
+		prev := -1.0
+		for i := range g.Ys {
+			v := g.Ratio[i][j]
+			if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("ratio[%d][%d] = %v", i, j, v)
+			}
+			if v < prev {
+				t.Fatalf("column %d not monotone in selectivity", j)
+			}
+			prev = v
+		}
+	}
+}
+
+func TestDataSizeGridShape(t *testing.T) {
+	g := DataSizeGrid(8, 4, HW1(), FittedDesign(), 1e4, 1e15, 1e-5, 0.1, 20, 20)
+	if g.XLabel != "N" {
+		t.Fatalf("unexpected x label %q", g.XLabel)
+	}
+	if len(g.Xs) != 20 || len(g.Ratio) != 20 {
+		t.Fatalf("grid dims wrong")
+	}
+}
+
+func TestContourMatchesCrossoverSolver(t *testing.T) {
+	// The level-1 contour of the concurrency grid is the Figure 4 solid
+	// line; it must agree with the bisection solver at each grid column.
+	d := Dataset{N: 1e8, TupleSize: 4}
+	dg := DefaultDesign()
+	g := ConcurrencyGrid(d, HW1(), dg, 256, 1e-7, 0.5, 9, 400)
+	line := g.ContourCrossings(1)
+	for j, qf := range g.Xs {
+		q := int(math.Round(qf))
+		want, ok := Crossover(q, d, HW1(), dg)
+		if !ok {
+			continue
+		}
+		if math.IsNaN(line[j]) {
+			t.Fatalf("contour missing at q=%d (solver says %v)", q, want)
+		}
+		if !approxEqual(line[j], want, 0.05) {
+			t.Fatalf("contour at q=%d = %v, solver says %v", q, line[j], want)
+		}
+	}
+}
+
+func TestContourAbsentWhenNoCrossing(t *testing.T) {
+	// A grid confined to selectivities far above the crossover has no
+	// level-1 crossing anywhere.
+	d := Dataset{N: 1e8, TupleSize: 4}
+	g := ConcurrencyGrid(d, HW1(), DefaultDesign(), 16, 0.3, 1, 4, 10)
+	for _, v := range g.ContourCrossings(1) {
+		if !math.IsNaN(v) {
+			t.Fatalf("unexpected contour crossing %v in scan-only region", v)
+		}
+	}
+}
+
+func TestLogspace(t *testing.T) {
+	xs := logspace(1, 1000, 4)
+	want := []float64{1, 10, 100, 1000}
+	for i := range xs {
+		if !approxEqual(xs[i], want[i], 1e-9) {
+			t.Fatalf("logspace = %v, want %v", xs, want)
+		}
+	}
+	if got := logspace(5, 50, 1); len(got) != 1 || got[0] != 5 {
+		t.Fatalf("logspace n=1 = %v", got)
+	}
+}

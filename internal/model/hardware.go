@@ -1,0 +1,141 @@
+package model
+
+// Hardware profiles used throughout the paper's analysis and evaluation.
+//
+// The pipelining factor fp absorbs SIMD lanes, superscalar issue and
+// multi-core overlap in predicate evaluation; the paper fits it per
+// machine. The default below makes the q*PE term overtake the data
+// movement term at a few dozen concurrent queries on HW1, matching the
+// regime shown in Figures 4 and 13.
+
+const (
+	gb = 1e9  // bytes per GB/s step
+	mb = 1e6  // bytes per MB/s step
+	ns = 1e-9 // seconds per nanosecond
+	ms = 1e-3 // seconds per millisecond
+)
+
+// defaultPipelining is fp for the in-memory profiles: a 2 GHz core
+// evaluating ~8 SIMD lanes with ~2 comparisons per cycle across the
+// sharing threads amortizes each bound check to a few picoseconds.
+const defaultPipelining = 0.002
+
+// HW1 returns the paper's primary experimental server profile
+// (Section 2.5): CM=180ns, CA=2ns, BWS=40GB/s, BWI=BWR=20GB/s, 2.0 GHz.
+func HW1() Hardware {
+	return Hardware{
+		Name:            "HW1-primary",
+		CacheAccess:     2 * ns,
+		MemAccess:       180 * ns,
+		ScanBandwidth:   40 * gb,
+		ResultBandwidth: 20 * gb,
+		LeafBandwidth:   20 * gb,
+		ClockPeriod:     1.0 / 2.0e9,
+		Pipelining:      defaultPipelining,
+	}
+}
+
+// HW2 returns the paper's alternate configuration (Section 2.5):
+// CM=100ns with BWS=160GB/s and BWI=BWR=80GB/s.
+func HW2() Hardware {
+	return Hardware{
+		Name:            "HW2-alternate",
+		CacheAccess:     2 * ns,
+		MemAccess:       100 * ns,
+		ScanBandwidth:   160 * gb,
+		ResultBandwidth: 80 * gb,
+		LeafBandwidth:   80 * gb,
+		ClockPeriod:     1.0 / 2.0e9,
+		Pipelining:      defaultPipelining,
+	}
+}
+
+// EC2Profiles returns the four machines of Figure 16: the primary server
+// plus the three Amazon EC2 dedicated instances, using the latency,
+// bandwidth and clock figures printed under the bars.
+func EC2Profiles() []Hardware {
+	mk := func(name string, lat, bw, ghz float64) Hardware {
+		return Hardware{
+			Name:            name,
+			CacheAccess:     2 * ns,
+			MemAccess:       lat * ns,
+			ScanBandwidth:   bw * gb,
+			ResultBandwidth: bw / 2 * gb,
+			LeafBandwidth:   bw / 2 * gb,
+			ClockPeriod:     1.0 / (ghz * 1e9),
+			Pipelining:      defaultPipelining,
+		}
+	}
+	return []Hardware{
+		mk("Primary", 180, 40, 2.0),
+		mk("Alt-cpu(c4.8xlarge)", 90, 24, 2.9),
+		mk("Alt-mem(r3.8xlarge)", 120, 80, 2.5),
+		mk("Alt-gen(m4.4xlarge)", 100, 40, 2.4),
+	}
+}
+
+// Epoch is one column of Table 2: a hardware generation plus the dataset
+// and index design representative of its era.
+type Epoch struct {
+	Year     string
+	Hardware Hardware
+	Dataset  Dataset
+	Design   Design
+	// PaperCrossover is the crossover selectivity Table 2 reports for this
+	// epoch, as a fraction (e.g. 0.124 for 12.4%).
+	PaperCrossover float64
+}
+
+// HistoricalEpochs returns the seven columns of Table 2: four disk-based
+// generations (1980-2010), the 2016 main-memory system, and the two
+// projected future configurations F1 (high bandwidth) and F2 (low
+// latency). Disk epochs map CM to the seek latency and the bandwidths to
+// the disk transfer rate; CA stays a (then slower) memory access since
+// sorting happens in memory in every era.
+func HistoricalEpochs() []Epoch {
+	disk := func(year string, seekMS, bwMBs, n, tupleSize float64, cross float64) Epoch {
+		return Epoch{
+			Year: year,
+			Hardware: Hardware{
+				Name:            "disk-" + year,
+				CacheAccess:     200 * ns,
+				MemAccess:       seekMS * ms,
+				ScanBandwidth:   bwMBs * mb,
+				ResultBandwidth: bwMBs * mb,
+				LeafBandwidth:   bwMBs * mb,
+				ClockPeriod:     1.0 / 0.1e9, // CPUs were never the disk era bottleneck
+				Pipelining:      defaultPipelining,
+			},
+			Dataset:        Dataset{N: n, TupleSize: tupleSize},
+			Design:         Design{ResultWidth: 4, Fanout: 250, AttrWidth: 4, OffsetWidth: 4},
+			PaperCrossover: cross,
+		}
+	}
+	mem := func(year string, latNS, bwGBs, ghz float64, cross float64) Epoch {
+		return Epoch{
+			Year: year,
+			Hardware: Hardware{
+				Name:            "mem-" + year,
+				CacheAccess:     2 * ns,
+				MemAccess:       latNS * ns,
+				ScanBandwidth:   bwGBs * gb,
+				ResultBandwidth: bwGBs / 2 * gb,
+				LeafBandwidth:   bwGBs / 2 * gb,
+				ClockPeriod:     1.0 / (ghz * 1e9),
+				Pipelining:      defaultPipelining,
+			},
+			Dataset:        Dataset{N: 1e9, TupleSize: 4},
+			Design:         Design{ResultWidth: 4, Fanout: 21, AttrWidth: 4, OffsetWidth: 4},
+			PaperCrossover: cross,
+		}
+	}
+	return []Epoch{
+		disk("1980", 10, 40, 1e6, 200, 0.124),
+		disk("1990", 8, 100, 1e7, 200, 0.062),
+		disk("2000", 2, 500, 1e8, 200, 0.050),
+		disk("2010", 2, 500, 1e9, 4, 0.001), // disk-based column-store: 4-byte tuples
+		mem("2016", 180, 40, 2.0, 0.006),
+		mem("F1", 100, 160, 4.0, 0.003),
+		mem("F2", 20, 80, 4.0, 0.005),
+	}
+}

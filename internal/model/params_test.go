@@ -1,0 +1,147 @@
+package model
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestWorkloadValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		w    Workload
+		ok   bool
+	}{
+		{"empty", Workload{}, false},
+		{"negative", Workload{Selectivities: []float64{-0.1}}, false},
+		{"above one", Workload{Selectivities: []float64{1.1}}, false},
+		{"nan", Workload{Selectivities: []float64{math.NaN()}}, false},
+		{"ok", Uniform(3, 0.4), true},
+		{"zero ok", Workload{Selectivities: []float64{0}}, true},
+		{"full ok", Workload{Selectivities: []float64{1}}, true},
+	}
+	for _, c := range cases {
+		err := c.w.Validate()
+		if (err == nil) != c.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+}
+
+func TestTotalSelectivityExceedsOne(t *testing.T) {
+	// Three queries of 40% each: S_tot = 1.2 (the paper's own example).
+	w := Uniform(3, 0.4)
+	if got := w.TotalSelectivity(); !approxEqual(got, 1.2, 1e-12) {
+		t.Fatalf("TotalSelectivity = %v, want 1.2", got)
+	}
+	if w.Q() != 3 {
+		t.Fatalf("Q = %d, want 3", w.Q())
+	}
+}
+
+func TestDatasetValidate(t *testing.T) {
+	if err := (Dataset{N: 0, TupleSize: 4}).Validate(); err == nil {
+		t.Fatal("N=0 should fail")
+	}
+	if err := (Dataset{N: 100, TupleSize: 0}).Validate(); err == nil {
+		t.Fatal("ts=0 should fail")
+	}
+	if err := (Dataset{N: 100, TupleSize: 4}).Validate(); err != nil {
+		t.Fatalf("valid dataset rejected: %v", err)
+	}
+}
+
+func TestHardwareValidate(t *testing.T) {
+	h := HW1()
+	if err := h.Validate(); err != nil {
+		t.Fatalf("HW1 invalid: %v", err)
+	}
+	h.ScanBandwidth = 0
+	err := h.Validate()
+	if err == nil || !strings.Contains(err.Error(), "BWS") {
+		t.Fatalf("zero bandwidth not caught: %v", err)
+	}
+	h2 := HW2()
+	h2.Pipelining = -1
+	if h2.Validate() == nil {
+		t.Fatal("negative fp not caught")
+	}
+}
+
+func TestDesignValidate(t *testing.T) {
+	if err := DefaultDesign().Validate(); err != nil {
+		t.Fatalf("default design invalid: %v", err)
+	}
+	if err := FittedDesign().Validate(); err != nil {
+		t.Fatalf("fitted design invalid: %v", err)
+	}
+	bad := DefaultDesign()
+	bad.Fanout = 1
+	if bad.Validate() == nil {
+		t.Fatal("fanout 1 not caught")
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	p := testParams(4, 0.01)
+	if err := p.Validate(); err != nil {
+		t.Fatalf("valid params rejected: %v", err)
+	}
+	p.Workload = Workload{}
+	if p.Validate() == nil {
+		t.Fatal("empty workload not caught")
+	}
+}
+
+func TestEC2ProfilesAllValid(t *testing.T) {
+	profiles := EC2Profiles()
+	if len(profiles) != 4 {
+		t.Fatalf("want 4 Figure 16 machines, got %d", len(profiles))
+	}
+	for _, h := range profiles {
+		if err := h.Validate(); err != nil {
+			t.Errorf("profile %s invalid: %v", h.Name, err)
+		}
+	}
+}
+
+func TestHistoricalEpochsValid(t *testing.T) {
+	epochs := HistoricalEpochs()
+	if len(epochs) != 7 {
+		t.Fatalf("Table 2 has 7 columns, got %d", len(epochs))
+	}
+	for _, e := range epochs {
+		if err := e.Hardware.Validate(); err != nil {
+			t.Errorf("epoch %s hardware invalid: %v", e.Year, err)
+		}
+		if err := e.Dataset.Validate(); err != nil {
+			t.Errorf("epoch %s dataset invalid: %v", e.Year, err)
+		}
+		if err := e.Design.Validate(); err != nil {
+			t.Errorf("epoch %s design invalid: %v", e.Year, err)
+		}
+		if e.PaperCrossover <= 0 || e.PaperCrossover > 0.2 {
+			t.Errorf("epoch %s paper crossover %v out of range", e.Year, e.PaperCrossover)
+		}
+	}
+}
+
+func TestSortCorrectionBehaviour(t *testing.T) {
+	// fc(N) must be well below 1 at experiment scale (it discounts the
+	// pessimistic worst-case sort bound) and grow sublinearly with N.
+	dg := FittedDesign()
+	f8 := dg.sortCorrection(1e8)
+	f9 := dg.sortCorrection(1e9)
+	if f8 <= 0 || f8 >= 1 {
+		t.Fatalf("fc(1e8) = %v, want in (0,1)", f8)
+	}
+	if f9 <= f8 {
+		t.Fatalf("fc must grow with N: fc(1e9)=%v <= fc(1e8)=%v", f9, f8)
+	}
+	if f9/f8 >= 10 {
+		t.Fatalf("fc must be sublinear: fc(1e9)/fc(1e8) = %v", f9/f8)
+	}
+	if got := DefaultDesign().sortCorrection(1e8); got != 1 {
+		t.Fatalf("unfitted design fc = %v, want 1", got)
+	}
+}

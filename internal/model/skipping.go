@@ -1,0 +1,36 @@
+package model
+
+import "math"
+
+// This file models lightweight data skipping (Appendix E): zonemaps let a
+// scan avoid streaming zones no query in the batch needs, which the model
+// captures "by simply reducing the number of values in the relation by
+// the expected number of zones skipped". Skipping helps only the scan
+// side — the index never read the cold zones anyway — and its benefit
+// decays with concurrency because a zone must be unneeded by *every*
+// query in the batch to be skipped.
+
+// SharedScanWithSkipping returns the Equation 5 cost with the data
+// movement and predicate evaluation reduced by the skipped fraction of
+// the relation. Result writing still depends on the qualifying tuples
+// (they all live in unskipped zones).
+func SharedScanWithSkipping(p Params, skipFraction float64) float64 {
+	skip := math.Min(math.Max(skipFraction, 0), 1)
+	q := float64(p.Workload.Q())
+	stot := p.Workload.TotalSelectivity()
+	eff := p.Dataset
+	eff.N = p.Dataset.N * (1 - skip)
+	return math.Max(DataScanTime(eff, p.Hardware), q*PredicateEval(eff, p.Hardware)) +
+		p.Design.alphaOrOne()*stot*ResultWriteTime(p.Dataset, p.Hardware, p.Design)
+}
+
+// APSWithSkipping is the access path selection ratio when the scan can
+// skip the given fraction of zones: ConcIndex over the skip-aware shared
+// scan. With skipFraction 0 it equals APS.
+func APSWithSkipping(p Params, skipFraction float64) float64 {
+	ss := SharedScanWithSkipping(p, skipFraction)
+	if ss == 0 {
+		return math.Inf(1)
+	}
+	return ConcIndex(p) / ss
+}

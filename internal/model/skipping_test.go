@@ -1,0 +1,66 @@
+package model
+
+import "testing"
+
+func TestSkippingZeroMatchesSharedScan(t *testing.T) {
+	p := testParams(8, 0.003)
+	if got, want := SharedScanWithSkipping(p, 0), SharedScan(p); !approxEqual(got, want, 1e-12) {
+		t.Fatalf("skip=0 scan cost %v != SharedScan %v", got, want)
+	}
+	if got, want := APSWithSkipping(p, 0), APS(p); !approxEqual(got, want, 1e-12) {
+		t.Fatalf("skip=0 ratio %v != APS %v", got, want)
+	}
+}
+
+func TestSkippingReducesScanCostMonotonically(t *testing.T) {
+	p := testParams(4, 0.001)
+	prev := SharedScanWithSkipping(p, 0)
+	for _, skip := range []float64{0.2, 0.5, 0.9, 0.99} {
+		cur := SharedScanWithSkipping(p, skip)
+		if cur >= prev {
+			t.Fatalf("scan cost not falling with skip=%v: %v >= %v", skip, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestSkippingFlipsDecisionTowardsScan(t *testing.T) {
+	// A selectivity just below the crossover probes the index on random
+	// data, but on clustered data where the zonemap skips ~99% of zones
+	// the scan wins.
+	d := Dataset{N: 1e8, TupleSize: 4}
+	s, ok := Crossover(4, d, HW1(), DefaultDesign())
+	if !ok {
+		t.Fatal("no crossover")
+	}
+	p := Params{Workload: Uniform(4, s/2), Dataset: d, Hardware: HW1(), Design: DefaultDesign()}
+	if APS(p) >= 1 {
+		t.Fatalf("below-crossover batch should favor the index (APS=%v)", APS(p))
+	}
+	if APSWithSkipping(p, 0.99) < 1 {
+		t.Fatalf("99%% skipping should flip the decision to scan (ratio %v)",
+			APSWithSkipping(p, 0.99))
+	}
+}
+
+func TestSkippingResultWritesUnaffected(t *testing.T) {
+	// Even a fully-skipping scan still pays for writing the results: the
+	// cost floor is alpha * Stot * T_DR.
+	p := testParams(2, 0.4)
+	floor := p.Design.alphaOrOne() * p.Workload.TotalSelectivity() *
+		ResultWriteTime(p.Dataset, p.Hardware, p.Design)
+	got := SharedScanWithSkipping(p, 1)
+	if got < floor {
+		t.Fatalf("full-skip scan %v fell below the write floor %v", got, floor)
+	}
+}
+
+func TestSkippingClampsFraction(t *testing.T) {
+	p := testParams(2, 0.01)
+	if a, b := SharedScanWithSkipping(p, -3), SharedScanWithSkipping(p, 0); !approxEqual(a, b, 1e-12) {
+		t.Fatalf("negative skip not clamped: %v vs %v", a, b)
+	}
+	if a, b := SharedScanWithSkipping(p, 7), SharedScanWithSkipping(p, 1); !approxEqual(a, b, 1e-12) {
+		t.Fatalf("skip>1 not clamped: %v vs %v", a, b)
+	}
+}

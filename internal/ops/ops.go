@@ -1,0 +1,120 @@
+// Package ops implements the operators downstream of the select: tuple
+// reconstruction (fetching other attributes by rowID) and aggregation.
+//
+// Tuple reconstruction is why the select operator sorts index results
+// into rowID order at all (Section 2.3): fetching a second column with
+// ascending rowIDs walks memory (nearly) sequentially, while an unsorted
+// rowID list forces a random access per tuple — the ablation benchmark
+// BenchmarkAblationFetchOrder quantifies the gap.
+package ops
+
+import (
+	"errors"
+	"math"
+
+	"fastcolumns/internal/storage"
+)
+
+// Fetch materializes column values at the given rowIDs, in rowID-list
+// order (tuple reconstruction). out is reused when large enough.
+func Fetch(c *storage.Column, ids []storage.RowID, out []storage.Value) []storage.Value {
+	if cap(out) < len(ids) {
+		out = make([]storage.Value, len(ids))
+	}
+	out = out[:len(ids)]
+	for i, id := range ids {
+		out[i] = c.Get(int(id))
+	}
+	return out
+}
+
+// FetchRows materializes whole tuples across several columns: row i of
+// the result holds cols[j].Get(ids[i]) at position j.
+func FetchRows(cols []*storage.Column, ids []storage.RowID) [][]storage.Value {
+	rows := make([][]storage.Value, len(ids))
+	flat := make([]storage.Value, len(ids)*len(cols))
+	for i, id := range ids {
+		row := flat[i*len(cols) : (i+1)*len(cols)]
+		for j, c := range cols {
+			row[j] = c.Get(int(id))
+		}
+		rows[i] = row
+	}
+	return rows
+}
+
+// Aggregate is a running aggregate over int32 values with int64 sums.
+type Aggregate struct {
+	Count int64
+	Sum   int64
+	Min   storage.Value
+	Max   storage.Value
+}
+
+// NewAggregate returns an empty aggregate.
+func NewAggregate() Aggregate {
+	return Aggregate{Min: math.MaxInt32, Max: math.MinInt32}
+}
+
+// Add folds one value in.
+func (a *Aggregate) Add(v storage.Value) {
+	a.Count++
+	a.Sum += int64(v)
+	if v < a.Min {
+		a.Min = v
+	}
+	if v > a.Max {
+		a.Max = v
+	}
+}
+
+// Avg returns the mean, or an error on an empty aggregate.
+func (a Aggregate) Avg() (float64, error) {
+	if a.Count == 0 {
+		return 0, errors.New("ops: average of empty aggregate")
+	}
+	return float64(a.Sum) / float64(a.Count), nil
+}
+
+// AggregateAt folds the column values at the given rowIDs.
+func AggregateAt(c *storage.Column, ids []storage.RowID) Aggregate {
+	agg := NewAggregate()
+	for _, id := range ids {
+		agg.Add(c.Get(int(id)))
+	}
+	return agg
+}
+
+// SumProductAt returns sum(a[i]*b[i]) over the rowIDs — the revenue
+// aggregation shape of TPC-H Q6 (extendedprice * discount).
+func SumProductAt(a, b *storage.Column, ids []storage.RowID) int64 {
+	var total int64
+	for _, id := range ids {
+		total += int64(a.Get(int(id))) * int64(b.Get(int(id)))
+	}
+	return total
+}
+
+// GroupCount counts qualifying tuples per group key: result[k] is the
+// number of rowIDs whose key column holds k. Useful for low-cardinality
+// group-bys after a select.
+func GroupCount(key *storage.Column, ids []storage.RowID) map[storage.Value]int64 {
+	out := make(map[storage.Value]int64)
+	for _, id := range ids {
+		out[key.Get(int(id))]++
+	}
+	return out
+}
+
+// FilterAt applies a residual range predicate to already-selected rowIDs:
+// the conjunctive-select pattern where the most selective predicate
+// drives the access path and the rest are evaluated per survivor.
+func FilterAt(c *storage.Column, lo, hi storage.Value, ids []storage.RowID) []storage.RowID {
+	out := ids[:0]
+	for _, id := range ids {
+		if v := c.Get(int(id)); v >= lo && v <= hi {
+			out = append(out, id)
+		}
+	}
+	return out
+}

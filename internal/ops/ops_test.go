@@ -1,0 +1,154 @@
+package ops
+
+import (
+	"math/rand"
+	"testing"
+
+	"fastcolumns/internal/storage"
+)
+
+func column(vals ...storage.Value) *storage.Column {
+	return storage.NewColumn("c", vals)
+}
+
+func TestFetch(t *testing.T) {
+	c := column(10, 20, 30, 40, 50)
+	got := Fetch(c, []storage.RowID{4, 0, 2}, nil)
+	want := []storage.Value{50, 10, 30}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Fetch = %v, want %v", got, want)
+		}
+	}
+	// Buffer reuse.
+	buf := make([]storage.Value, 0, 10)
+	got2 := Fetch(c, []storage.RowID{1}, buf)
+	if len(got2) != 1 || got2[0] != 20 {
+		t.Fatalf("Fetch with buffer = %v", got2)
+	}
+	if got3 := Fetch(c, nil, nil); len(got3) != 0 {
+		t.Fatalf("Fetch of nothing = %v", got3)
+	}
+}
+
+func TestFetchRows(t *testing.T) {
+	a := column(1, 2, 3)
+	b := column(10, 20, 30)
+	rows := FetchRows([]*storage.Column{a, b}, []storage.RowID{2, 0})
+	if len(rows) != 2 {
+		t.Fatalf("rows = %v", rows)
+	}
+	if rows[0][0] != 3 || rows[0][1] != 30 || rows[1][0] != 1 || rows[1][1] != 10 {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestFetchFromColumnGroup(t *testing.T) {
+	// Tuple reconstruction out of a hybrid layout uses the strided view.
+	g, err := storage.NewColumnGroup([]string{"x", "y"},
+		[][]storage.Value{{1, 2, 3}, {7, 8, 9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Fetch(g.Column("y"), []storage.RowID{0, 2}, nil)
+	if got[0] != 7 || got[1] != 9 {
+		t.Fatalf("group fetch = %v", got)
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	agg := NewAggregate()
+	for _, v := range []storage.Value{5, -3, 10, 0} {
+		agg.Add(v)
+	}
+	if agg.Count != 4 || agg.Sum != 12 || agg.Min != -3 || agg.Max != 10 {
+		t.Fatalf("aggregate = %+v", agg)
+	}
+	avg, err := agg.Avg()
+	if err != nil || avg != 3 {
+		t.Fatalf("Avg = %v, %v", avg, err)
+	}
+}
+
+func TestAvgEmpty(t *testing.T) {
+	if _, err := NewAggregate().Avg(); err == nil {
+		t.Fatal("empty average accepted")
+	}
+}
+
+func TestAggregateAt(t *testing.T) {
+	c := column(2, 4, 6, 8)
+	agg := AggregateAt(c, []storage.RowID{1, 3})
+	if agg.Sum != 12 || agg.Count != 2 || agg.Min != 4 || agg.Max != 8 {
+		t.Fatalf("AggregateAt = %+v", agg)
+	}
+}
+
+func TestSumProductAt(t *testing.T) {
+	price := column(100, 200, 300)
+	disc := column(1, 2, 3)
+	got := SumProductAt(price, disc, []storage.RowID{0, 2})
+	if got != 100*1+300*3 {
+		t.Fatalf("SumProductAt = %d", got)
+	}
+	// Overflow safety: int64 accumulation of large int32 products.
+	big := column(1<<30, 1<<30)
+	if got := SumProductAt(big, big, []storage.RowID{0, 1}); got != 2*(1<<60) {
+		t.Fatalf("big SumProductAt = %d", got)
+	}
+}
+
+func TestGroupCount(t *testing.T) {
+	key := column(1, 2, 1, 3, 1, 2)
+	got := GroupCount(key, []storage.RowID{0, 1, 2, 3, 4, 5})
+	if got[1] != 3 || got[2] != 2 || got[3] != 1 {
+		t.Fatalf("GroupCount = %v", got)
+	}
+	if len(GroupCount(key, nil)) != 0 {
+		t.Fatal("GroupCount of nothing should be empty")
+	}
+}
+
+func TestFetchOrderInsensitiveResults(t *testing.T) {
+	// Fetching with sorted vs unsorted rowIDs touches memory differently
+	// but must aggregate identically.
+	rng := rand.New(rand.NewSource(1))
+	vals := make([]storage.Value, 10000)
+	for i := range vals {
+		vals[i] = rng.Int31n(1000)
+	}
+	c := storage.NewColumn("v", vals)
+	ids := make([]storage.RowID, 3000)
+	for i := range ids {
+		ids[i] = storage.RowID(rng.Intn(len(vals)))
+	}
+	sortedAgg := AggregateAt(c, ids)
+	shuffled := append([]storage.RowID(nil), ids...)
+	rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+	shuffledAgg := AggregateAt(c, shuffled)
+	if sortedAgg != shuffledAgg {
+		t.Fatalf("aggregate depends on fetch order: %+v vs %+v", sortedAgg, shuffledAgg)
+	}
+}
+
+func TestFilterAt(t *testing.T) {
+	c := column(5, 10, 15, 20, 25)
+	ids := []storage.RowID{0, 1, 2, 3, 4}
+	got := FilterAt(c, 10, 20, ids)
+	want := []storage.RowID{1, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("FilterAt = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("FilterAt = %v, want %v", got, want)
+		}
+	}
+	// In-place: the result aliases the input prefix.
+	if &got[0] != &ids[0] {
+		t.Fatal("FilterAt should filter in place")
+	}
+	if out := FilterAt(c, 100, 200, []storage.RowID{0, 4}); len(out) != 0 {
+		t.Fatalf("no-match FilterAt = %v", out)
+	}
+}

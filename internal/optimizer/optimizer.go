@@ -1,0 +1,171 @@
+// Package optimizer implements the cost-based access path selection
+// module of Section 3 (Figure 11): given the batch the scheduler
+// assembled, per-query selectivity estimates from the statistics, the
+// data's physical shape from the storage engine, and the hardware profile
+// captured at initialization, it evaluates the APS ratio and picks the
+// access path. It also implements the traditional fixed-selectivity-
+// threshold optimizer the paper compares against.
+package optimizer
+
+import (
+	"time"
+
+	"fastcolumns/internal/exec"
+	"fastcolumns/internal/model"
+	"fastcolumns/internal/scan"
+	"fastcolumns/internal/stats"
+)
+
+// Optimizer is the APS module: hardware and design are captured once at
+// initialization; everything else arrives per batch.
+type Optimizer struct {
+	HW     model.Hardware
+	Design model.Design
+}
+
+// New returns an optimizer for the given machine profile using the
+// paper's fitted design constants.
+func New(hw model.Hardware) *Optimizer {
+	return &Optimizer{HW: hw, Design: model.FittedDesign()}
+}
+
+// NewWithDesign returns an optimizer with explicit design constants —
+// typically the output of fitting the model to the running machine
+// (Appendix C).
+func NewWithDesign(hw model.Hardware, dg model.Design) *Optimizer {
+	return &Optimizer{HW: hw, Design: dg}
+}
+
+// Decision records one access path selection and what informed it.
+type Decision struct {
+	Path model.Path
+	// Ratio is the APS value (ConcIndex/SharedScan); >= 1 selects the scan.
+	Ratio float64
+	// Selectivities holds the per-query estimates used.
+	Selectivities []float64
+	// Forced is true when only one path existed (e.g. no secondary index).
+	Forced bool
+	// Elapsed is the optimization time itself — the paper stresses this
+	// stays in the microsecond range even for sub-second queries.
+	Elapsed time.Duration
+}
+
+// Choose runs access path selection from raw model inputs: the relation
+// size, tuple width in bytes, and per-query selectivity estimates.
+func (o *Optimizer) Choose(n int, tupleSize float64, sel []float64) Decision {
+	start := time.Now()
+	p := model.Params{
+		Workload: model.Workload{Selectivities: sel},
+		Dataset:  model.Dataset{N: float64(n), TupleSize: tupleSize},
+		Hardware: o.HW,
+		Design:   o.Design,
+	}
+	ratio := model.APS(p)
+	path := model.PathScan
+	if ratio < 1 {
+		path = model.PathIndex
+	}
+	return Decision{Path: path, Ratio: ratio, Selectivities: sel, Elapsed: time.Since(start)}
+}
+
+// Decide performs the full run-time decision for a batch over a relation:
+// selectivities are estimated per query from the histogram, N and ts come
+// from the column, a zonemap (if present) credits the scan with the
+// zones the whole batch can skip (Appendix E), and relations without a
+// secondary index force a scan.
+func (o *Optimizer) Decide(rel *exec.Relation, h *stats.Histogram, preds []scan.Predicate) Decision {
+	start := time.Now()
+	sel := make([]float64, len(preds))
+	if h != nil {
+		for i, p := range preds {
+			sel[i] = h.EstimateRange(p.Lo, p.Hi)
+		}
+	}
+	if rel.Index == nil && rel.Bitmap == nil {
+		return Decision{Path: model.PathScan, Ratio: 0, Selectivities: sel,
+			Forced: true, Elapsed: time.Since(start)}
+	}
+	p := model.Params{
+		Workload: model.Workload{Selectivities: sel},
+		Dataset:  model.Dataset{N: float64(rel.Column.Len()), TupleSize: float64(rel.Column.TupleSize())},
+		Hardware: o.HW,
+		Design:   o.Design,
+	}
+	// Credit the scan with whatever data skipping the relation supports:
+	// imprints at cache-line granularity, else zonemaps (Appendix E).
+	var skip float64
+	switch {
+	case rel.Imprints != nil:
+		// Conservatively use the widest query's checked fraction.
+		checked := 0.0
+		for _, pr := range preds {
+			if f := rel.Imprints.CheckedFraction(pr.Lo, pr.Hi); f > checked {
+				checked = f
+			}
+		}
+		skip = 1 - checked
+	case rel.Zonemap != nil:
+		ranges := make([][2]int32, len(preds))
+		for i, pr := range preds {
+			ranges[i] = [2]int32{pr.Lo, pr.Hi}
+		}
+		skip = rel.Zonemap.SkipFraction(ranges)
+	}
+	var card float64
+	if rel.Bitmap != nil {
+		card = float64(rel.Bitmap.Cardinality())
+	}
+	path, _ := model.ChooseAmong(p, skip, rel.Index != nil, card)
+	return Decision{
+		Path:          path,
+		Ratio:         model.APSWithSkipping(p, skip),
+		Selectivities: sel,
+		Elapsed:       time.Since(start),
+	}
+}
+
+// Traditional is the pre-2017 optimizer: a selectivity threshold fixed
+// when the system is tuned, applied per query with no concurrency input
+// ("once the system is tuned it is a fixed point used for all queries").
+type Traditional struct {
+	// Threshold is the per-query selectivity above which it scans.
+	Threshold float64
+}
+
+// NewTraditional tunes the fixed threshold for the machine the
+// traditional way: the single-query break-even point.
+func NewTraditional(n int, tupleSize float64, hw model.Hardware, dg model.Design) Traditional {
+	s, ok := model.Crossover(1, model.Dataset{N: float64(n), TupleSize: tupleSize}, hw, dg)
+	if !ok {
+		if s == 0 {
+			return Traditional{Threshold: 0} // scan always
+		}
+		return Traditional{Threshold: 1} // index always
+	}
+	return Traditional{Threshold: s}
+}
+
+// Decide applies the fixed threshold to the batch's mean per-query
+// selectivity, ignoring concurrency entirely.
+func (t Traditional) Decide(sel []float64) model.Path {
+	if len(sel) == 0 {
+		return model.PathScan
+	}
+	var mean float64
+	for _, s := range sel {
+		mean += s
+	}
+	mean /= float64(len(sel))
+	if mean < t.Threshold {
+		return model.PathIndex
+	}
+	return model.PathScan
+}
+
+// SinglePath is the degenerate policy modern systems without secondary
+// indexes use: always the same access path (Figure 18's "Index Scan" and
+// "Share Scan" bars).
+type SinglePath struct{ Path model.Path }
+
+// Decide returns the fixed path.
+func (s SinglePath) Decide([]float64) model.Path { return s.Path }

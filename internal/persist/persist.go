@@ -1,0 +1,222 @@
+// Package persist stores columns and tables on disk so read stores
+// survive restarts: a little-endian binary column format with a CRC32
+// footer, plus a JSON table manifest describing the attribute layout
+// (pure columns vs column-groups). Access structures (indexes, zonemaps,
+// histograms) are rebuilt after load — they derive from the data and
+// rebuilding at memory speed is cheaper than validating staleness.
+package persist
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+
+	"fastcolumns/internal/storage"
+)
+
+// magic identifies a FastColumns column file.
+var magic = [4]byte{'F', 'C', 'O', 'L'}
+
+// formatVersion is bumped on incompatible layout changes.
+const formatVersion uint16 = 1
+
+// WriteColumn serializes values to w: header, little-endian payload,
+// CRC32 (Castagnoli) footer over the payload.
+func WriteColumn(w io.Writer, values []storage.Value) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, formatVersion); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint64(len(values))); err != nil {
+		return err
+	}
+	crc := crc32.New(crc32.MakeTable(crc32.Castagnoli))
+	payload := io.MultiWriter(bw, crc)
+	buf := make([]byte, 4)
+	for _, v := range values {
+		binary.LittleEndian.PutUint32(buf, uint32(v))
+		if _, err := payload.Write(buf); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, crc.Sum32()); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadColumn deserializes a column written by WriteColumn, verifying the
+// magic, version, and checksum.
+func ReadColumn(r io.Reader) ([]storage.Value, error) {
+	br := bufio.NewReader(r)
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("persist: reading magic: %w", err)
+	}
+	if m != magic {
+		return nil, errors.New("persist: not a FastColumns column file")
+	}
+	var version uint16
+	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
+		return nil, err
+	}
+	if version != formatVersion {
+		return nil, fmt.Errorf("persist: unsupported format version %d", version)
+	}
+	var count uint64
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return nil, err
+	}
+	const maxCount = 1 << 33 // 8G tuples: a sanity bound against corrupt headers
+	if count > maxCount {
+		return nil, fmt.Errorf("persist: implausible tuple count %d", count)
+	}
+	values := make([]storage.Value, count)
+	crc := crc32.New(crc32.MakeTable(crc32.Castagnoli))
+	buf := make([]byte, 4)
+	for i := range values {
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("persist: truncated payload at tuple %d: %w", i, err)
+		}
+		crc.Write(buf)
+		values[i] = storage.Value(binary.LittleEndian.Uint32(buf))
+	}
+	var want uint32
+	if err := binary.Read(br, binary.LittleEndian, &want); err != nil {
+		return nil, fmt.Errorf("persist: missing checksum: %w", err)
+	}
+	if got := crc.Sum32(); got != want {
+		return nil, fmt.Errorf("persist: checksum mismatch (%08x != %08x)", got, want)
+	}
+	return values, nil
+}
+
+// SaveColumnFile writes values to path atomically (write temp + rename).
+func SaveColumnFile(path string, values []storage.Value) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := WriteColumn(f, values); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadColumnFile reads a column file.
+func LoadColumnFile(path string) ([]storage.Value, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadColumn(f)
+}
+
+// Manifest describes a persisted table.
+type Manifest struct {
+	Name    string     `json:"name"`
+	Rows    int        `json:"rows"`
+	Columns []string   `json:"columns"` // contiguous attributes
+	Groups  [][]string `json:"groups"`  // column-group layouts
+}
+
+// SaveTable persists a storage table into dir: one .col file per
+// attribute (group members are stored as plain columns and re-interleaved
+// on load) plus manifest.json.
+func SaveTable(dir string, t *storage.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	man := Manifest{Name: t.Name(), Rows: t.Rows()}
+	man.Columns = t.ColumnNames() // refined below: group members recorded separately
+	grouped := map[string]bool{}
+	for _, g := range t.Groups() {
+		names := g.Names()
+		man.Groups = append(man.Groups, names)
+		for _, n := range names {
+			grouped[n] = true
+		}
+	}
+	var plain []string
+	for _, n := range man.Columns {
+		if !grouped[n] {
+			plain = append(plain, n)
+		}
+	}
+	man.Columns = plain
+
+	for _, name := range t.ColumnNames() {
+		col, err := t.Column(name)
+		if err != nil {
+			return err
+		}
+		values := make([]storage.Value, col.Len())
+		for i := range values {
+			values[i] = col.Get(i)
+		}
+		if err := SaveColumnFile(filepath.Join(dir, name+".col"), values); err != nil {
+			return err
+		}
+	}
+	raw, err := json.MarshalIndent(man, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "manifest.json"), raw, 0o644)
+}
+
+// LoadTable reconstructs a storage table from dir.
+func LoadTable(dir string) (*storage.Table, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		return nil, err
+	}
+	var man Manifest
+	if err := json.Unmarshal(raw, &man); err != nil {
+		return nil, fmt.Errorf("persist: bad manifest: %w", err)
+	}
+	t := storage.NewTable(man.Name)
+	for _, name := range man.Columns {
+		values, err := LoadColumnFile(filepath.Join(dir, name+".col"))
+		if err != nil {
+			return nil, err
+		}
+		if err := t.AddColumn(name, values); err != nil {
+			return nil, err
+		}
+	}
+	for _, names := range man.Groups {
+		cols := make([][]storage.Value, len(names))
+		for j, name := range names {
+			values, err := LoadColumnFile(filepath.Join(dir, name+".col"))
+			if err != nil {
+				return nil, err
+			}
+			cols[j] = values
+		}
+		if err := t.AddGroup(names, cols); err != nil {
+			return nil, err
+		}
+	}
+	if t.Rows() != man.Rows {
+		return nil, fmt.Errorf("persist: manifest says %d rows, files hold %d", man.Rows, t.Rows())
+	}
+	return t, nil
+}

@@ -1,0 +1,174 @@
+package persist
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fastcolumns/internal/storage"
+)
+
+func randomValues(seed int64, n int) []storage.Value {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]storage.Value, n)
+	for i := range out {
+		out[i] = rng.Int31() - 1<<30 // negatives too
+	}
+	return out
+}
+
+func TestColumnRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 1024, 100000} {
+		values := randomValues(int64(n), n)
+		var buf bytes.Buffer
+		if err := WriteColumn(&buf, values); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadColumn(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(values) {
+			t.Fatalf("n=%d: got %d values", n, len(got))
+		}
+		for i := range values {
+			if got[i] != values[i] {
+				t.Fatalf("n=%d: value %d mismatch", n, i)
+			}
+		}
+	}
+}
+
+func TestReadRejectsCorruption(t *testing.T) {
+	values := randomValues(1, 1000)
+	var buf bytes.Buffer
+	if err := WriteColumn(&buf, values); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	// Flip a payload byte: checksum must catch it.
+	bad := append([]byte(nil), good...)
+	bad[len(bad)/2] ^= 0xFF
+	if _, err := ReadColumn(bytes.NewReader(bad)); err == nil {
+		t.Fatal("corrupted payload accepted")
+	}
+	// Truncate: must fail cleanly.
+	if _, err := ReadColumn(bytes.NewReader(good[:len(good)/3])); err == nil {
+		t.Fatal("truncated file accepted")
+	}
+	// Wrong magic.
+	bad2 := append([]byte(nil), good...)
+	bad2[0] = 'X'
+	if _, err := ReadColumn(bytes.NewReader(bad2)); err == nil {
+		t.Fatal("wrong magic accepted")
+	}
+	// Implausible count in an otherwise-valid header.
+	bad3 := append([]byte(nil), good[:6]...)
+	bad3 = append(bad3, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F)
+	if _, err := ReadColumn(bytes.NewReader(bad3)); err == nil {
+		t.Fatal("absurd count accepted")
+	}
+}
+
+func TestColumnFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "v.col")
+	values := randomValues(2, 5000)
+	if err := SaveColumnFile(path, values); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadColumnFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range values {
+		if got[i] != values[i] {
+			t.Fatalf("mismatch at %d", i)
+		}
+	}
+	// No temp file left behind.
+	entries, _ := os.ReadDir(dir)
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) == ".tmp" {
+			t.Fatalf("leftover temp file %s", e.Name())
+		}
+	}
+}
+
+func TestTableRoundTripWithGroups(t *testing.T) {
+	tbl := storage.NewTable("orders")
+	a := randomValues(3, 2000)
+	b := randomValues(4, 2000)
+	c := randomValues(5, 2000)
+	if err := tbl.AddColumn("a", a); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.AddGroup([]string{"b", "c"}, [][]storage.Value{b, c}); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := SaveTable(dir, tbl); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadTable(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name() != "orders" || got.Rows() != 2000 {
+		t.Fatalf("loaded %q with %d rows", got.Name(), got.Rows())
+	}
+	for name, want := range map[string][]storage.Value{"a": a, "b": b, "c": c} {
+		col, err := got.Column(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if col.Get(i) != want[i] {
+				t.Fatalf("column %s row %d mismatch", name, i)
+			}
+		}
+	}
+	// The group layout survived: b is strided in the loaded table.
+	colB, _ := got.Column("b")
+	if colB.Contiguous() {
+		t.Fatal("group member loaded as a plain column")
+	}
+}
+
+func TestLoadTableErrors(t *testing.T) {
+	if _, err := LoadTable(t.TempDir()); err == nil {
+		t.Fatal("missing manifest accepted")
+	}
+	dir := t.TempDir()
+	os.WriteFile(filepath.Join(dir, "manifest.json"), []byte("{not json"), 0o644)
+	if _, err := LoadTable(dir); err == nil {
+		t.Fatal("bad manifest accepted")
+	}
+	// Manifest naming a missing column file.
+	os.WriteFile(filepath.Join(dir, "manifest.json"),
+		[]byte(`{"name":"t","rows":1,"columns":["ghost"]}`), 0o644)
+	if _, err := LoadTable(dir); err == nil {
+		t.Fatal("missing column file accepted")
+	}
+}
+
+func TestManifestRowMismatch(t *testing.T) {
+	tbl := storage.NewTable("t")
+	if err := tbl.AddColumn("v", randomValues(6, 10)); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := SaveTable(dir, tbl); err != nil {
+		t.Fatal(err)
+	}
+	// Tamper with the manifest row count.
+	raw, _ := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	tampered := bytes.Replace(raw, []byte(`"rows": 10`), []byte(`"rows": 99`), 1)
+	os.WriteFile(filepath.Join(dir, "manifest.json"), tampered, 0o644)
+	if _, err := LoadTable(dir); err == nil {
+		t.Fatal("row mismatch accepted")
+	}
+}

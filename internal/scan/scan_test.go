@@ -1,0 +1,172 @@
+package scan
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fastcolumns/internal/storage"
+)
+
+func randomData(seed int64, n int, domain int32) []storage.Value {
+	rng := rand.New(rand.NewSource(seed))
+	data := make([]storage.Value, n)
+	for i := range data {
+		data[i] = rng.Int31n(domain)
+	}
+	return data
+}
+
+// reference is the trivially correct selection.
+func reference(data []storage.Value, p Predicate) []storage.RowID {
+	var out []storage.RowID
+	for i, v := range data {
+		if p.Matches(v) {
+			out = append(out, storage.RowID(i))
+		}
+	}
+	return out
+}
+
+func sameRowIDs(a, b []storage.RowID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestScanKernelsAgree(t *testing.T) {
+	data := randomData(1, 10007, 1000) // odd size exercises the unroll tail
+	preds := []Predicate{
+		{Lo: 100, Hi: 200},
+		{Lo: 0, Hi: 999},     // everything
+		{Lo: 2000, Hi: 3000}, // nothing
+		{Lo: 500, Hi: 500},   // point
+		{Lo: -10, Hi: 50},
+	}
+	for _, p := range preds {
+		want := reference(data, p)
+		for name, got := range map[string][]storage.RowID{
+			"Scan":        Scan(data, p, nil),
+			"Branching":   ScanBranching(data, p, nil),
+			"Unrolled":    ScanUnrolled(data, p, nil),
+			"Parallel(4)": Parallel(data, p, 4),
+			"Parallel(1)": Parallel(data, p, 1),
+		} {
+			if !sameRowIDs(got, want) {
+				t.Fatalf("%s disagrees with reference for %+v: got %d rows, want %d",
+					name, p, len(got), len(want))
+			}
+		}
+	}
+}
+
+func TestScanAppendsToExistingBuffer(t *testing.T) {
+	data := []storage.Value{1, 5, 3}
+	out := []storage.RowID{99}
+	got := Scan(data, Predicate{Lo: 3, Hi: 5}, out)
+	want := []storage.RowID{99, 1, 2}
+	if !sameRowIDs(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestScanEmptyInput(t *testing.T) {
+	if got := Scan(nil, Predicate{Lo: 0, Hi: 10}, nil); len(got) != 0 {
+		t.Fatalf("scan of empty input returned %v", got)
+	}
+	if got := ScanUnrolled(nil, Predicate{Lo: 0, Hi: 10}, nil); len(got) != 0 {
+		t.Fatalf("unrolled scan of empty input returned %v", got)
+	}
+}
+
+func TestScanColumnStrided(t *testing.T) {
+	g, err := storage.NewColumnGroup(
+		[]string{"a", "b"},
+		[][]storage.Value{{1, 2, 3, 4}, {10, 20, 30, 40}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := ScanColumn(g.Column("b"), Predicate{Lo: 20, Hi: 30}, 0, nil)
+	if !sameRowIDs(got, []storage.RowID{1, 2}) {
+		t.Fatalf("strided scan = %v", got)
+	}
+	// With a base offset (partitioned execution).
+	got = ScanColumn(g.Column("b"), Predicate{Lo: 20, Hi: 30}, 100, nil)
+	if !sameRowIDs(got, []storage.RowID{101, 102}) {
+		t.Fatalf("strided scan with base = %v", got)
+	}
+}
+
+func TestScanColumnContiguousWithBase(t *testing.T) {
+	c := storage.NewColumn("v", []storage.Value{5, 6, 7})
+	got := ScanColumn(c, Predicate{Lo: 6, Hi: 7}, 1000, nil)
+	if !sameRowIDs(got, []storage.RowID{1001, 1002}) {
+		t.Fatalf("contiguous scan with base = %v", got)
+	}
+}
+
+func TestScanQuickAgainstReference(t *testing.T) {
+	f := func(seed int64, loRaw, hiRaw int16, sizeSeed uint16) bool {
+		n := 1 + int(sizeSeed)%4096
+		data := randomData(seed, n, 1<<14)
+		lo, hi := storage.Value(loRaw), storage.Value(hiRaw)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		p := Predicate{Lo: lo, Hi: hi}
+		want := reference(data, p)
+		return sameRowIDs(Scan(data, p, nil), want) &&
+			sameRowIDs(ScanUnrolled(data, p, nil), want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPredicateMatches(t *testing.T) {
+	p := Predicate{Lo: 2, Hi: 4}
+	for v, want := range map[storage.Value]bool{1: false, 2: true, 3: true, 4: true, 5: false} {
+		if p.Matches(v) != want {
+			t.Fatalf("Matches(%d) = %v", v, !want)
+		}
+	}
+}
+
+func TestSharedStridedMatchesReference(t *testing.T) {
+	n := 30000
+	cols := make([][]storage.Value, 4)
+	for j := range cols {
+		cols[j] = randomData(int64(20+j), n, 1<<16)
+	}
+	g, err := storage.NewColumnGroup([]string{"a", "b", "c", "d"}, cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := g.Column("c")
+	preds := randomPreds(21, 7, 1<<16, 3000)
+	for _, workers := range []int{1, 4, 16} {
+		results := SharedStrided(target, preds, 1024, workers)
+		for qi, p := range preds {
+			want := reference(cols[2], p)
+			if !sameRowIDs(results[qi], want) {
+				t.Fatalf("workers=%d query %d disagrees (%d vs %d rows)",
+					workers, qi, len(results[qi]), len(want))
+			}
+		}
+	}
+	// Contiguous columns fall through to the flat shared scan.
+	flat := storage.NewColumn("x", cols[0])
+	results := SharedStrided(flat, preds, 0, 4)
+	for qi, p := range preds {
+		if !sameRowIDs(results[qi], reference(cols[0], p)) {
+			t.Fatalf("contiguous fallthrough query %d disagrees", qi)
+		}
+	}
+}

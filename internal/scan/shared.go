@@ -1,0 +1,125 @@
+package scan
+
+import (
+	"runtime"
+	"sync"
+
+	"fastcolumns/internal/storage"
+)
+
+// DefaultBlockTuples is the shared-scan block size in tuples: 16Ki 4-byte
+// values are 64 KiB, comfortably cache resident while all q predicates
+// visit the block (Figure 2(b)).
+const DefaultBlockTuples = 16384
+
+// Shared evaluates q predicates in one pass over the data: each block is
+// brought up the memory hierarchy once and every query filters it before
+// eviction. Results are per query, in rowID order.
+func Shared(data []storage.Value, preds []Predicate, blockTuples int) [][]storage.RowID {
+	if blockTuples <= 0 {
+		blockTuples = DefaultBlockTuples
+	}
+	results := make([][]storage.RowID, len(preds))
+	for lo := 0; lo < len(data); lo += blockTuples {
+		hi := min(lo+blockTuples, len(data))
+		block := data[lo:hi]
+		for qi, p := range preds {
+			results[qi] = scanWithBase(block, p, lo, results[qi])
+		}
+	}
+	return results
+}
+
+// scanWithBase is the predicated kernel with rowIDs offset by base.
+func scanWithBase(data []storage.Value, p Predicate, base int, out []storage.RowID) []storage.RowID {
+	out = growFor(out, len(data))
+	n := len(out)
+	buf := out[:cap(out)]
+	for i, v := range data {
+		buf[n] = storage.RowID(base + i)
+		if v >= p.Lo && v <= p.Hi {
+			n++
+		}
+	}
+	return buf[:n]
+}
+
+// SharedParallel runs a shared scan with the q queries of each block
+// spread across workers, the way FastColumns assigns each select operator
+// its own hardware thread (Section 2.2). Blocks are processed in order;
+// per-query results stay in rowID order. workers <= 0 selects GOMAXPROCS.
+func SharedParallel(data []storage.Value, preds []Predicate, blockTuples, workers int) [][]storage.RowID {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 || len(preds) == 1 {
+		return Shared(data, preds, blockTuples)
+	}
+	if blockTuples <= 0 {
+		blockTuples = DefaultBlockTuples
+	}
+	results := make([][]storage.RowID, len(preds))
+	var wg sync.WaitGroup
+	// Partition queries across workers; each worker streams all blocks for
+	// its query subset so a block is still shared within the subset.
+	for w := 0; w < workers; w++ {
+		qlo := len(preds) * w / workers
+		qhi := len(preds) * (w + 1) / workers
+		if qlo == qhi {
+			continue
+		}
+		wg.Add(1)
+		go func(qlo, qhi int) {
+			defer wg.Done()
+			for lo := 0; lo < len(data); lo += blockTuples {
+				hi := min(lo+blockTuples, len(data))
+				block := data[lo:hi]
+				for qi := qlo; qi < qhi; qi++ {
+					results[qi] = scanWithBase(block, preds[qi], lo, results[qi])
+				}
+			}
+		}(qlo, qhi)
+	}
+	wg.Wait()
+	return results
+}
+
+// Parallel scans one predicate with the relation partitioned across
+// workers — the multi-core single-query scan. Partitions concatenate in
+// order, so the result is already in rowID order.
+func Parallel(data []storage.Value, p Predicate, workers int) []storage.RowID {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 || len(data) < 2*DefaultBlockTuples {
+		return ScanUnrolled(data, p, nil)
+	}
+	parts := make([][]storage.RowID, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := len(data) * w / workers
+		hi := len(data) * (w + 1) / workers
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			part := ScanUnrolled(data[lo:hi], p, nil)
+			for i := range part {
+				part[i] += storage.RowID(lo)
+			}
+			parts[w] = part
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	var total int
+	for _, p := range parts {
+		total += len(p)
+	}
+	out := make([]storage.RowID, 0, total)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}

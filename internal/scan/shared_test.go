@@ -1,0 +1,85 @@
+package scan
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randomPreds(seed int64, q int, domain int32, width int32) []Predicate {
+	rng := rand.New(rand.NewSource(seed))
+	preds := make([]Predicate, q)
+	for i := range preds {
+		lo := rng.Int31n(domain)
+		preds[i] = Predicate{Lo: lo, Hi: lo + rng.Int31n(width)}
+	}
+	return preds
+}
+
+func TestSharedMatchesIndependentScans(t *testing.T) {
+	data := randomData(2, 50000, 1<<16)
+	preds := randomPreds(3, 9, 1<<16, 4000)
+	for _, block := range []int{0, 100, 4096, 1 << 20} {
+		results := Shared(data, preds, block)
+		if len(results) != len(preds) {
+			t.Fatalf("got %d result sets, want %d", len(results), len(preds))
+		}
+		for qi, p := range preds {
+			want := reference(data, p)
+			if !sameRowIDs(results[qi], want) {
+				t.Fatalf("block=%d query %d: shared scan disagrees (%d vs %d rows)",
+					block, qi, len(results[qi]), len(want))
+			}
+		}
+	}
+}
+
+func TestSharedParallelMatchesShared(t *testing.T) {
+	data := randomData(4, 80000, 1<<16)
+	preds := randomPreds(5, 16, 1<<16, 2000)
+	for _, workers := range []int{1, 2, 3, 8, 32} {
+		results := SharedParallel(data, preds, 0, workers)
+		for qi, p := range preds {
+			want := reference(data, p)
+			if !sameRowIDs(results[qi], want) {
+				t.Fatalf("workers=%d query %d disagrees", workers, qi)
+			}
+		}
+	}
+}
+
+func TestSharedParallelMoreWorkersThanQueries(t *testing.T) {
+	data := randomData(6, 10000, 1000)
+	preds := randomPreds(7, 2, 1000, 100)
+	results := SharedParallel(data, preds, 0, 16)
+	for qi, p := range preds {
+		if !sameRowIDs(results[qi], reference(data, p)) {
+			t.Fatalf("query %d disagrees", qi)
+		}
+	}
+}
+
+func TestParallelSmallInputFallsBack(t *testing.T) {
+	data := randomData(8, 100, 50)
+	p := Predicate{Lo: 10, Hi: 30}
+	if !sameRowIDs(Parallel(data, p, 8), reference(data, p)) {
+		t.Fatal("small-input parallel scan disagrees")
+	}
+}
+
+func TestParallelResultsInRowIDOrder(t *testing.T) {
+	data := randomData(9, 1<<18, 1<<10)
+	p := Predicate{Lo: 0, Hi: 512}
+	got := Parallel(data, p, 7)
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatalf("rowIDs out of order at %d: %d after %d", i, got[i], got[i-1])
+		}
+	}
+}
+
+func TestSharedEmptyBatch(t *testing.T) {
+	data := randomData(10, 100, 10)
+	if got := Shared(data, nil, 0); len(got) != 0 {
+		t.Fatalf("empty batch produced %d result sets", len(got))
+	}
+}

@@ -1,0 +1,71 @@
+package scan
+
+import (
+	"runtime"
+	"sync"
+
+	"fastcolumns/internal/storage"
+)
+
+// SharedStrided answers a batch of predicates over a column-group member:
+// the group's rows are walked in blocks and every query evaluates each
+// block before moving on (the same sharing discipline as Shared, paying
+// the strided-access penalty once per block instead of once per query).
+// Queries spread across workers. workers <= 0 selects GOMAXPROCS.
+func SharedStrided(c *storage.Column, preds []Predicate, blockTuples, workers int) [][]storage.RowID {
+	if c.Contiguous() {
+		return SharedParallel(c.Raw(), preds, blockTuples, workers)
+	}
+	if blockTuples <= 0 {
+		blockTuples = DefaultBlockTuples
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	n := c.Len()
+	results := make([][]storage.RowID, len(preds))
+	if workers == 1 || len(preds) == 1 {
+		for lo := 0; lo < n; lo += blockTuples {
+			hi := min(lo+blockTuples, n)
+			for qi, p := range preds {
+				results[qi] = scanStridedRange(c, p, lo, hi, results[qi])
+			}
+		}
+		return results
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		qlo := len(preds) * w / workers
+		qhi := len(preds) * (w + 1) / workers
+		if qlo == qhi {
+			continue
+		}
+		wg.Add(1)
+		go func(qlo, qhi int) {
+			defer wg.Done()
+			for lo := 0; lo < n; lo += blockTuples {
+				hi := min(lo+blockTuples, n)
+				for qi := qlo; qi < qhi; qi++ {
+					results[qi] = scanStridedRange(c, preds[qi], lo, hi, results[qi])
+				}
+			}
+		}(qlo, qhi)
+	}
+	wg.Wait()
+	return results
+}
+
+// scanStridedRange runs the predicated kernel over rows [lo, hi) of a
+// strided view.
+func scanStridedRange(c *storage.Column, p Predicate, lo, hi int, out []storage.RowID) []storage.RowID {
+	out = growFor(out, hi-lo)
+	n := len(out)
+	buf := out[:cap(out)]
+	for i := lo; i < hi; i++ {
+		buf[n] = storage.RowID(i)
+		if v := c.Get(i); v >= p.Lo && v <= p.Hi {
+			n++
+		}
+	}
+	return buf[:n]
+}

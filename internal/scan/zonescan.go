@@ -1,0 +1,42 @@
+package scan
+
+import "fastcolumns/internal/storage"
+
+// WithZonemap scans a contiguous column skipping zones the zonemap proves
+// empty for the predicate. On clustered data this approaches index-like
+// behaviour; on random data it degrades to a plain scan.
+func WithZonemap(data []storage.Value, z *storage.Zonemap, p Predicate, out []storage.RowID) []storage.RowID {
+	for zi := 0; zi < z.Zones(); zi++ {
+		if z.Skippable(zi, p.Lo, p.Hi) {
+			continue
+		}
+		lo, hi := z.ZoneBounds(zi)
+		out = scanWithBase(data[lo:hi], p, lo, out)
+	}
+	return out
+}
+
+// SharedWithZonemap is the shared variant: a zone is skipped only when no
+// query in the batch needs it, so skipping decays as concurrency rises
+// (the zonemap drawback Section 2.1 calls out).
+func SharedWithZonemap(data []storage.Value, z *storage.Zonemap, preds []Predicate) [][]storage.RowID {
+	ranges := make([][2]storage.Value, len(preds))
+	for i, p := range preds {
+		ranges[i] = [2]storage.Value{p.Lo, p.Hi}
+	}
+	results := make([][]storage.RowID, len(preds))
+	for zi := 0; zi < z.Zones(); zi++ {
+		if z.SkippableForAll(zi, ranges) {
+			continue
+		}
+		lo, hi := z.ZoneBounds(zi)
+		block := data[lo:hi]
+		for qi, p := range preds {
+			if z.Skippable(zi, p.Lo, p.Hi) {
+				continue // per-query skip inside a shared pass is still free
+			}
+			results[qi] = scanWithBase(block, p, lo, results[qi])
+		}
+	}
+	return results
+}

@@ -1,0 +1,58 @@
+package scan
+
+import (
+	"testing"
+
+	"fastcolumns/internal/storage"
+)
+
+func TestZonemapScanMatchesPlain(t *testing.T) {
+	// Clustered (sorted) data: heavy skipping, same answer.
+	n := 20000
+	data := make([]storage.Value, n)
+	for i := range data {
+		data[i] = storage.Value(i)
+	}
+	z := storage.BuildZonemap(storage.NewColumn("v", data), 256)
+	for _, p := range []Predicate{
+		{Lo: 5000, Hi: 5100},
+		{Lo: 0, Hi: 19999},
+		{Lo: -100, Hi: -1},
+		{Lo: 19999, Hi: 19999},
+	} {
+		got := WithZonemap(data, z, p, nil)
+		if !sameRowIDs(got, reference(data, p)) {
+			t.Fatalf("zonemap scan disagrees for %+v", p)
+		}
+	}
+}
+
+func TestZonemapScanRandomData(t *testing.T) {
+	data := randomData(14, 30000, 1<<20)
+	z := storage.BuildZonemap(storage.NewColumn("v", data), 512)
+	p := Predicate{Lo: 1000, Hi: 50000}
+	if !sameRowIDs(WithZonemap(data, z, p, nil), reference(data, p)) {
+		t.Fatal("zonemap scan on random data disagrees")
+	}
+}
+
+func TestSharedWithZonemapMatchesShared(t *testing.T) {
+	n := 50000
+	data := make([]storage.Value, n)
+	for i := range data {
+		data[i] = storage.Value(i)
+	}
+	z := storage.BuildZonemap(storage.NewColumn("v", data), 512)
+	preds := []Predicate{
+		{Lo: 100, Hi: 300},
+		{Lo: 40000, Hi: 41000},
+		{Lo: 100000, Hi: 100010}, // empty
+		{Lo: 0, Hi: 49999},       // everything
+	}
+	results := SharedWithZonemap(data, z, preds)
+	for qi, p := range preds {
+		if !sameRowIDs(results[qi], reference(data, p)) {
+			t.Fatalf("query %d disagrees", qi)
+		}
+	}
+}

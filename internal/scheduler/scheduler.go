@@ -1,0 +1,165 @@
+// Package scheduler implements the batching component of Figure 11: it
+// continuously collects incoming select queries, groups the ones
+// predicated on the same attribute, and hands each group to the optimizer
+// and execution engine as one batch. Query concurrency — the q the APS
+// model needs — is precisely the size of these groups.
+package scheduler
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"fastcolumns/internal/scan"
+	"fastcolumns/internal/storage"
+)
+
+// Query is one select operator request.
+type Query struct {
+	// Attr names the predicated attribute; queries batch per attribute.
+	Attr string
+	// Pred is the range predicate.
+	Pred scan.Predicate
+	// reply receives the query's result exactly once.
+	reply chan Reply
+}
+
+// Reply is the outcome delivered to the query's submitter.
+type Reply struct {
+	RowIDs []storage.RowID
+	Err    error
+}
+
+// ExecFunc executes one batch of queries predicated on the same
+// attribute, returning one result set per query in batch order.
+type ExecFunc func(attr string, preds []scan.Predicate) ([][]storage.RowID, error)
+
+// Scheduler collects queries and flushes per-attribute batches when the
+// batching window elapses or a batch reaches MaxBatch.
+type Scheduler struct {
+	exec     ExecFunc
+	window   time.Duration
+	maxBatch int
+
+	mu      sync.Mutex
+	pending map[string][]*Query
+	timers  map[string]*time.Timer
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+// Options configures a scheduler.
+type Options struct {
+	// Window is how long the first query of a batch may wait for company;
+	// the default 1ms trades a negligible latency hit for sharing.
+	Window time.Duration
+	// MaxBatch flushes a batch early once it holds this many queries
+	// (default 512 — beyond that, result-writing thrash erases the
+	// sharing benefit; see Lesson 5).
+	MaxBatch int
+}
+
+// New creates a scheduler that executes batches with exec.
+func New(exec ExecFunc, opt Options) *Scheduler {
+	if opt.Window <= 0 {
+		opt.Window = time.Millisecond
+	}
+	if opt.MaxBatch <= 0 {
+		opt.MaxBatch = 512
+	}
+	return &Scheduler{
+		exec:     exec,
+		window:   opt.Window,
+		maxBatch: opt.MaxBatch,
+		pending:  make(map[string][]*Query),
+		timers:   make(map[string]*time.Timer),
+	}
+}
+
+// Submit enqueues a query and returns a channel that will receive its
+// reply. The channel is buffered; the caller need not be ready.
+func (s *Scheduler) Submit(attr string, pred scan.Predicate) (<-chan Reply, error) {
+	q := &Query{Attr: attr, Pred: pred, reply: make(chan Reply, 1)}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, errors.New("scheduler: closed")
+	}
+	s.pending[attr] = append(s.pending[attr], q)
+	n := len(s.pending[attr])
+	switch {
+	case n >= s.maxBatch:
+		batch := s.takeLocked(attr)
+		s.mu.Unlock()
+		s.run(attr, batch)
+	case n == 1:
+		// First query on the attribute arms the window timer.
+		s.timers[attr] = time.AfterFunc(s.window, func() { s.Flush(attr) })
+		s.mu.Unlock()
+	default:
+		s.mu.Unlock()
+	}
+	return q.reply, nil
+}
+
+// Flush executes whatever is pending on the attribute right now.
+func (s *Scheduler) Flush(attr string) {
+	s.mu.Lock()
+	batch := s.takeLocked(attr)
+	s.mu.Unlock()
+	if len(batch) > 0 {
+		s.run(attr, batch)
+	}
+}
+
+// Pending returns the number of queries waiting on the attribute — the
+// outstanding-query statistic the optimizer reads.
+func (s *Scheduler) Pending(attr string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.pending[attr])
+}
+
+// takeLocked removes and returns the attribute's batch. Caller holds mu.
+func (s *Scheduler) takeLocked(attr string) []*Query {
+	batch := s.pending[attr]
+	delete(s.pending, attr)
+	if t := s.timers[attr]; t != nil {
+		t.Stop()
+		delete(s.timers, attr)
+	}
+	return batch
+}
+
+// run executes a batch and delivers replies.
+func (s *Scheduler) run(attr string, batch []*Query) {
+	s.wg.Add(1)
+	defer s.wg.Done()
+	preds := make([]scan.Predicate, len(batch))
+	for i, q := range batch {
+		preds[i] = q.Pred
+	}
+	results, err := s.exec(attr, preds)
+	for i, q := range batch {
+		if err != nil {
+			q.reply <- Reply{Err: err}
+			continue
+		}
+		q.reply <- Reply{RowIDs: results[i]}
+	}
+}
+
+// Close flushes every pending batch and stops accepting submissions.
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	s.closed = true
+	attrs := make([]string, 0, len(s.pending))
+	for a := range s.pending {
+		attrs = append(attrs, a)
+	}
+	s.mu.Unlock()
+	for _, a := range attrs {
+		s.Flush(a)
+	}
+	s.wg.Wait()
+}

@@ -1,0 +1,179 @@
+package scheduler
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fastcolumns/internal/scan"
+	"fastcolumns/internal/storage"
+)
+
+// countingExec records batch sizes and answers each query with its batch
+// index as a fake rowID.
+type countingExec struct {
+	mu      sync.Mutex
+	batches map[string][]int
+}
+
+func newCountingExec() *countingExec {
+	return &countingExec{batches: make(map[string][]int)}
+}
+
+func (c *countingExec) exec(attr string, preds []scan.Predicate) ([][]storage.RowID, error) {
+	c.mu.Lock()
+	c.batches[attr] = append(c.batches[attr], len(preds))
+	c.mu.Unlock()
+	out := make([][]storage.RowID, len(preds))
+	for i := range out {
+		out[i] = []storage.RowID{storage.RowID(i)}
+	}
+	return out, nil
+}
+
+func (c *countingExec) batchSizes(attr string) []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]int(nil), c.batches[attr]...)
+}
+
+func TestBatchingGroupsConcurrentQueries(t *testing.T) {
+	ce := newCountingExec()
+	s := New(ce.exec, Options{Window: 20 * time.Millisecond})
+	defer s.Close()
+
+	var replies []<-chan Reply
+	for i := 0; i < 10; i++ {
+		ch, err := s.Submit("a", scan.Predicate{Lo: 0, Hi: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		replies = append(replies, ch)
+	}
+	for i, ch := range replies {
+		r := <-ch
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+		if len(r.RowIDs) != 1 || int(r.RowIDs[0]) != i {
+			t.Fatalf("query %d got %v", i, r.RowIDs)
+		}
+	}
+	sizes := ce.batchSizes("a")
+	if len(sizes) != 1 || sizes[0] != 10 {
+		t.Fatalf("expected one batch of 10, got %v", sizes)
+	}
+}
+
+func TestAttributesBatchIndependently(t *testing.T) {
+	ce := newCountingExec()
+	s := New(ce.exec, Options{Window: 10 * time.Millisecond})
+	defer s.Close()
+	chA, _ := s.Submit("a", scan.Predicate{})
+	chB, _ := s.Submit("b", scan.Predicate{})
+	<-chA
+	<-chB
+	if len(ce.batchSizes("a")) != 1 || len(ce.batchSizes("b")) != 1 {
+		t.Fatalf("batches: a=%v b=%v", ce.batchSizes("a"), ce.batchSizes("b"))
+	}
+}
+
+func TestMaxBatchFlushesEarly(t *testing.T) {
+	ce := newCountingExec()
+	s := New(ce.exec, Options{Window: time.Hour, MaxBatch: 4})
+	defer s.Close()
+	var chans []<-chan Reply
+	for i := 0; i < 8; i++ {
+		ch, _ := s.Submit("a", scan.Predicate{})
+		chans = append(chans, ch)
+	}
+	for _, ch := range chans {
+		<-ch
+	}
+	sizes := ce.batchSizes("a")
+	if len(sizes) != 2 || sizes[0] != 4 || sizes[1] != 4 {
+		t.Fatalf("expected two batches of 4, got %v", sizes)
+	}
+}
+
+func TestManualFlush(t *testing.T) {
+	ce := newCountingExec()
+	s := New(ce.exec, Options{Window: time.Hour})
+	defer s.Close()
+	ch, _ := s.Submit("a", scan.Predicate{})
+	if got := s.Pending("a"); got != 1 {
+		t.Fatalf("Pending = %d", got)
+	}
+	s.Flush("a")
+	select {
+	case <-ch:
+	case <-time.After(time.Second):
+		t.Fatal("flush did not execute the batch")
+	}
+	if got := s.Pending("a"); got != 0 {
+		t.Fatalf("Pending after flush = %d", got)
+	}
+}
+
+func TestExecErrorsPropagate(t *testing.T) {
+	boom := errors.New("boom")
+	s := New(func(string, []scan.Predicate) ([][]storage.RowID, error) {
+		return nil, boom
+	}, Options{Window: time.Millisecond})
+	defer s.Close()
+	ch, _ := s.Submit("a", scan.Predicate{})
+	r := <-ch
+	if !errors.Is(r.Err, boom) {
+		t.Fatalf("error not propagated: %v", r.Err)
+	}
+}
+
+func TestCloseFlushesAndRejects(t *testing.T) {
+	ce := newCountingExec()
+	s := New(ce.exec, Options{Window: time.Hour})
+	ch, _ := s.Submit("a", scan.Predicate{})
+	s.Close()
+	select {
+	case r := <-ch:
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Close did not flush pending work")
+	}
+	if _, err := s.Submit("a", scan.Predicate{}); err == nil {
+		t.Fatal("Submit after Close accepted")
+	}
+}
+
+func TestConcurrentSubmitters(t *testing.T) {
+	var served atomic.Int64
+	s := New(func(attr string, preds []scan.Predicate) ([][]storage.RowID, error) {
+		served.Add(int64(len(preds)))
+		out := make([][]storage.RowID, len(preds))
+		return out, nil
+	}, Options{Window: time.Millisecond, MaxBatch: 32})
+	var wg sync.WaitGroup
+	const goroutines, perG = 16, 50
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				ch, err := s.Submit("x", scan.Predicate{})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				<-ch
+			}
+		}()
+	}
+	wg.Wait()
+	s.Close()
+	if served.Load() != goroutines*perG {
+		t.Fatalf("served %d queries, want %d", served.Load(), goroutines*perG)
+	}
+}

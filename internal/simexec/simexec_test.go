@@ -1,0 +1,220 @@
+package simexec
+
+import (
+	"math/rand"
+	"testing"
+
+	"fastcolumns/internal/index"
+	"fastcolumns/internal/memsim"
+	"fastcolumns/internal/model"
+	"fastcolumns/internal/scan"
+	"fastcolumns/internal/storage"
+)
+
+func uniformData(seed int64, n int, domain int32) []storage.Value {
+	rng := rand.New(rand.NewSource(seed))
+	data := make([]storage.Value, n)
+	for i := range data {
+		data[i] = rng.Int31n(domain)
+	}
+	return data
+}
+
+func newEngine(t *testing.T, n int) (*Engine, []storage.Value, storage.Value) {
+	t.Helper()
+	domain := storage.Value(1 << 20)
+	data := uniformData(1, n, int32(domain))
+	e := New(model.HW1(), model.DefaultDesign(), data, 4)
+	return e, data, domain
+}
+
+func TestCountIsExact(t *testing.T) {
+	e, data, _ := newEngine(t, 50000)
+	for _, p := range []scan.Predicate{
+		{Lo: 0, Hi: 1 << 18}, {Lo: 5, Hi: 4}, {Lo: 1 << 19, Hi: 1<<19 + 1000},
+	} {
+		want := 0
+		for _, v := range data {
+			if p.Matches(v) {
+				want++
+			}
+		}
+		if got := e.Count(p); got != want {
+			t.Fatalf("Count(%+v) = %d, want %d", p, got, want)
+		}
+	}
+}
+
+func TestScanTimeIndependentOfSelectivityBase(t *testing.T) {
+	// The scan's data movement term is selectivity independent; only the
+	// result writing grows. A tiny and a huge predicate must differ by
+	// roughly the write cost of the extra results.
+	e, _, domain := newEngine(t, 200000)
+	small := e.SharedScan(e.uniformPreds(1, 0.0001, domain))
+	large := e.SharedScan(e.uniformPreds(1, 0.9, domain))
+	if large <= small {
+		t.Fatalf("larger results should cost more: %v vs %v", large, small)
+	}
+	if large > 4*small {
+		t.Fatalf("scan should be dominated by data movement: small=%v large=%v", small, large)
+	}
+}
+
+func TestIndexTimeGrowsWithSelectivity(t *testing.T) {
+	e, _, domain := newEngine(t, 200000)
+	prev := -1.0
+	for _, s := range []float64{0.0001, 0.001, 0.01, 0.1} {
+		cur := e.ConcIndex(e.uniformPreds(1, s, domain))
+		if cur <= prev {
+			t.Fatalf("index time not increasing at s=%v: %v <= %v", s, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestLowSelectivityFavorsIndexHighFavorsScan(t *testing.T) {
+	e, _, domain := newEngine(t, 500000)
+	lo := e.uniformPreds(1, 0.00005, domain)
+	if e.ConcIndex(lo) >= e.SharedScan(lo) {
+		t.Fatalf("index should win at 0.005%%: index=%v scan=%v",
+			e.ConcIndex(lo), e.SharedScan(lo))
+	}
+	hi := e.uniformPreds(1, 0.2, domain)
+	if e.ConcIndex(hi) <= e.SharedScan(hi) {
+		t.Fatalf("scan should win at 20%%: index=%v scan=%v",
+			e.ConcIndex(hi), e.SharedScan(hi))
+	}
+}
+
+func TestSimulatedCrossoverDecreasesWithConcurrency(t *testing.T) {
+	e, _, domain := newEngine(t, 300000)
+	s1, ok1 := e.Crossover(1, domain)
+	s32, ok32 := e.Crossover(32, domain)
+	if !ok1 || !ok32 {
+		t.Fatalf("crossover missing: q=1 (%v,%v) q=32 (%v,%v)", s1, ok1, s32, ok32)
+	}
+	if s32 >= s1 {
+		t.Fatalf("crossover should fall with concurrency: q=1 %v, q=32 %v", s1, s32)
+	}
+}
+
+func TestSimulatedCrossoverNearModel(t *testing.T) {
+	// The simulated executors and the closed-form model must agree on the
+	// break-even point within a small factor — that is the Figure 16
+	// validation.
+	e, _, domain := newEngine(t, 300000)
+	for _, q := range []int{1, 8} {
+		sim, okSim := e.Crossover(q, domain)
+		mod, okMod := model.Crossover(q, model.Dataset{N: float64(e.N()), TupleSize: 4},
+			model.HW1(), model.DefaultDesign())
+		if !okSim || !okMod {
+			t.Fatalf("q=%d: crossover missing (sim %v model %v)", q, sim, mod)
+		}
+		ratio := sim / mod
+		if ratio < 0.25 || ratio > 4 {
+			t.Fatalf("q=%d: simulated crossover %v vs model %v (off %.1fx)", q, sim, mod, max(ratio, 1/ratio))
+		}
+	}
+}
+
+func TestSharingAmortizesScan(t *testing.T) {
+	// q queries in one shared scan must cost much less than q separate
+	// scans while the scan is memory bound.
+	e, _, domain := newEngine(t, 400000)
+	preds := e.uniformPreds(8, 0.001, domain)
+	shared := e.SharedScan(preds)
+	var separate float64
+	for _, p := range preds {
+		separate += e.SharedScan([]scan.Predicate{p})
+	}
+	if separate/shared < 4 {
+		t.Fatalf("sharing 8 queries saved only %.1fx", separate/shared)
+	}
+}
+
+func TestWritePenaltyAndBatching(t *testing.T) {
+	e, _, domain := newEngine(t, 100000)
+	preds := e.uniformPreds(512, 0.01, domain)
+	whole := e.SharedScan(preds)
+	batched := e.SharedScanBatched(preds, 256)
+	if batched >= whole {
+		t.Fatalf("batching 512 as 2x256 should beat one 512-wide scan: %v vs %v", batched, whole)
+	}
+	// Below the thrash threshold batching only adds scans.
+	preds64 := e.uniformPreds(64, 0.01, domain)
+	if e.SharedScanBatched(preds64, 256) != e.SharedScan(preds64) {
+		t.Fatal("batching should be a no-op below the threshold")
+	}
+}
+
+func TestNaturalSharingInTree(t *testing.T) {
+	// Two identical probes: the second descends entirely through cached
+	// nodes, so a batch of two identical queries costs less than twice one
+	// query (minus the shared read cost which ConcIndex does not share).
+	e, _, domain := newEngine(t, 200000)
+	one := e.ConcIndex(e.uniformPreds(1, 0.001, domain))
+	p := e.uniformPreds(1, 0.001, domain)[0]
+	two := e.ConcIndex([]scan.Predicate{p, p})
+	if two >= 2*one {
+		t.Fatalf("no natural sharing: one=%v two=%v", one, two)
+	}
+}
+
+func TestRunDispatch(t *testing.T) {
+	e, _, domain := newEngine(t, 50000)
+	preds := e.uniformPreds(2, 0.01, domain)
+	if got, want := e.Run(model.PathScan, preds), e.SharedScan(preds); got != want {
+		t.Fatalf("Run(scan) = %v, want %v", got, want)
+	}
+	if got, want := e.Run(model.PathIndex, preds), e.ConcIndex(preds); got != want {
+		t.Fatalf("Run(index) = %v, want %v", got, want)
+	}
+}
+
+func TestSimulatedBitmapOrdering(t *testing.T) {
+	// On a low-cardinality column the simulated bitmap beats the tree for
+	// equality queries but loses to the scan for wide ranges — the same
+	// ordering the closed-form model (and the wall clock) shows.
+	domain := storage.Value(128)
+	data := make([]storage.Value, 300000)
+	rng := rand.New(rand.NewSource(2))
+	for i := range data {
+		data[i] = rng.Int31n(int32(domain))
+	}
+	e := New(model.HW1(), model.DefaultDesign(), data, 4)
+	point := []scan.Predicate{{Lo: 42, Hi: 42}}
+	if bm, tree := e.ConcBitmapOver(point, 128, domain), e.ConcIndex(point); bm >= tree {
+		t.Fatalf("equality: bitmap %v should beat tree %v", bm, tree)
+	}
+	wide := []scan.Predicate{{Lo: 0, Hi: domain/2 - 1}}
+	if bm, scn := e.ConcBitmapOver(wide, 128, domain), e.SharedScan(wide); bm <= scn {
+		t.Fatalf("wide range: scan %v should beat bitmap %v", scn, bm)
+	}
+}
+
+func TestHierarchySensitivity(t *testing.T) {
+	// The simulated executors use a single-LLC machine; check the
+	// simplification is benign by replaying one probe trace through the
+	// two-level hierarchy and requiring the same cost within 3x.
+	e, _, domain := newEngine(t, 200000)
+	preds := e.uniformPreds(4, 0.001, domain)
+	single := e.ConcIndex(preds)
+
+	h := memsim.NewHierarchy(model.HW1())
+	entryBytes := 8.0
+	var hier float64
+	for _, p := range preds {
+		k := e.Tree().Trace(p.Lo, p.Hi, func(ev index.TraceEvent) {
+			h.Random(uint64(ev.NodeID) * 256)
+			if ev.Kind == index.TraceLeaf {
+				hier += float64(ev.Entries) * entryBytes / model.HW1().LeafBandwidth
+			}
+		})
+		hier += float64(k) * 4 / model.HW1().ResultBandwidth
+	}
+	hier += h.Now()
+	ratio := hier / single
+	if ratio < 1.0/3 || ratio > 3 {
+		t.Fatalf("two-level hierarchy diverges %vx from the single-LLC machine", ratio)
+	}
+}

@@ -1,0 +1,42 @@
+package stats
+
+import "sync"
+
+// QueryCounter tracks the number of outstanding select queries per
+// attribute — "a simple count per attribute" (Section 3, "Fast
+// Decisions") — which is the concurrency input q of the APS model.
+type QueryCounter struct {
+	mu       sync.Mutex
+	inflight map[string]int
+}
+
+// NewQueryCounter returns an empty counter.
+func NewQueryCounter() *QueryCounter {
+	return &QueryCounter{inflight: make(map[string]int)}
+}
+
+// Begin records n queries arriving on the attribute and returns the new
+// outstanding count.
+func (c *QueryCounter) Begin(attr string, n int) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.inflight[attr] += n
+	return c.inflight[attr]
+}
+
+// End records n queries on the attribute completing.
+func (c *QueryCounter) End(attr string, n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.inflight[attr] -= n
+	if c.inflight[attr] <= 0 {
+		delete(c.inflight, attr)
+	}
+}
+
+// Outstanding returns the current count for the attribute.
+func (c *QueryCounter) Outstanding(attr string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.inflight[attr]
+}

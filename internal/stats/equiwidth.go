@@ -1,0 +1,123 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+
+	"fastcolumns/internal/storage"
+)
+
+// EquiWidth is the simpler classic histogram: the value domain is split
+// into equal-width buckets. Cheap to build and maintain, but skewed data
+// concentrates tuples into few buckets and wrecks the estimates — the
+// reason the optimizer defaults to the equi-depth Histogram. It exists
+// as the comparison baseline (and for workloads known to be uniform,
+// where it is just as accurate and cheaper).
+type EquiWidth struct {
+	min, max storage.Value
+	counts   []int
+	n        int
+	width    float64
+}
+
+// BuildEquiWidth makes an equal-width histogram with the given bucket
+// count over the column's observed min..max.
+func BuildEquiWidth(c *storage.Column, buckets int) (*EquiWidth, error) {
+	n := c.Len()
+	if n == 0 {
+		return nil, errors.New("stats: cannot build histogram over empty column")
+	}
+	if buckets < 1 {
+		buckets = 1
+	}
+	mn, mx := c.Get(0), c.Get(0)
+	for i := 1; i < n; i++ {
+		v := c.Get(i)
+		if v < mn {
+			mn = v
+		}
+		if v > mx {
+			mx = v
+		}
+	}
+	h := &EquiWidth{min: mn, max: mx, counts: make([]int, buckets), n: n}
+	h.width = (float64(mx) - float64(mn) + 1) / float64(buckets)
+	for i := 0; i < n; i++ {
+		h.counts[h.bucket(c.Get(i))]++
+	}
+	return h, nil
+}
+
+func (h *EquiWidth) bucket(v storage.Value) int {
+	b := int((float64(v) - float64(h.min)) / h.width)
+	if b < 0 {
+		b = 0
+	}
+	if b >= len(h.counts) {
+		b = len(h.counts) - 1
+	}
+	return b
+}
+
+// Buckets returns the bucket count.
+func (h *EquiWidth) Buckets() int { return len(h.counts) }
+
+// N returns the number of tuples summarized.
+func (h *EquiWidth) N() int { return h.n }
+
+// EstimateRange returns the estimated selectivity of lo <= v <= hi,
+// interpolating linearly within partially-covered buckets.
+func (h *EquiWidth) EstimateRange(lo, hi storage.Value) float64 {
+	if lo > hi || h.n == 0 {
+		return 0
+	}
+	if hi < h.min || lo > h.max {
+		return 0
+	}
+	flo := math.Max(float64(lo), float64(h.min))
+	fhi := math.Min(float64(hi), float64(h.max))
+	var est float64
+	bLo, bHi := h.bucket(storage.Value(flo)), h.bucket(storage.Value(fhi))
+	for b := bLo; b <= bHi; b++ {
+		bStart := float64(h.min) + float64(b)*h.width
+		bEnd := bStart + h.width
+		overlap := math.Min(fhi+1, bEnd) - math.Max(flo, bStart)
+		if overlap <= 0 {
+			continue
+		}
+		est += float64(h.counts[b]) * overlap / h.width
+	}
+	sel := est / float64(h.n)
+	if sel < 0 {
+		return 0
+	}
+	if sel > 1 {
+		return 1
+	}
+	return sel
+}
+
+// BuildHistogramSampled builds an equi-depth histogram from a uniform
+// sample of the column — the practical path for very large relations,
+// where a full sort per attribute is too expensive at Analyze time.
+// sampleSize is clamped to the column size.
+func BuildHistogramSampled(c *storage.Column, buckets, sampleSize int, seed int64) (*Histogram, error) {
+	n := c.Len()
+	if n == 0 {
+		return nil, errors.New("stats: cannot build histogram over empty column")
+	}
+	if sampleSize <= 0 || sampleSize > n {
+		sampleSize = n
+	}
+	rng := rand.New(rand.NewSource(seed))
+	sample := make([]storage.Value, sampleSize)
+	for i := range sample {
+		sample[i] = c.Get(rng.Intn(n))
+	}
+	sort.Slice(sample, func(i, j int) bool { return sample[i] < sample[j] })
+	// Reuse the equi-depth construction over the sorted sample; the
+	// estimate is a fraction, so the sample rate cancels.
+	return buildFromSorted(sample, buckets)
+}

@@ -1,0 +1,124 @@
+// Package storage implements the FastColumns storage engine of Section 3:
+// fixed-width dense columns, column-group (hybrid) layouts, order-
+// preserving dictionary compression, zonemaps for data skipping, and the
+// append-only write store that modern analytical systems pair with their
+// read-optimized store.
+package storage
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Value is the fixed-width attribute type. The paper's experiments use
+// 32-bit integers throughout.
+type Value = int32
+
+// RowID is an offset into a dense column. The select operator's output is
+// a collection of RowIDs.
+type RowID = uint32
+
+// Column is a read-only view of one attribute. For pure columnar layouts
+// the view is contiguous (stride 1); for column-group layouts it is a
+// strided view into the group's row-major array, which is exactly why
+// scans over wide groups touch more memory per useful value (Figure 15).
+type Column struct {
+	name   string
+	data   []Value
+	stride int
+	offset int
+}
+
+// NewColumn wraps a contiguous attribute array.
+func NewColumn(name string, data []Value) *Column {
+	return &Column{name: name, data: data, stride: 1}
+}
+
+// Name returns the attribute name.
+func (c *Column) Name() string { return c.name }
+
+// Len returns the number of tuples.
+func (c *Column) Len() int {
+	if c.stride == 0 {
+		return 0
+	}
+	return (len(c.data) - c.offset + c.stride - 1) / c.stride
+}
+
+// Get returns the value at row i.
+func (c *Column) Get(i int) Value {
+	return c.data[c.offset+i*c.stride]
+}
+
+// Stride returns the distance in values between consecutive tuples: 1 for
+// a pure column, the group width for a column-group member.
+func (c *Column) Stride() int { return c.stride }
+
+// TupleSize returns ts in bytes: the memory a scan must stream per tuple.
+// A pure column moves 4 bytes per tuple; a member of a k-wide group drags
+// the whole 4k-byte tuple through the memory hierarchy.
+func (c *Column) TupleSize() int { return c.stride * 4 }
+
+// Contiguous reports whether the view is stride-1, enabling the tight
+// vectorized scan kernels.
+func (c *Column) Contiguous() bool { return c.stride == 1 }
+
+// Raw returns the underlying contiguous slice. It panics for strided
+// views; callers must check Contiguous first.
+func (c *Column) Raw() []Value {
+	if !c.Contiguous() {
+		panic("storage: Raw on strided column view")
+	}
+	return c.data[c.offset:]
+}
+
+// ColumnGroup is a row-major array of w adjacent attributes — the hybrid
+// storage layout of Section 2.1. Pure row storage is the limiting case of
+// one group holding every attribute.
+type ColumnGroup struct {
+	names []string
+	data  []Value
+	width int
+}
+
+// NewColumnGroup builds a group from w equally long attribute slices,
+// interleaving them row-major.
+func NewColumnGroup(names []string, cols [][]Value) (*ColumnGroup, error) {
+	if len(names) != len(cols) || len(cols) == 0 {
+		return nil, errors.New("storage: group needs one name per column")
+	}
+	n := len(cols[0])
+	for i, c := range cols {
+		if len(c) != n {
+			return nil, fmt.Errorf("storage: column %q has %d rows, want %d", names[i], len(c), n)
+		}
+	}
+	w := len(cols)
+	data := make([]Value, n*w)
+	for r := 0; r < n; r++ {
+		for j := 0; j < w; j++ {
+			data[r*w+j] = cols[j][r]
+		}
+	}
+	return &ColumnGroup{names: append([]string(nil), names...), data: data, width: w}, nil
+}
+
+// Width returns the number of attributes in the group.
+func (g *ColumnGroup) Width() int { return g.width }
+
+// Rows returns the number of tuples.
+func (g *ColumnGroup) Rows() int { return len(g.data) / g.width }
+
+// Column returns the strided view of the named attribute, or nil if the
+// group has no such attribute.
+func (g *ColumnGroup) Column(name string) *Column {
+	for j, n := range g.names {
+		if n == name {
+			return &Column{name: name, data: g.data, stride: g.width, offset: j}
+		}
+	}
+	return nil
+}
+
+// Names returns the attribute names in layout order.
+func (g *ColumnGroup) Names() []string { return append([]string(nil), g.names...) }

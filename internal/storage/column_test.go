@@ -1,0 +1,116 @@
+package storage
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestColumnBasics(t *testing.T) {
+	c := NewColumn("a", []Value{5, 3, 9, 1})
+	if c.Name() != "a" {
+		t.Fatalf("Name = %q", c.Name())
+	}
+	if c.Len() != 4 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	if c.Get(2) != 9 {
+		t.Fatalf("Get(2) = %d", c.Get(2))
+	}
+	if !c.Contiguous() || c.Stride() != 1 || c.TupleSize() != 4 {
+		t.Fatalf("contiguous column misdescribed: stride=%d ts=%d", c.Stride(), c.TupleSize())
+	}
+	if got := c.Raw(); len(got) != 4 || got[0] != 5 {
+		t.Fatalf("Raw = %v", got)
+	}
+}
+
+func TestEmptyColumn(t *testing.T) {
+	c := NewColumn("e", nil)
+	if c.Len() != 0 {
+		t.Fatalf("empty column Len = %d", c.Len())
+	}
+}
+
+func TestColumnGroupLayout(t *testing.T) {
+	g, err := NewColumnGroup(
+		[]string{"a", "b", "c"},
+		[][]Value{{1, 2, 3}, {10, 20, 30}, {100, 200, 300}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Width() != 3 || g.Rows() != 3 {
+		t.Fatalf("width=%d rows=%d", g.Width(), g.Rows())
+	}
+	b := g.Column("b")
+	if b == nil {
+		t.Fatal("missing column b")
+	}
+	if b.Len() != 3 {
+		t.Fatalf("group member Len = %d, want 3", b.Len())
+	}
+	for i, want := range []Value{10, 20, 30} {
+		if got := b.Get(i); got != want {
+			t.Fatalf("b[%d] = %d, want %d", i, got, want)
+		}
+	}
+	if b.Contiguous() {
+		t.Fatal("group member must be strided")
+	}
+	if b.TupleSize() != 12 {
+		t.Fatalf("group member TupleSize = %d, want 12 (3 attrs * 4 bytes)", b.TupleSize())
+	}
+	if g.Column("missing") != nil {
+		t.Fatal("unknown attribute should return nil")
+	}
+}
+
+func TestColumnGroupErrors(t *testing.T) {
+	if _, err := NewColumnGroup(nil, nil); err == nil {
+		t.Fatal("empty group accepted")
+	}
+	if _, err := NewColumnGroup([]string{"a", "b"}, [][]Value{{1}, {1, 2}}); err == nil {
+		t.Fatal("ragged group accepted")
+	}
+	if _, err := NewColumnGroup([]string{"a"}, [][]Value{{1}, {2}}); err == nil {
+		t.Fatal("name/column count mismatch accepted")
+	}
+}
+
+func TestRawPanicsOnStridedView(t *testing.T) {
+	g, _ := NewColumnGroup([]string{"a", "b"}, [][]Value{{1, 2}, {3, 4}})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Raw on strided view did not panic")
+		}
+	}()
+	_ = g.Column("a").Raw()
+}
+
+func TestGroupRoundTripProperty(t *testing.T) {
+	// Interleaving then reading back through strided views is the identity.
+	f := func(a, b []int32) bool {
+		n := min(len(a), len(b))
+		a, b = a[:n], b[:n]
+		if n == 0 {
+			return true
+		}
+		g, err := NewColumnGroup([]string{"x", "y"}, [][]Value{a, b})
+		if err != nil {
+			return false
+		}
+		x, y := g.Column("x"), g.Column("y")
+		if x.Len() != n || y.Len() != n {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if x.Get(i) != a[i] || y.Get(i) != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

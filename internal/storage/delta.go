@@ -1,0 +1,61 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+)
+
+// WriteStore is the append-only delta store that accumulates new tuples
+// until they are merged into the read-optimized store. Main-memory
+// analytical systems either reject in-place updates or route them through
+// such a delta (Section 1); our access-path analysis, like the paper's,
+// targets the read store, so the write store only supports Append and
+// MergeInto.
+type WriteStore struct {
+	mu      sync.Mutex
+	columns []string
+	rows    [][]Value // rows[i] is one appended tuple, len == len(columns)
+}
+
+// NewWriteStore creates a delta store for the given attribute names.
+func NewWriteStore(columns []string) *WriteStore {
+	return &WriteStore{columns: append([]string(nil), columns...)}
+}
+
+// Append buffers one tuple. It is safe for concurrent use.
+func (w *WriteStore) Append(tuple []Value) error {
+	if len(tuple) != len(w.columns) {
+		return fmt.Errorf("storage: tuple has %d values, table has %d columns", len(tuple), len(w.columns))
+	}
+	cp := append([]Value(nil), tuple...)
+	w.mu.Lock()
+	w.rows = append(w.rows, cp)
+	w.mu.Unlock()
+	return nil
+}
+
+// Pending returns the number of buffered tuples.
+func (w *WriteStore) Pending() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.rows)
+}
+
+// Drain removes and returns all buffered tuples in append order,
+// transposed to one slice per column (ready to extend the read store).
+func (w *WriteStore) Drain() map[string][]Value {
+	w.mu.Lock()
+	rows := w.rows
+	w.rows = nil
+	w.mu.Unlock()
+
+	out := make(map[string][]Value, len(w.columns))
+	for j, name := range w.columns {
+		col := make([]Value, len(rows))
+		for i, r := range rows {
+			col[i] = r[j]
+		}
+		out[name] = col
+	}
+	return out
+}

@@ -1,0 +1,169 @@
+package storage
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestDictionaryOrderPreserving(t *testing.T) {
+	d, err := BuildDictionary([]Value{30, 10, 20, 10, 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Size() != 3 {
+		t.Fatalf("Size = %d, want 3", d.Size())
+	}
+	c10, _ := d.Encode(10)
+	c20, _ := d.Encode(20)
+	c30, _ := d.Encode(30)
+	if !(c10 < c20 && c20 < c30) {
+		t.Fatalf("codes not order preserving: %d %d %d", c10, c20, c30)
+	}
+	for _, v := range []Value{10, 20, 30} {
+		c, ok := d.Encode(v)
+		if !ok || d.Decode(c) != v {
+			t.Fatalf("round trip failed for %d", v)
+		}
+	}
+	if _, ok := d.Encode(15); ok {
+		t.Fatal("encoded a value outside the domain")
+	}
+}
+
+func TestEncodeRange(t *testing.T) {
+	d, _ := BuildDictionary([]Value{10, 20, 30, 40})
+	cases := []struct {
+		lo, hi   Value
+		wantLo   Value
+		wantHi   Value
+		wantOK   bool
+		scenario string
+	}{
+		{10, 40, 10, 40, true, "full range"},
+		{15, 35, 20, 30, true, "bounds between values"},
+		{20, 20, 20, 20, true, "point"},
+		{41, 50, 0, 0, false, "above domain"},
+		{0, 9, 0, 0, false, "below domain"},
+		{21, 29, 0, 0, false, "gap"},
+	}
+	for _, c := range cases {
+		clo, chi, ok := d.EncodeRange(c.lo, c.hi)
+		if ok != c.wantOK {
+			t.Fatalf("%s: ok=%v want %v", c.scenario, ok, c.wantOK)
+		}
+		if !ok {
+			continue
+		}
+		if d.Decode(clo) != c.wantLo || d.Decode(chi) != c.wantHi {
+			t.Fatalf("%s: got [%d,%d] want [%d,%d]",
+				c.scenario, d.Decode(clo), d.Decode(chi), c.wantLo, c.wantHi)
+		}
+	}
+}
+
+func TestEncodeRangeSelectsSameTuples(t *testing.T) {
+	// Property: filtering codes with the encoded range yields exactly the
+	// tuples the value range selects — the correctness condition for
+	// scanning directly over compressed data.
+	f := func(seed int64, loRaw, hiRaw int16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		data := make([]Value, 500)
+		for i := range data {
+			data[i] = Value(rng.Intn(1000))
+		}
+		lo, hi := Value(loRaw), Value(hiRaw)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		col := NewColumn("v", data)
+		cc, err := Compress(col)
+		if err != nil {
+			return false
+		}
+		clo, chi, ok := cc.Dict().EncodeRange(lo, hi)
+		var viaCodes []int
+		if ok {
+			for i, c := range cc.Codes() {
+				if c >= clo && c <= chi {
+					viaCodes = append(viaCodes, i)
+				}
+			}
+		}
+		var direct []int
+		for i, v := range data {
+			if v >= lo && v <= hi {
+				direct = append(direct, i)
+			}
+		}
+		if len(viaCodes) != len(direct) {
+			return false
+		}
+		for i := range direct {
+			if viaCodes[i] != direct[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompressRoundTrip(t *testing.T) {
+	data := []Value{7, 3, 3, 9, 7, 1}
+	cc, err := Compress(NewColumn("v", data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cc.Len() != len(data) || cc.Name() != "v" || cc.TupleSize() != 2 {
+		t.Fatalf("compressed column misdescribed: len=%d ts=%d", cc.Len(), cc.TupleSize())
+	}
+	for i, want := range data {
+		if got := cc.Get(i); got != want {
+			t.Fatalf("Get(%d) = %d, want %d", i, got, want)
+		}
+	}
+	// Codes must preserve the value ordering.
+	codes := cc.Codes()
+	for i := range data {
+		for j := range data {
+			if (data[i] < data[j]) != (codes[i] < codes[j]) {
+				t.Fatalf("order not preserved between rows %d and %d", i, j)
+			}
+		}
+	}
+}
+
+func TestCompressRejectsStrided(t *testing.T) {
+	g, _ := NewColumnGroup([]string{"a", "b"}, [][]Value{{1, 2}, {3, 4}})
+	if _, err := Compress(g.Column("a")); err == nil {
+		t.Fatal("compressing a strided view should fail")
+	}
+}
+
+func TestCompressRejectsWideDomains(t *testing.T) {
+	data := make([]Value, MaxDictSize+1)
+	for i := range data {
+		data[i] = Value(i)
+	}
+	if _, err := Compress(NewColumn("v", data)); err == nil {
+		t.Fatal("domain wider than 16-bit codes accepted")
+	}
+}
+
+func TestDictionaryDenseCodes(t *testing.T) {
+	// Codes must be dense: 0..Size-1 in value order.
+	vals := []Value{100, -5, 40, 0}
+	d, _ := BuildDictionary(vals)
+	sorted := append([]Value(nil), vals...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for i, v := range sorted {
+		c, ok := d.Encode(v)
+		if !ok || c != Code(i) {
+			t.Fatalf("Encode(%d) = %d, want %d", v, c, i)
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package storage
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Table is a read-optimized relation: a set of attributes, each stored
+// either as a pure column or inside a column-group, plus an optional
+// delta write store for appends.
+type Table struct {
+	name    string
+	rows    int
+	columns map[string]*Column      // contiguous attributes
+	groups  []*ColumnGroup          // hybrid layouts
+	inGroup map[string]*ColumnGroup // attribute -> owning group
+	delta   *WriteStore
+}
+
+// NewTable creates an empty table.
+func NewTable(name string) *Table {
+	return &Table{
+		name:    name,
+		rows:    -1,
+		columns: make(map[string]*Column),
+		inGroup: make(map[string]*ColumnGroup),
+	}
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Rows returns the tuple count of the read store (0 for an empty table).
+func (t *Table) Rows() int {
+	if t.rows < 0 {
+		return 0
+	}
+	return t.rows
+}
+
+func (t *Table) checkRows(n int, what string) error {
+	if t.rows >= 0 && t.rows != n {
+		return fmt.Errorf("storage: %s has %d rows, table %q has %d", what, n, t.name, t.rows)
+	}
+	t.rows = n
+	return nil
+}
+
+func (t *Table) nameTaken(name string) bool {
+	_, col := t.columns[name]
+	_, grp := t.inGroup[name]
+	return col || grp
+}
+
+// AddColumn installs a contiguous attribute.
+func (t *Table) AddColumn(name string, data []Value) error {
+	if t.nameTaken(name) {
+		return fmt.Errorf("storage: attribute %q already exists in table %q", name, t.name)
+	}
+	if err := t.checkRows(len(data), "column "+name); err != nil {
+		return err
+	}
+	t.columns[name] = NewColumn(name, data)
+	return nil
+}
+
+// AddGroup installs a column-group of attributes.
+func (t *Table) AddGroup(names []string, cols [][]Value) error {
+	for _, n := range names {
+		if t.nameTaken(n) {
+			return fmt.Errorf("storage: attribute %q already exists in table %q", n, t.name)
+		}
+	}
+	g, err := NewColumnGroup(names, cols)
+	if err != nil {
+		return err
+	}
+	if err := t.checkRows(g.Rows(), "group"); err != nil {
+		return err
+	}
+	t.groups = append(t.groups, g)
+	for _, n := range names {
+		t.inGroup[n] = g
+	}
+	return nil
+}
+
+// Column returns the (possibly strided) view of an attribute, or an error
+// naming the attribute when it does not exist.
+func (t *Table) Column(name string) (*Column, error) {
+	if c, ok := t.columns[name]; ok {
+		return c, nil
+	}
+	if g, ok := t.inGroup[name]; ok {
+		return g.Column(name), nil
+	}
+	return nil, fmt.Errorf("storage: table %q has no attribute %q", t.name, name)
+}
+
+// ColumnNames returns every attribute name in sorted order.
+func (t *Table) ColumnNames() []string {
+	var names []string
+	for n := range t.columns {
+		names = append(names, n)
+	}
+	for n := range t.inGroup {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Groups returns the table's column-groups in creation order.
+func (t *Table) Groups() []*ColumnGroup {
+	return append([]*ColumnGroup(nil), t.groups...)
+}
+
+// Delta returns the table's write store, creating it on first use with
+// the current attribute set.
+func (t *Table) Delta() *WriteStore {
+	if t.delta == nil {
+		t.delta = NewWriteStore(t.ColumnNames())
+	}
+	return t.delta
+}
+
+// MergeDelta folds the buffered appends into the read store. Attributes
+// stored in groups are re-interleaved; contiguous columns are extended in
+// place. Secondary indexes and zonemaps over the table must be rebuilt or
+// extended by the caller — the storage layer has no index knowledge.
+func (t *Table) MergeDelta() (added int, err error) {
+	if t.delta == nil || t.delta.Pending() == 0 {
+		return 0, nil
+	}
+	cols := t.delta.Drain()
+	var n int
+	for _, v := range cols {
+		n = len(v)
+		break
+	}
+	// Extend contiguous columns.
+	for name, c := range t.columns {
+		add, ok := cols[name]
+		if !ok {
+			return 0, fmt.Errorf("storage: delta missing column %q", name)
+		}
+		t.columns[name] = NewColumn(name, append(c.Raw(), add...))
+	}
+	// Rebuild groups with the appended rows interleaved.
+	for gi, g := range t.groups {
+		names := g.Names()
+		colsData := make([][]Value, len(names))
+		for j, name := range names {
+			old := make([]Value, 0, g.Rows()+n)
+			view := g.Column(name)
+			for i := 0; i < view.Len(); i++ {
+				old = append(old, view.Get(i))
+			}
+			colsData[j] = append(old, cols[name]...)
+		}
+		ng, err := NewColumnGroup(names, colsData)
+		if err != nil {
+			return 0, err
+		}
+		t.groups[gi] = ng
+		for _, name := range names {
+			t.inGroup[name] = ng
+		}
+	}
+	t.rows += n
+	return n, nil
+}

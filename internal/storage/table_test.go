@@ -1,0 +1,141 @@
+package storage
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestTableColumnsAndGroups(t *testing.T) {
+	tb := NewTable("t")
+	if err := tb.AddColumn("a", []Value{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.AddGroup([]string{"b", "c"}, [][]Value{{4, 5, 6}, {7, 8, 9}}); err != nil {
+		t.Fatal(err)
+	}
+	if tb.Rows() != 3 {
+		t.Fatalf("Rows = %d", tb.Rows())
+	}
+	for _, name := range []string{"a", "b", "c"} {
+		c, err := tb.Column(name)
+		if err != nil {
+			t.Fatalf("Column(%q): %v", name, err)
+		}
+		if c.Len() != 3 {
+			t.Fatalf("column %q Len = %d", name, c.Len())
+		}
+	}
+	b, _ := tb.Column("b")
+	if b.Contiguous() {
+		t.Fatal("group member should be strided")
+	}
+	if _, err := tb.Column("zzz"); err == nil {
+		t.Fatal("unknown attribute accepted")
+	}
+	names := tb.ColumnNames()
+	if len(names) != 3 || names[0] != "a" || names[1] != "b" || names[2] != "c" {
+		t.Fatalf("ColumnNames = %v", names)
+	}
+}
+
+func TestTableRejectsDuplicatesAndMismatches(t *testing.T) {
+	tb := NewTable("t")
+	if err := tb.AddColumn("a", []Value{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.AddColumn("a", []Value{3, 4}); err == nil {
+		t.Fatal("duplicate column accepted")
+	}
+	if err := tb.AddColumn("b", []Value{1}); err == nil {
+		t.Fatal("row-count mismatch accepted")
+	}
+	if err := tb.AddGroup([]string{"a", "x"}, [][]Value{{1, 2}, {3, 4}}); err == nil {
+		t.Fatal("group shadowing an existing column accepted")
+	}
+}
+
+func TestWriteStoreAppendAndDrain(t *testing.T) {
+	w := NewWriteStore([]string{"a", "b"})
+	if err := w.Append([]Value{1, 10}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append([]Value{2, 20}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append([]Value{1, 2, 3}); err == nil {
+		t.Fatal("wrong arity accepted")
+	}
+	if w.Pending() != 2 {
+		t.Fatalf("Pending = %d", w.Pending())
+	}
+	cols := w.Drain()
+	if w.Pending() != 0 {
+		t.Fatal("Drain did not clear the buffer")
+	}
+	if got := cols["a"]; len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("column a = %v", got)
+	}
+	if got := cols["b"]; got[0] != 10 || got[1] != 20 {
+		t.Fatalf("column b = %v", got)
+	}
+}
+
+func TestWriteStoreConcurrentAppends(t *testing.T) {
+	w := NewWriteStore([]string{"v"})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				_ = w.Append([]Value{Value(i)})
+			}
+		}()
+	}
+	wg.Wait()
+	if w.Pending() != 800 {
+		t.Fatalf("Pending = %d, want 800", w.Pending())
+	}
+}
+
+func TestMergeDeltaExtendsColumnsAndGroups(t *testing.T) {
+	tb := NewTable("t")
+	if err := tb.AddColumn("a", []Value{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.AddGroup([]string{"b", "c"}, [][]Value{{10, 20}, {100, 200}}); err != nil {
+		t.Fatal(err)
+	}
+	d := tb.Delta()
+	// Tuples follow ColumnNames order: a, b, c.
+	if err := d.Append([]Value{3, 30, 300}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Append([]Value{4, 40, 400}); err != nil {
+		t.Fatal(err)
+	}
+	added, err := tb.MergeDelta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added != 2 || tb.Rows() != 4 {
+		t.Fatalf("added=%d rows=%d", added, tb.Rows())
+	}
+	for name, want := range map[string][]Value{
+		"a": {1, 2, 3, 4},
+		"b": {10, 20, 30, 40},
+		"c": {100, 200, 300, 400},
+	} {
+		c, _ := tb.Column(name)
+		for i, v := range want {
+			if got := c.Get(i); got != v {
+				t.Fatalf("%s[%d] = %d, want %d", name, i, got, v)
+			}
+		}
+	}
+	// Second merge with nothing pending is a no-op.
+	added, err = tb.MergeDelta()
+	if err != nil || added != 0 {
+		t.Fatalf("empty merge: added=%d err=%v", added, err)
+	}
+}

@@ -1,0 +1,118 @@
+package storage
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func sortedColumn(n int) *Column {
+	data := make([]Value, n)
+	for i := range data {
+		data[i] = Value(i)
+	}
+	return NewColumn("sorted", data)
+}
+
+func TestZonemapBoundsAndSkipping(t *testing.T) {
+	z := BuildZonemap(sortedColumn(100), 10)
+	if z.Zones() != 10 || z.ZoneSize() != 10 {
+		t.Fatalf("zones=%d size=%d", z.Zones(), z.ZoneSize())
+	}
+	lo, hi := z.ZoneBounds(3)
+	if lo != 30 || hi != 40 {
+		t.Fatalf("ZoneBounds(3) = [%d,%d)", lo, hi)
+	}
+	// Query [35, 37] only needs zone 3.
+	for zi := 0; zi < 10; zi++ {
+		skippable := z.Skippable(zi, 35, 37)
+		if zi == 3 && skippable {
+			t.Fatal("zone containing the range marked skippable")
+		}
+		if zi != 3 && !skippable {
+			t.Fatalf("zone %d not skippable for [35,37]", zi)
+		}
+	}
+}
+
+func TestZonemapRaggedLastZone(t *testing.T) {
+	z := BuildZonemap(sortedColumn(25), 10)
+	if z.Zones() != 3 {
+		t.Fatalf("zones = %d, want 3", z.Zones())
+	}
+	lo, hi := z.ZoneBounds(2)
+	if lo != 20 || hi != 25 {
+		t.Fatalf("last zone bounds = [%d,%d)", lo, hi)
+	}
+	if z.Skippable(2, 24, 24) {
+		t.Fatal("last zone wrongly skippable")
+	}
+}
+
+func TestZonemapNeverSkipsQualifyingZones(t *testing.T) {
+	// Safety property on random data: a skippable zone contains no
+	// qualifying tuple.
+	rng := rand.New(rand.NewSource(7))
+	data := make([]Value, 5000)
+	for i := range data {
+		data[i] = Value(rng.Intn(1 << 20))
+	}
+	c := NewColumn("v", data)
+	z := BuildZonemap(c, 64)
+	for trial := 0; trial < 100; trial++ {
+		lo := Value(rng.Intn(1 << 20))
+		hi := lo + Value(rng.Intn(1<<16))
+		for zi := 0; zi < z.Zones(); zi++ {
+			if !z.Skippable(zi, lo, hi) {
+				continue
+			}
+			zlo, zhi := z.ZoneBounds(zi)
+			for i := zlo; i < zhi; i++ {
+				if v := c.Get(i); v >= lo && v <= hi {
+					t.Fatalf("zone %d skipped but row %d (=%d) qualifies for [%d,%d]", zi, i, v, lo, hi)
+				}
+			}
+		}
+	}
+}
+
+func TestSharedSkippingDecaysWithConcurrency(t *testing.T) {
+	// Section 2.1: to skip a zone under a shared scan it must be unneeded
+	// by every query, so the skip fraction can only fall as queries join
+	// the batch.
+	c := sortedColumn(10000)
+	z := BuildZonemap(c, 100)
+	rng := rand.New(rand.NewSource(3))
+	var ranges [][2]Value
+	prev := 1.0
+	for q := 1; q <= 32; q *= 2 {
+		for len(ranges) < q {
+			lo := Value(rng.Intn(9000))
+			ranges = append(ranges, [2]Value{lo, lo + 500})
+		}
+		frac := z.SkipFraction(ranges)
+		if frac > prev+1e-9 {
+			t.Fatalf("skip fraction rose with concurrency: %v -> %v at q=%d", prev, frac, q)
+		}
+		prev = frac
+	}
+	if prev > 0.9 {
+		t.Fatalf("32 scattered queries should leave few skippable zones, got %.2f", prev)
+	}
+}
+
+func TestSkipFractionOnClusteredData(t *testing.T) {
+	// One narrow query over sorted data skips almost everything — the
+	// case zonemaps are built for.
+	z := BuildZonemap(sortedColumn(10000), 100)
+	frac := z.SkipFraction([][2]Value{{5000, 5099}})
+	if frac < 0.98 {
+		t.Fatalf("narrow query on sorted data should skip ~99%% of zones, got %v", frac)
+	}
+}
+
+func TestZonemapDegenerateZoneSize(t *testing.T) {
+	z := BuildZonemap(sortedColumn(5), 0) // clamped to 1
+	if z.Zones() != 5 {
+		t.Fatalf("zones = %d, want 5", z.Zones())
+	}
+}

@@ -1,0 +1,118 @@
+// Package tpch generates a TPC-H lineitem table and the modified Query 6
+// workload of Figure 19. The official dbgen is unavailable offline, so
+// the generator follows the TPC-H specification's column definitions
+// (uniform quantities 1..50, discounts 0..10%, ship dates spread over the
+// 1992-1998 order window) at a configurable scale factor; SF 1 is about
+// six million lineitems.
+package tpch
+
+import (
+	"math/rand"
+
+	"fastcolumns/internal/scan"
+	"fastcolumns/internal/storage"
+)
+
+// RowsPerSF is the approximate lineitem cardinality per unit scale factor.
+const RowsPerSF = 6_000_000
+
+// Date encoding: days since 1992-01-01. Orders span 1992-01-01 to
+// 1998-08-02 and shipdate = orderdate + up to 121 days.
+const (
+	// ShipDateMin is the smallest encoded l_shipdate.
+	ShipDateMin = 1
+	// ShipDateMax is the largest encoded l_shipdate (mid-1998 orders plus
+	// shipping delay reach late 1998).
+	ShipDateMax = 2526
+	// yearDays approximates one year of encoded dates.
+	yearDays = 365
+)
+
+// Lineitem holds the Q6-relevant columns of the lineitem table, stored
+// columnar. Monetary values are in cents; discount is in percent points.
+type Lineitem struct {
+	ShipDate      []storage.Value // days since 1992-01-01
+	Discount      []storage.Value // 0..10 (percent)
+	Quantity      []storage.Value // 1..50
+	ExtendedPrice []storage.Value // cents
+}
+
+// Generate builds a lineitem table at the given scale factor.
+func Generate(sf float64, seed int64) *Lineitem {
+	n := int(sf * RowsPerSF)
+	if n < 1 {
+		n = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	l := &Lineitem{
+		ShipDate:      make([]storage.Value, n),
+		Discount:      make([]storage.Value, n),
+		Quantity:      make([]storage.Value, n),
+		ExtendedPrice: make([]storage.Value, n),
+	}
+	for i := 0; i < n; i++ {
+		orderDate := rng.Int31n(ShipDateMax - 151)
+		l.ShipDate[i] = ShipDateMin + orderDate + 1 + rng.Int31n(121)
+		l.Discount[i] = rng.Int31n(11)
+		l.Quantity[i] = 1 + rng.Int31n(50)
+		// price ~ partprice * quantity; partprices ~ 900..2100 dollars.
+		l.ExtendedPrice[i] = (90000 + rng.Int31n(120000)) * l.Quantity[i] / 100
+	}
+	return l
+}
+
+// Rows returns the table cardinality.
+func (l *Lineitem) Rows() int { return len(l.ShipDate) }
+
+// Q6 is the paper's modified TPC-H query 6: the l_shipdate range is the
+// varied predicate (low vs high selectivity run); discount and quantity
+// bounds follow the TPC-H template.
+type Q6 struct {
+	ShipLo, ShipHi storage.Value
+	DiscountLo     storage.Value
+	DiscountHi     storage.Value
+	QuantityMax    storage.Value // exclusive, per the spec's l_quantity < X
+}
+
+// Q6Low returns the "low selectivity" run: a two-week shipdate window
+// (~0.24% of the relation qualifies after the shipdate predicate).
+func Q6Low() Q6 {
+	start := storage.Value(ShipDateMin + 3*yearDays)
+	return Q6{ShipLo: start, ShipHi: start + 13, DiscountLo: 5, DiscountHi: 7, QuantityMax: 24}
+}
+
+// Q6High returns the "high selectivity" run: a ~14-month window (~15% of
+// the relation qualifies on shipdate).
+func Q6High() Q6 {
+	start := storage.Value(ShipDateMin + 3*yearDays)
+	return Q6{ShipLo: start, ShipHi: start + 435, DiscountLo: 5, DiscountHi: 7, QuantityMax: 24}
+}
+
+// ShipPredicate returns the shipdate select predicate — the access-path
+// decision in Figure 19 is about this filter.
+func (q Q6) ShipPredicate() scan.Predicate {
+	return scan.Predicate{Lo: q.ShipLo, Hi: q.ShipHi}
+}
+
+// Finish applies the residual discount and quantity predicates to the
+// shipdate-qualifying rowIDs and returns revenue = sum(extendedprice *
+// discount) in cent-percent units, plus the final qualifying count.
+func (q Q6) Finish(l *Lineitem, ids []storage.RowID) (revenue int64, rows int) {
+	for _, id := range ids {
+		d := l.Discount[id]
+		if d < q.DiscountLo || d > q.DiscountHi {
+			continue
+		}
+		if l.Quantity[id] >= q.QuantityMax {
+			continue
+		}
+		revenue += int64(l.ExtendedPrice[id]) * int64(d)
+		rows++
+	}
+	return revenue, rows
+}
+
+// Evaluate runs the whole of Q6 given the shipdate-qualifying rowIDs.
+func (q Q6) Evaluate(l *Lineitem, shipIDs []storage.RowID) (revenue int64, rows int) {
+	return q.Finish(l, shipIDs)
+}

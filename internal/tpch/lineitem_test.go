@@ -1,0 +1,105 @@
+package tpch
+
+import (
+	"testing"
+
+	"fastcolumns/internal/storage"
+)
+
+func TestGenerateShape(t *testing.T) {
+	l := Generate(0.01, 1)
+	if got, want := l.Rows(), 60000; got != want {
+		t.Fatalf("Rows = %d, want %d", got, want)
+	}
+	for i := 0; i < l.Rows(); i++ {
+		if d := l.ShipDate[i]; d < ShipDateMin || d > ShipDateMax {
+			t.Fatalf("shipdate %d out of range at %d", d, i)
+		}
+		if q := l.Quantity[i]; q < 1 || q > 50 {
+			t.Fatalf("quantity %d out of range", q)
+		}
+		if d := l.Discount[i]; d < 0 || d > 10 {
+			t.Fatalf("discount %d out of range", d)
+		}
+		if p := l.ExtendedPrice[i]; p < 900 || p > 2100*100*50 {
+			t.Fatalf("price %d implausible", p)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(0.001, 42)
+	b := Generate(0.001, 42)
+	for i := range a.ShipDate {
+		if a.ShipDate[i] != b.ShipDate[i] || a.ExtendedPrice[i] != b.ExtendedPrice[i] {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestQ6Selectivities(t *testing.T) {
+	l := Generate(0.05, 7)
+	measure := func(q Q6) float64 {
+		p := q.ShipPredicate()
+		count := 0
+		for _, d := range l.ShipDate {
+			if p.Matches(d) {
+				count++
+			}
+		}
+		return float64(count) / float64(l.Rows())
+	}
+	lo := measure(Q6Low())
+	hi := measure(Q6High())
+	// Paper: low run ~0.24% of the relation, high run ~15%.
+	if lo < 0.001 || lo > 0.006 {
+		t.Fatalf("Q6Low shipdate selectivity %.4f outside the ~0.24%% band", lo)
+	}
+	if hi < 0.10 || hi > 0.22 {
+		t.Fatalf("Q6High shipdate selectivity %.4f outside the ~15%% band", hi)
+	}
+}
+
+func TestQ6FinishAppliesResidualPredicates(t *testing.T) {
+	l := &Lineitem{
+		ShipDate:      []storage.Value{100, 100, 100, 100},
+		Discount:      []storage.Value{6, 2, 6, 6},
+		Quantity:      []storage.Value{10, 10, 40, 10},
+		ExtendedPrice: []storage.Value{1000, 1000, 1000, 2000},
+	}
+	q := Q6{ShipLo: 100, ShipHi: 100, DiscountLo: 5, DiscountHi: 7, QuantityMax: 24}
+	rev, rows := q.Evaluate(l, []storage.RowID{0, 1, 2, 3})
+	// Rows 0 and 3 qualify (row 1 fails discount, row 2 fails quantity).
+	if rows != 2 {
+		t.Fatalf("rows = %d, want 2", rows)
+	}
+	if want := int64(1000*6 + 2000*6); rev != want {
+		t.Fatalf("revenue = %d, want %d", rev, want)
+	}
+}
+
+func TestQ6RevenueIndependentOfAccessPath(t *testing.T) {
+	// The aggregate must not depend on how the shipdate rowIDs were found,
+	// only on which ones qualify.
+	l := Generate(0.002, 3)
+	q := Q6Low()
+	p := q.ShipPredicate()
+	var scanIDs []storage.RowID
+	for i, d := range l.ShipDate {
+		if p.Matches(d) {
+			scanIDs = append(scanIDs, storage.RowID(i))
+		}
+	}
+	revScan, rowsScan := q.Evaluate(l, scanIDs)
+	// Shuffled order (an unsorted index result): same revenue.
+	shuffled := append([]storage.RowID(nil), scanIDs...)
+	for i := len(shuffled) - 1; i > 0; i-- {
+		j := (i * 7) % (i + 1)
+		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+	}
+	revIdx, rowsIdx := q.Evaluate(l, shuffled)
+	if revScan != revIdx || rowsScan != rowsIdx {
+		t.Fatalf("aggregate depends on rowID order: %d/%d vs %d/%d",
+			revScan, rowsScan, revIdx, rowsIdx)
+	}
+}

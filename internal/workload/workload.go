@@ -1,0 +1,112 @@
+// Package workload generates the synthetic datasets and query batches of
+// the paper's evaluation (Section 4): uniformly distributed 32-bit
+// integer columns and select batches with controlled per-query
+// selectivity and concurrency, including the nine lo/md/hi workloads of
+// Figure 18.
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"fastcolumns/internal/scan"
+	"fastcolumns/internal/storage"
+)
+
+// Uniform returns n uniformly distributed values in [0, domain).
+func Uniform(seed int64, n int, domain int32) []storage.Value {
+	rng := rand.New(rand.NewSource(seed))
+	data := make([]storage.Value, n)
+	for i := range data {
+		data[i] = rng.Int31n(domain)
+	}
+	return data
+}
+
+// Sorted returns n values in [0, domain) in ascending order (clustered
+// data for zonemap experiments).
+func Sorted(seed int64, n int, domain int32) []storage.Value {
+	data := Uniform(seed, n, domain)
+	sort.Slice(data, func(i, j int) bool { return data[i] < data[j] })
+	return data
+}
+
+// RangeFor returns a range predicate over a uniform [0, domain) column
+// whose expected selectivity is s, starting at a random offset.
+func RangeFor(rng *rand.Rand, s float64, domain int32) scan.Predicate {
+	if s <= 0 {
+		// A point get on one random value: expected selectivity 1/domain.
+		v := rng.Int31n(domain)
+		return scan.Predicate{Lo: v, Hi: v}
+	}
+	width := int32(math.Round(s * float64(domain)))
+	if width < 1 {
+		width = 1
+	}
+	if width >= domain {
+		return scan.Predicate{Lo: 0, Hi: domain - 1}
+	}
+	start := rng.Int31n(domain - width)
+	return scan.Predicate{Lo: start, Hi: start + width - 1}
+}
+
+// Batch returns q predicates of expected selectivity s each.
+func Batch(seed int64, q int, s float64, domain int32) []scan.Predicate {
+	rng := rand.New(rand.NewSource(seed))
+	preds := make([]scan.Predicate, q)
+	for i := range preds {
+		preds[i] = RangeFor(rng, s, domain)
+	}
+	return preds
+}
+
+// Spec names one of the nine Figure 18 workloads.
+type Spec struct {
+	Name string
+	// Q is the batch concurrency: 1 (low), 64 (medium), 640 (high).
+	Q int
+	// Selectivity per query: 0 encodes a point get, else 0.005 or 0.05.
+	Selectivity float64
+}
+
+// Nine returns the paper's nine workloads: {point get, 0.5%, 5%} x
+// {1, 64, 640} concurrency.
+func Nine() []Spec {
+	sels := []struct {
+		name string
+		s    float64
+	}{{"point", 0}, {"0.5%", 0.005}, {"5%", 0.05}}
+	qs := []struct {
+		name string
+		q    int
+	}{{"lo", 1}, {"md", 64}, {"hi", 640}}
+	var specs []Spec
+	for _, sel := range sels {
+		for _, q := range qs {
+			specs = append(specs, Spec{
+				Name:        sel.name + "/" + q.name,
+				Q:           q.q,
+				Selectivity: sel.s,
+			})
+		}
+	}
+	return specs
+}
+
+// Zipf returns n values drawn from a Zipf distribution over [0, domain):
+// skewed data for testing estimation accuracy and access paths under
+// non-uniform value frequencies. s > 1 controls the skew (1.1 mild, 2
+// heavy).
+func Zipf(seed int64, n int, domain int32, s float64) []storage.Value {
+	if s <= 1 {
+		s = 1.1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(rng, s, 1, uint64(domain-1))
+	data := make([]storage.Value, n)
+	for i := range data {
+		data[i] = storage.Value(z.Uint64())
+	}
+	return data
+}

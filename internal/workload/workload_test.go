@@ -1,0 +1,152 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestUniformDeterministicAndInRange(t *testing.T) {
+	a := Uniform(7, 10000, 1000)
+	b := Uniform(7, 10000, 1000)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different data")
+		}
+		if a[i] < 0 || a[i] >= 1000 {
+			t.Fatalf("value %d out of domain", a[i])
+		}
+	}
+	c := Uniform(8, 10000, 1000)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same > len(a)/50 {
+		t.Fatalf("different seeds produced suspiciously similar data (%d matches)", same)
+	}
+}
+
+func TestUniformIsRoughlyUniform(t *testing.T) {
+	data := Uniform(1, 200000, 100)
+	counts := make([]int, 100)
+	for _, v := range data {
+		counts[v]++
+	}
+	want := float64(len(data)) / 100
+	for v, c := range counts {
+		if math.Abs(float64(c)-want)/want > 0.15 {
+			t.Fatalf("value %d appears %d times, want ~%.0f", v, c, want)
+		}
+	}
+}
+
+func TestSorted(t *testing.T) {
+	data := Sorted(3, 5000, 1<<16)
+	if !sort.SliceIsSorted(data, func(i, j int) bool { return data[i] < data[j] }) {
+		t.Fatal("Sorted output unsorted")
+	}
+}
+
+func TestRangeForSelectivity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	domain := int32(1 << 20)
+	data := Uniform(2, 300000, domain)
+	for _, s := range []float64{0.001, 0.01, 0.1} {
+		// Average realized selectivity over several random ranges.
+		var total float64
+		const trials = 20
+		for i := 0; i < trials; i++ {
+			p := RangeFor(rng, s, domain)
+			count := 0
+			for _, v := range data {
+				if p.Matches(v) {
+					count++
+				}
+			}
+			total += float64(count) / float64(len(data))
+		}
+		got := total / trials
+		if math.Abs(got-s)/s > 0.15 {
+			t.Fatalf("target selectivity %v realized %v", s, got)
+		}
+	}
+}
+
+func TestRangeForPointGet(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	p := RangeFor(rng, 0, 1000)
+	if p.Lo != p.Hi {
+		t.Fatalf("point get is not a point: %+v", p)
+	}
+}
+
+func TestRangeForFullDomain(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	p := RangeFor(rng, 1.0, 1000)
+	if p.Lo != 0 || p.Hi != 999 {
+		t.Fatalf("full-domain range = %+v", p)
+	}
+}
+
+func TestBatchSize(t *testing.T) {
+	preds := Batch(4, 64, 0.005, 1<<20)
+	if len(preds) != 64 {
+		t.Fatalf("batch size %d", len(preds))
+	}
+	// Batches must not all be the same range (they share a scan, not a
+	// predicate).
+	distinct := map[int32]bool{}
+	for _, p := range preds {
+		distinct[p.Lo] = true
+	}
+	if len(distinct) < 32 {
+		t.Fatalf("only %d distinct ranges in a 64-query batch", len(distinct))
+	}
+}
+
+func TestNineWorkloads(t *testing.T) {
+	specs := Nine()
+	if len(specs) != 9 {
+		t.Fatalf("Nine returned %d specs", len(specs))
+	}
+	qs := map[int]bool{}
+	sels := map[float64]bool{}
+	for _, sp := range specs {
+		qs[sp.Q] = true
+		sels[sp.Selectivity] = true
+		if sp.Name == "" {
+			t.Fatal("unnamed workload")
+		}
+	}
+	for _, q := range []int{1, 64, 640} {
+		if !qs[q] {
+			t.Fatalf("missing concurrency level %d", q)
+		}
+	}
+	for _, s := range []float64{0, 0.005, 0.05} {
+		if !sels[s] {
+			t.Fatalf("missing selectivity level %v", s)
+		}
+	}
+}
+
+func TestZipfSkewAndDomain(t *testing.T) {
+	data := Zipf(1, 50000, 1000, 1.5)
+	counts := map[int32]int{}
+	for _, v := range data {
+		if v < 0 || v >= 1000 {
+			t.Fatalf("value %d out of domain", v)
+		}
+		counts[v]++
+	}
+	// Heavy head: the most frequent value dominates any mid-domain value.
+	if counts[0] < 20*counts[500]+1 {
+		t.Fatalf("no skew: count[0]=%d count[500]=%d", counts[0], counts[500])
+	}
+	// Degenerate skew parameter is clamped, not panicking.
+	_ = Zipf(2, 10, 100, 0.5)
+}

@@ -1,0 +1,49 @@
+package fastcolumns
+
+import (
+	"fmt"
+
+	"fastcolumns/internal/exec"
+	"fastcolumns/internal/persist"
+	"fastcolumns/internal/stats"
+)
+
+// Save persists the table's read store into dir (one checksummed column
+// file per attribute plus a manifest). Pending delta appends are NOT
+// saved; call Merge first if they should survive.
+func (t *Table) Save(dir string) error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return persist.SaveTable(dir, t.st)
+}
+
+// LoadTable restores a table persisted with Save and registers it under
+// its saved name. Access structures (indexes, zonemaps, compressed twins,
+// histograms) are not persisted; rebuild the ones you need with
+// CreateIndex / BuildZonemap / Compress / Analyze.
+func (e *Engine) LoadTable(dir string) (*Table, error) {
+	st, err := persist.LoadTable(dir)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, ok := e.tables[st.Name()]; ok {
+		return nil, fmt.Errorf("fastcolumns: table %q already exists", st.Name())
+	}
+	t := &Table{
+		engine: e,
+		st:     st,
+		rels:   make(map[string]*exec.Relation),
+		hists:  make(map[string]*stats.Histogram),
+	}
+	for _, name := range st.ColumnNames() {
+		col, err := st.Column(name)
+		if err != nil {
+			return nil, err
+		}
+		t.rels[name] = &exec.Relation{Column: col}
+	}
+	e.tables[st.Name()] = t
+	return t, nil
+}

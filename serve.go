@@ -1,0 +1,159 @@
+package fastcolumns
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"fastcolumns/internal/scheduler"
+	"fastcolumns/internal/storage"
+)
+
+// Reply is the result delivered for one submitted query.
+type Reply = scheduler.Reply
+
+// Server is the asynchronous query front door of Section 3 (Figure 11):
+// submitted queries are continuously collected, grouped per (table,
+// attribute), and each group is answered as one batch through access path
+// selection — so concurrency is created by the workload and exploited by
+// the optimizer, without callers coordinating.
+type Server struct {
+	engine *Engine
+	sched  *scheduler.Scheduler
+
+	mu    sync.Mutex
+	stats map[string]*AttrStats
+}
+
+// AttrStats is the server's running picture of one (table, attribute)
+// stream — the "continuous data collection" of Section 3 made visible.
+type AttrStats struct {
+	// Batches and Queries count what executed.
+	Batches int64
+	Queries int64
+	// MaxBatch is the widest batch seen (the concurrency the APS model
+	// actually exploited).
+	MaxBatch int
+	// PathCounts tallies batches per chosen access path, keyed by
+	// Path.String().
+	PathCounts map[string]int64
+}
+
+// Stats returns a snapshot for table.attr (zero value if never queried).
+func (s *Server) Stats(table, attr string) AttrStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.stats[table+"\x00"+attr]
+	if !ok {
+		return AttrStats{PathCounts: map[string]int64{}}
+	}
+	cp := *st
+	cp.PathCounts = make(map[string]int64, len(st.PathCounts))
+	for k, v := range st.PathCounts {
+		cp.PathCounts[k] = v
+	}
+	return cp
+}
+
+// record folds one executed batch into the stats.
+func (s *Server) record(key string, q int, path Path) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.stats[key]
+	if !ok {
+		st = &AttrStats{PathCounts: make(map[string]int64)}
+		s.stats[key] = st
+	}
+	st.Batches++
+	st.Queries += int64(q)
+	if q > st.MaxBatch {
+		st.MaxBatch = q
+	}
+	st.PathCounts[path.String()]++
+}
+
+// ServeOptions tunes the batching behaviour.
+type ServeOptions struct {
+	// Window is how long the first query of a batch waits for company
+	// (default 1ms).
+	Window time.Duration
+	// MaxBatch flushes early at this batch size (default 512; beyond that
+	// result-writing thrash erodes sharing — Lesson 5).
+	MaxBatch int
+}
+
+// Serve starts a server over the engine's tables.
+func (e *Engine) Serve(opt ServeOptions) *Server {
+	s := &Server{engine: e, stats: make(map[string]*AttrStats)}
+	s.sched = scheduler.New(s.execBatch, scheduler.Options{
+		Window:   opt.Window,
+		MaxBatch: opt.MaxBatch,
+	})
+	return s
+}
+
+// Submit enqueues one select query on table.attr; the returned channel
+// delivers its result once the batch it lands in executes.
+func (s *Server) Submit(table, attr string, pred Predicate) (<-chan scheduler.Reply, error) {
+	if _, err := s.engine.Table(table); err != nil {
+		return nil, err
+	}
+	return s.sched.Submit(table+"\x00"+attr, pred)
+}
+
+// Flush forces immediate execution of whatever is pending on table.attr.
+func (s *Server) Flush(table, attr string) {
+	s.sched.Flush(table + "\x00" + attr)
+}
+
+// Pending reports the queries currently waiting on table.attr — the
+// outstanding-query statistic of Section 3.
+func (s *Server) Pending(table, attr string) int {
+	return s.sched.Pending(table + "\x00" + attr)
+}
+
+// Close drains every pending batch and stops the server.
+func (s *Server) Close() { s.sched.Close() }
+
+// execBatch is the scheduler's executor: resolve the table, run the batch
+// through APS.
+func (s *Server) execBatch(key string, preds []Predicate) ([][]storage.RowID, error) {
+	table, attr, ok := strings.Cut(key, "\x00")
+	if !ok {
+		return nil, fmt.Errorf("fastcolumns: malformed batch key %q", key)
+	}
+	t, err := s.engine.Table(table)
+	if err != nil {
+		return nil, err
+	}
+	// Identical predicates in one batch share a single execution: the
+	// result slices are read-only, so duplicates alias the first copy.
+	// This is result sharing on top of scan sharing — common when many
+	// clients ask the same dashboard question at once.
+	unique := make([]Predicate, 0, len(preds))
+	firstOf := make(map[Predicate]int, len(preds))
+	slot := make([]int, len(preds))
+	for i, p := range preds {
+		if j, ok := firstOf[p]; ok {
+			slot[i] = j
+			continue
+		}
+		firstOf[p] = len(unique)
+		slot[i] = len(unique)
+		unique = append(unique, p)
+	}
+	res, err := t.SelectBatch(attr, unique)
+	if err != nil {
+		return nil, err
+	}
+	s.record(key, len(preds), res.Decision.Path)
+	if len(unique) == len(preds) {
+		return res.RowIDs, nil
+	}
+	out := make([][]storage.RowID, len(preds))
+	for i := range preds {
+		out[i] = res.RowIDs[slot[i]]
+	}
+	return out, nil
+}

@@ -1,0 +1,83 @@
+package fastcolumns
+
+import (
+	"strconv"
+	"testing"
+
+	"fastcolumns/internal/tpch"
+)
+
+// TestTPCHQ6EndToEnd runs modified TPC-H Q6 through the public API three
+// ways — the DSL with conjunction planning, a manual select + residual
+// aggregation, and the reference tpch.Finish — and requires identical
+// revenue, regardless of which access path APS picked.
+func TestTPCHQ6EndToEnd(t *testing.T) {
+	l := tpch.Generate(0.01, 1) // 60k lineitems
+	eng := New(Config{})
+	tbl, err := eng.CreateTable("lineitem")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, col := range map[string][]Value{
+		"shipdate": l.ShipDate,
+		"discount": l.Discount,
+		"quantity": l.Quantity,
+		"price":    l.ExtendedPrice,
+	} {
+		if err := tbl.AddColumn(name, col); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tbl.CreateIndex("shipdate"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Analyze("shipdate", 128); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.CreateBitmapIndex("discount"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Analyze("discount", 16); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, run := range []struct {
+		name string
+		q6   tpch.Q6
+	}{{"low", tpch.Q6Low()}, {"high", tpch.Q6High()}} {
+		q6 := run.q6
+		// Reference: raw select on shipdate, residuals via tpch.Finish.
+		p := q6.ShipPredicate()
+		refIDsRes, _, err := tbl.Select("shipdate", p.Lo, p.Hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantRevenue, wantRows := q6.Evaluate(l, refIDsRes)
+
+		// Through the DSL with conjunction planning. Q6's revenue is
+		// sum(price * discount); the DSL only sums single attributes, so
+		// check the qualifying row count here and the revenue via ops below.
+		stmt := "SELECT COUNT(*) FROM lineitem WHERE shipdate BETWEEN " +
+			strconv.Itoa(int(q6.ShipLo)) + " AND " + strconv.Itoa(int(q6.ShipHi)) +
+			" AND discount BETWEEN " + strconv.Itoa(int(q6.DiscountLo)) + " AND " + strconv.Itoa(int(q6.DiscountHi)) +
+			" AND quantity < " + strconv.Itoa(int(q6.QuantityMax))
+		res, err := eng.Query(stmt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Agg.Count != int64(wantRows) {
+			t.Fatalf("%s: DSL count %d, reference %d", run.name, res.Agg.Count, wantRows)
+		}
+
+		// Manual pipeline: driver select + residuals + sum-product.
+		batch, err := tbl.SelectBatch("shipdate", []Predicate{p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotRevenue, gotRows := q6.Evaluate(l, batch.RowIDs[0])
+		if gotRevenue != wantRevenue || gotRows != wantRows {
+			t.Fatalf("%s: pipeline revenue %d/%d, reference %d/%d (path %v)",
+				run.name, gotRevenue, gotRows, wantRevenue, wantRows, batch.Decision.Path)
+		}
+	}
+}
