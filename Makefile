@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: check build vet test race fuzz-seeds
+
+# check is the tier-1 gate CI runs: static checks, build, plain and
+# race-enabled tests, and the fuzz seed corpora as unit tests.
+check: vet build test race fuzz-seeds
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Runs each fuzz target's seed corpus as regular tests (no fuzzing engine).
+fuzz-seeds:
+	$(GO) test -run Fuzz ./internal/dsl ./internal/persist

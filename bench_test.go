@@ -7,6 +7,7 @@ package fastcolumns
 // `go test -bench`.
 
 import (
+	"context"
 	"math/rand"
 	"path/filepath"
 	"sync"
@@ -136,7 +137,7 @@ func BenchmarkFig12(b *testing.B) {
 		b.Run("index/sel="+pctName(sel), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := exec.RunIndex(f.rel, preds, exec.Options{}); err != nil {
+				if _, err := exec.RunIndex(context.Background(), f.rel, preds, exec.Options{}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -144,7 +145,7 @@ func BenchmarkFig12(b *testing.B) {
 		b.Run("scan/sel="+pctName(sel), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := exec.RunScan(f.rel, preds, exec.Options{}); err != nil {
+				if _, err := exec.RunScan(context.Background(), f.rel, preds, exec.Options{}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -160,7 +161,7 @@ func BenchmarkFig13SharedScan(b *testing.B) {
 		preds := predsFor(q, 0.002)
 		b.Run(qName(q), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := exec.RunScan(f.rel, preds, exec.Options{}); err != nil {
+				if _, err := exec.RunScan(context.Background(), f.rel, preds, exec.Options{}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -174,7 +175,7 @@ func BenchmarkFig13SharedIndex(b *testing.B) {
 		preds := predsFor(q, 0.002)
 		b.Run(qName(q), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := exec.RunIndex(f.rel, preds, exec.Options{}); err != nil {
+				if _, err := exec.RunIndex(context.Background(), f.rel, preds, exec.Options{}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -268,7 +269,7 @@ func BenchmarkFig18Workloads(b *testing.B) {
 		b.Run(sp.Name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				d := opt.Decide(f.rel, f.hist, preds)
-				if _, err := exec.Run(f.rel, d.Path, preds, exec.Options{}); err != nil {
+				if _, err := exec.Run(context.Background(), f.rel, d.Path, preds, exec.Options{}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -317,7 +318,7 @@ func BenchmarkFig19TPCH(b *testing.B) {
 		b.Run("fastcolumns/"+run.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				d := opt.Decide(fcRel, hist, []scan.Predicate{p})
-				res, err := exec.Run(fcRel, d.Path, []scan.Predicate{p}, exec.Options{})
+				res, err := exec.Run(context.Background(), fcRel, d.Path, []scan.Predicate{p}, exec.Options{})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -721,7 +722,7 @@ func BenchmarkAblationAdaptive(b *testing.B) {
 	})
 	b.Run("forced_index/bad_estimate", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := exec.RunIndex(f.rel, []scan.Predicate{wide}, exec.Options{}); err != nil {
+			if _, err := exec.RunIndex(context.Background(), f.rel, []scan.Predicate{wide}, exec.Options{}); err != nil {
 				b.Fatal(err)
 			}
 		}

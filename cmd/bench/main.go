@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -81,7 +82,7 @@ func main() {
 	measure := func(path model.Path, preds []scan.Predicate) time.Duration {
 		times := make([]time.Duration, 0, *trials)
 		for t := 0; t < *trials; t++ {
-			res, err := exec.Run(rel, path, preds, exec.Options{})
+			res, err := exec.Run(context.Background(), rel, path, preds, exec.Options{})
 			if err != nil {
 				log.Fatal(err)
 			}

@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -102,7 +103,7 @@ func newWallRig(n int, groupWidth int) *wallRig {
 func (r *wallRig) measure(path model.Path, preds []scan.Predicate, trials int) time.Duration {
 	times := make([]time.Duration, 0, trials)
 	for t := 0; t < trials; t++ {
-		res, err := exec.Run(r.rel, path, preds, exec.Options{})
+		res, err := exec.Run(context.Background(), r.rel, path, preds, exec.Options{})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -12,6 +12,8 @@ package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -32,6 +34,7 @@ func main() {
 	useTPCH := flag.Bool("tpch", false, "load TPC-H lineitem (table `lineitem`) instead of the demo table")
 	sf := flag.Float64("sf", 0.05, "TPC-H scale factor with -tpch")
 	calibrate := flag.Bool("calibrate", false, "calibrate the optimizer to this host (slower startup)")
+	timeout := flag.Duration("timeout", 0, "per-statement deadline (0 = none), e.g. -timeout 2s")
 	hwfile := flag.String("hwfile", "", "load a saved host profile (see cmd/calibrate -save)")
 	flag.Parse()
 
@@ -66,7 +69,7 @@ func main() {
 		case strings.EqualFold(line, "quit"), strings.EqualFold(line, "exit"):
 			return
 		default:
-			run(eng, line)
+			run(eng, line, *timeout)
 		}
 		fmt.Print("fastcol> ")
 	}
@@ -100,10 +103,20 @@ func loadTPCH(eng *fastcolumns.Engine, sf float64) {
 	must(tbl.Analyze("discount", 16))
 }
 
-func run(eng *fastcolumns.Engine, stmt string) {
+func run(eng *fastcolumns.Engine, stmt string, timeout time.Duration) {
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
 	start := time.Now()
-	res, err := eng.Query(stmt)
+	res, err := eng.QueryContext(ctx, stmt)
 	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			fmt.Printf("error: statement exceeded the %v deadline\n", timeout)
+			return
+		}
 		fmt.Println("error:", err)
 		return
 	}

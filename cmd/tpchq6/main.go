@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -95,7 +96,7 @@ func main() {
 		d := opt.Decide(fcRel, hist, []scan.Predicate{p})
 		fcNote[idx] = d.Path
 		out[3] = median(func() int {
-			res, err := exec.Run(fcRel, d.Path, []scan.Predicate{p}, exec.Options{})
+			res, err := exec.Run(context.Background(), fcRel, d.Path, []scan.Predicate{p}, exec.Options{})
 			if err != nil {
 				log.Fatal(err)
 			}

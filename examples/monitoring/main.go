@@ -1,15 +1,22 @@
-// Monitoring: a server living through three workload phases — an OLTP-ish
+// Monitoring: a server living through workload phases — an OLTP-ish
 // burst of point lookups, a mixed phase, and an analytical burst of wide
-// ranges. The engine re-decides the access path per batch from what the
-// scheduler actually collected, so the chosen path follows the workload
-// without any manual switch (Section 3's integration story).
+// ranges — followed by two hostile phases: an overload flood that trips
+// admission control and a wave of deadline-carrying clients that give up
+// mid-flight. The engine re-decides the access path per batch from what
+// the scheduler actually collected, so the chosen path follows the
+// workload without any manual switch (Section 3's integration story), and
+// the resilience counters show the front door shedding and cancelling
+// instead of falling over.
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"fastcolumns"
@@ -47,20 +54,32 @@ func main() {
 		clients int
 		// selectivity per query; 0 = point lookups
 		sel float64
+		// cancelAfter > 0 arms a deadline on every client's context.
+		cancelAfter time.Duration
 	}
 	phases := []phase{
-		{"lookup burst (64 clients, point gets)", 64, 0},
-		{"mixed load (16 clients, 0.2% ranges)", 16, 0.002},
-		{"analytics burst (8 clients, 10% ranges)", 8, 0.10},
+		{name: "lookup burst (64 clients, point gets)", clients: 64},
+		{name: "mixed load (16 clients, 0.2% ranges)", clients: 16, sel: 0.002},
+		{name: "analytics burst (8 clients, 10% ranges)", clients: 8, sel: 0.10},
+		{name: "overload flood (1024 clients, 0.05% ranges)", clients: 1024, sel: 0.0005},
+		{name: "impatient clients (64, 100µs deadlines)", clients: 64, sel: 0.05, cancelAfter: 100 * time.Microsecond},
 	}
 
-	srv := eng.Serve(fastcolumns.ServeOptions{Window: 3 * time.Millisecond})
+	// Deliberately tight admission bounds so the flood phase visibly sheds
+	// load instead of queueing it.
+	srv := eng.Serve(fastcolumns.ServeOptions{
+		Window:      3 * time.Millisecond,
+		MaxBatch:    128,
+		MaxPending:  256,
+		MaxInFlight: 4,
+	})
 	defer srv.Close()
 
 	for _, ph := range phases {
 		var wg sync.WaitGroup
 		var mu sync.Mutex
 		var rows int
+		var shed, gaveUp atomic.Int64
 		start := time.Now()
 		for c := 0; c < ph.clients; c++ {
 			wg.Add(1)
@@ -75,13 +94,27 @@ func main() {
 					lo := int32((c * 7919) % (domain - int(w)))
 					p = fastcolumns.Predicate{Lo: lo, Hi: lo + w}
 				}
-				ch, err := srv.Submit("metrics", "v", p)
+				ctx := context.Background()
+				if ph.cancelAfter > 0 {
+					var cancel context.CancelFunc
+					ctx, cancel = context.WithTimeout(ctx, ph.cancelAfter)
+					defer cancel()
+				}
+				ch, err := srv.SubmitContext(ctx, "metrics", "v", p)
 				if err != nil {
+					if errors.Is(err, fastcolumns.ErrOverloaded) {
+						shed.Add(1)
+						return
+					}
 					log.Print(err)
 					return
 				}
 				r := <-ch
 				if r.Err != nil {
+					if errors.Is(r.Err, context.DeadlineExceeded) || errors.Is(r.Err, context.Canceled) {
+						gaveUp.Add(1)
+						return
+					}
 					log.Print(r.Err)
 					return
 				}
@@ -108,7 +141,22 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("%-42s -> path %-5v (APS %.3f)  %8d rows in %v\n",
-			ph.name, d.Path, d.Ratio, rows, elapsed.Round(time.Microsecond))
+		extra := ""
+		if s, g := shed.Load(), gaveUp.Load(); s > 0 || g > 0 {
+			extra = fmt.Sprintf("  (shed %d, gave up %d)", s, g)
+		}
+		fmt.Printf("%-44s -> path %-5v (APS %.3f)  %8d rows in %v%s\n",
+			ph.name, d.Path, d.Ratio, rows, elapsed.Round(time.Microsecond), extra)
 	}
+
+	// The operator's health picture: what the front door absorbed.
+	st := srv.ServerStats()
+	fmt.Printf("\nserver resilience counters:\n")
+	fmt.Printf("  submitted          %6d\n", st.Submitted)
+	fmt.Printf("  rejected overload  %6d\n", st.Rejected)
+	fmt.Printf("  cancelled          %6d\n", st.Cancelled)
+	fmt.Printf("  batches executed   %6d\n", st.Batches)
+	fmt.Printf("  recovered panics   %6d\n", st.RecoveredPanics)
+	fmt.Printf("  fallback retries   %6d (%d succeeded)\n", st.FallbackRetries, st.FallbackSuccesses)
+	fmt.Printf("  failed batches     %6d\n", st.FailedBatches)
 }

@@ -27,6 +27,7 @@
 package fastcolumns
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -337,6 +338,13 @@ type BatchResult struct {
 // SelectBatch answers q concurrent range queries over one attribute,
 // performing run-time access path selection for the batch as a whole.
 func (t *Table) SelectBatch(attr string, preds []Predicate) (BatchResult, error) {
+	return t.SelectBatchContext(context.Background(), attr, preds)
+}
+
+// SelectBatchContext is SelectBatch with a deadline/cancellation context.
+// Cancellation is cooperative: it is honored before execution starts and
+// between execution phases, not inside a running kernel.
+func (t *Table) SelectBatchContext(ctx context.Context, attr string, preds []Predicate) (BatchResult, error) {
 	if len(preds) == 0 {
 		return BatchResult{}, fmt.Errorf("fastcolumns: empty batch")
 	}
@@ -347,7 +355,7 @@ func (t *Table) SelectBatch(attr string, preds []Predicate) (BatchResult, error)
 		return BatchResult{}, err
 	}
 	d := t.engine.opt.Decide(rel, t.hists[attr], preds)
-	res, err := exec.Run(rel, d.Path, preds, t.execOptions(rel))
+	res, err := exec.Run(ctx, rel, d.Path, preds, t.execOptions(rel))
 	if err != nil {
 		return BatchResult{}, err
 	}
@@ -359,6 +367,11 @@ func (t *Table) SelectBatch(attr string, preds []Predicate) (BatchResult, error)
 // tree and bitmap count inside their structures and the scan skips
 // result writing — the COUNT(*) fast path.
 func (t *Table) Count(attr string, preds []Predicate) ([]int, Decision, error) {
+	return t.CountContext(context.Background(), attr, preds)
+}
+
+// CountContext is Count with a deadline/cancellation context.
+func (t *Table) CountContext(ctx context.Context, attr string, preds []Predicate) ([]int, Decision, error) {
 	if len(preds) == 0 {
 		return nil, Decision{}, fmt.Errorf("fastcolumns: empty batch")
 	}
@@ -369,7 +382,7 @@ func (t *Table) Count(attr string, preds []Predicate) ([]int, Decision, error) {
 		return nil, Decision{}, err
 	}
 	d := t.engine.opt.Decide(rel, t.hists[attr], preds)
-	counts, err := exec.RunCount(rel, d.Path, preds)
+	counts, err := exec.RunCount(ctx, rel, d.Path, preds)
 	if err != nil {
 		return nil, Decision{}, err
 	}
@@ -399,13 +412,20 @@ func (t *Table) Explain(attr string, preds []Predicate) (Decision, error) {
 // SelectVia bypasses the optimizer and answers the batch through the
 // given access path (for experiments and baselines).
 func (t *Table) SelectVia(path Path, attr string, preds []Predicate) (BatchResult, error) {
+	return t.SelectViaContext(context.Background(), path, attr, preds)
+}
+
+// SelectViaContext is SelectVia with a deadline/cancellation context. It
+// is also the server's safe-fallback entry: a batch that fails on the
+// optimizer's chosen path is retried once through PathScan here.
+func (t *Table) SelectViaContext(ctx context.Context, path Path, attr string, preds []Predicate) (BatchResult, error) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	rel, err := t.relation(attr)
 	if err != nil {
 		return BatchResult{}, err
 	}
-	res, err := exec.Run(rel, path, preds, t.execOptions(rel))
+	res, err := exec.Run(ctx, rel, path, preds, t.execOptions(rel))
 	if err != nil {
 		return BatchResult{}, err
 	}

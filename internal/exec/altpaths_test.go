@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"math/rand"
 	"sort"
 	"testing"
@@ -53,7 +54,7 @@ func TestAllThreePathsAgree(t *testing.T) {
 		want[i] = refSelect(data, p)
 	}
 	for _, path := range []model.Path{model.PathScan, model.PathIndex, model.PathBitmap} {
-		res, err := Run(rel, path, preds, Options{})
+		res, err := Run(context.Background(), rel, path, preds, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -72,7 +73,7 @@ func TestAllThreePathsAgree(t *testing.T) {
 func TestImprintsScanPathAgrees(t *testing.T) {
 	rel, data := lowCardRelation(t, 40000, 250, true)
 	preds := []scan.Predicate{{Lo: 50, Hi: 60}, {Lo: 0, Hi: 249}}
-	res, err := RunScan(rel, preds, Options{UseImprints: true})
+	res, err := RunScan(context.Background(), rel, preds, Options{UseImprints: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +86,7 @@ func TestImprintsScanPathAgrees(t *testing.T) {
 
 func TestRunBitmapMissing(t *testing.T) {
 	rel := &Relation{Column: storage.NewColumn("v", []storage.Value{1, 2})}
-	if _, err := RunBitmap(rel, []scan.Predicate{{Lo: 0, Hi: 5}}, Options{}); err == nil {
+	if _, err := RunBitmap(context.Background(), rel, []scan.Predicate{{Lo: 0, Hi: 5}}, Options{}); err == nil {
 		t.Fatal("RunBitmap without a bitmap should fail")
 	}
 }

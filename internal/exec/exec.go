@@ -6,17 +6,28 @@
 package exec
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
 
 	"fastcolumns/internal/bitmap"
+	"fastcolumns/internal/faultinject"
 	"fastcolumns/internal/imprints"
 	"fastcolumns/internal/index"
 	"fastcolumns/internal/model"
 	"fastcolumns/internal/scan"
 	"fastcolumns/internal/storage"
 )
+
+// ctxErr tolerates nil contexts so direct callers (benchmarks, tools) can
+// pass context.Background() or nil interchangeably.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}
 
 // Relation bundles one attribute's physical presence: the base column
 // view, and optionally a compressed twin, a zonemap, and a secondary
@@ -86,9 +97,17 @@ func (r Result) TotalRows() int {
 	return t
 }
 
-// RunScan answers the batch with a shared sequential scan.
-func RunScan(rel *Relation, preds []scan.Predicate, opt Options) (Result, error) {
+// RunScan answers the batch with a shared sequential scan. Cancellation
+// is cooperative at batch granularity: the context is checked before the
+// kernel starts, not inside it.
+func RunScan(ctx context.Context, rel *Relation, preds []scan.Predicate, opt Options) (Result, error) {
 	if err := rel.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := ctxErr(ctx); err != nil {
+		return Result{}, err
+	}
+	if err := faultinject.Fire("exec.scan"); err != nil {
 		return Result{}, err
 	}
 	start := time.Now()
@@ -115,12 +134,18 @@ func RunScan(rel *Relation, preds []scan.Predicate, opt Options) (Result, error)
 
 // RunIndex answers the batch with a concurrent secondary-index scan,
 // sorting each result into rowID order to stay scan-compatible.
-func RunIndex(rel *Relation, preds []scan.Predicate, opt Options) (Result, error) {
+func RunIndex(ctx context.Context, rel *Relation, preds []scan.Predicate, opt Options) (Result, error) {
 	if err := rel.Validate(); err != nil {
 		return Result{}, err
 	}
 	if rel.Index == nil {
 		return Result{}, errors.New("exec: relation has no secondary index")
+	}
+	if err := ctxErr(ctx); err != nil {
+		return Result{}, err
+	}
+	if err := faultinject.Fire("exec.index"); err != nil {
+		return Result{}, err
 	}
 	ranges := make([][2]storage.Value, len(preds))
 	for i, p := range preds {
@@ -133,12 +158,18 @@ func RunIndex(rel *Relation, preds []scan.Predicate, opt Options) (Result, error
 
 // RunBitmap answers the batch with the bitmap index; results emerge in
 // rowID order with no sort step.
-func RunBitmap(rel *Relation, preds []scan.Predicate, opt Options) (Result, error) {
+func RunBitmap(ctx context.Context, rel *Relation, preds []scan.Predicate, opt Options) (Result, error) {
 	if err := rel.Validate(); err != nil {
 		return Result{}, err
 	}
 	if rel.Bitmap == nil {
 		return Result{}, errors.New("exec: relation has no bitmap index")
+	}
+	if err := ctxErr(ctx); err != nil {
+		return Result{}, err
+	}
+	if err := faultinject.Fire("exec.bitmap"); err != nil {
+		return Result{}, err
 	}
 	ranges := make([][2]storage.Value, len(preds))
 	for i, p := range preds {
@@ -149,23 +180,39 @@ func RunBitmap(rel *Relation, preds []scan.Predicate, opt Options) (Result, erro
 	return Result{Path: model.PathBitmap, RowIDs: rowIDs, Elapsed: time.Since(start)}, nil
 }
 
-// Run dispatches to the chosen access path.
-func Run(rel *Relation, path model.Path, preds []scan.Predicate, opt Options) (Result, error) {
+// Run dispatches to the chosen access path. The context carries the
+// batch's deadline/cancellation; checks are cooperative (before the
+// kernel, not inside it), so a cancelled batch stops before it starts
+// but a running kernel completes.
+func Run(ctx context.Context, rel *Relation, path model.Path, preds []scan.Predicate, opt Options) (Result, error) {
+	if err := ctxErr(ctx); err != nil {
+		return Result{}, err
+	}
+	if err := faultinject.Fire("exec.run"); err != nil {
+		return Result{}, err
+	}
 	switch path {
 	case model.PathIndex:
-		return RunIndex(rel, preds, opt)
+		return RunIndex(ctx, rel, preds, opt)
 	case model.PathBitmap:
-		return RunBitmap(rel, preds, opt)
+		return RunBitmap(ctx, rel, preds, opt)
 	default:
-		return RunScan(rel, preds, opt)
+		return RunScan(ctx, rel, preds, opt)
 	}
 }
 
 // RunCount answers COUNT(*) for the batch without materializing rowIDs:
 // the tree and bitmap count in their own structures, the scan counts in
-// a write-free pass. Returns one count per query.
-func RunCount(rel *Relation, path model.Path, preds []scan.Predicate) ([]int, error) {
+// a write-free pass. Returns one count per query. Cancellation is
+// cooperative at per-query granularity.
+func RunCount(ctx context.Context, rel *Relation, path model.Path, preds []scan.Predicate) ([]int, error) {
 	if err := rel.Validate(); err != nil {
+		return nil, err
+	}
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+	if err := faultinject.Fire("exec.count"); err != nil {
 		return nil, err
 	}
 	counts := make([]int, len(preds))
@@ -175,6 +222,9 @@ func RunCount(rel *Relation, path model.Path, preds []scan.Predicate) ([]int, er
 			return nil, errors.New("exec: relation has no secondary index")
 		}
 		for i, p := range preds {
+			if err := ctxErr(ctx); err != nil {
+				return nil, err
+			}
 			counts[i] = rel.Index.RangeCount(p.Lo, p.Hi)
 		}
 	case model.PathBitmap:
@@ -182,16 +232,25 @@ func RunCount(rel *Relation, path model.Path, preds []scan.Predicate) ([]int, er
 			return nil, errors.New("exec: relation has no bitmap index")
 		}
 		for i, p := range preds {
+			if err := ctxErr(ctx); err != nil {
+				return nil, err
+			}
 			counts[i] = rel.Bitmap.Count(p.Lo, p.Hi)
 		}
 	default:
 		if rel.Column.Contiguous() {
 			data := rel.Column.Raw()
 			for i, p := range preds {
+				if err := ctxErr(ctx); err != nil {
+					return nil, err
+				}
 				counts[i] = scan.Count(data, p)
 			}
 		} else {
 			for i, p := range preds {
+				if err := ctxErr(ctx); err != nil {
+					return nil, err
+				}
 				n := rel.Column.Len()
 				c := 0
 				for r := 0; r < n; r++ {

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -69,11 +70,11 @@ func TestBothPathsProduceIdenticalResults(t *testing.T) {
 		{BlockTuples: 1024, Workers: 4},
 	}
 	for _, opt := range variants {
-		scanRes, err := RunScan(rel, preds, opt)
+		scanRes, err := RunScan(context.Background(), rel, preds, opt)
 		if err != nil {
 			t.Fatal(err)
 		}
-		idxRes, err := RunIndex(rel, preds, opt)
+		idxRes, err := RunIndex(context.Background(), rel, preds, opt)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -96,7 +97,7 @@ func TestRunDispatch(t *testing.T) {
 	rel, data := buildRelation(t, 2, 5000, 1000)
 	preds := []scan.Predicate{{Lo: 10, Hi: 50}}
 	for _, path := range []model.Path{model.PathScan, model.PathIndex} {
-		res, err := Run(rel, path, preds, Options{})
+		res, err := Run(context.Background(), rel, path, preds, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -118,7 +119,7 @@ func TestStridedRelationScan(t *testing.T) {
 		t.Fatal(err)
 	}
 	rel := &Relation{Column: g.Column("b")}
-	res, err := RunScan(rel, []scan.Predicate{{Lo: 20, Hi: 40}}, Options{})
+	res, err := RunScan(context.Background(), rel, []scan.Predicate{{Lo: 20, Hi: 40}}, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,7 +130,7 @@ func TestStridedRelationScan(t *testing.T) {
 
 func TestIndexMissing(t *testing.T) {
 	rel := &Relation{Column: storage.NewColumn("v", []storage.Value{1, 2, 3})}
-	if _, err := RunIndex(rel, []scan.Predicate{{Lo: 0, Hi: 5}}, Options{}); err == nil {
+	if _, err := RunIndex(context.Background(), rel, []scan.Predicate{{Lo: 0, Hi: 5}}, Options{}); err == nil {
 		t.Fatal("RunIndex without an index should fail")
 	}
 }
@@ -162,7 +163,7 @@ func TestRunCountMatchesMaterialized(t *testing.T) {
 		want[i] = len(refSelect(data, p))
 	}
 	for _, path := range []model.Path{model.PathScan, model.PathIndex} {
-		counts, err := RunCount(rel, path, preds)
+		counts, err := RunCount(context.Background(), rel, path, preds)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -178,7 +179,7 @@ func TestRunCountMatchesMaterialized(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	counts, err := RunCount(&Relation{Column: g.Column("b")}, model.PathScan,
+	counts, err := RunCount(context.Background(), &Relation{Column: g.Column("b")}, model.PathScan,
 		[]scan.Predicate{{Lo: 6, Hi: 7}})
 	if err != nil {
 		t.Fatal(err)
@@ -188,10 +189,10 @@ func TestRunCountMatchesMaterialized(t *testing.T) {
 	}
 	// Missing structures error cleanly.
 	bare := &Relation{Column: storage.NewColumn("v", data)}
-	if _, err := RunCount(bare, model.PathIndex, preds); err == nil {
+	if _, err := RunCount(context.Background(), bare, model.PathIndex, preds); err == nil {
 		t.Fatal("count via missing index accepted")
 	}
-	if _, err := RunCount(bare, model.PathBitmap, preds); err == nil {
+	if _, err := RunCount(context.Background(), bare, model.PathBitmap, preds); err == nil {
 		t.Fatal("count via missing bitmap accepted")
 	}
 }

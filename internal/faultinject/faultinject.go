@@ -1,0 +1,193 @@
+// Package faultinject provides deterministic, seed-driven fault injection
+// at named sites in the engine. Production code marks a site with
+// Fire("pkg.site"); when no injector is active that call is a single
+// atomic pointer load. Tests build an Injector from rules — panic, error,
+// or delay at a site, firing every Nth hit, a bounded number of times, or
+// with a seeded pseudo-random probability — and Activate it for the
+// duration of the test. Determinism: for a fixed seed and a fixed order
+// of Fire calls, the injected faults are identical run to run.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Kind selects what an injected fault does at its site.
+type Kind int
+
+const (
+	// Error makes Fire return an error (Rule.Err, or ErrInjected).
+	Error Kind = iota
+	// Panic makes Fire panic with a PanicValue.
+	Panic
+	// Delay makes Fire sleep for Rule.Delay, then return nil.
+	Delay
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Error:
+		return "error"
+	case Panic:
+		return "panic"
+	case Delay:
+		return "delay"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// ErrInjected is the default error injected by Error rules; injected
+// errors always wrap it, so tests can errors.Is against it.
+var ErrInjected = errors.New("faultinject: injected error")
+
+// PanicValue is what injected panics carry, so recover sites can tell a
+// drill from a real bug.
+type PanicValue struct{ Site string }
+
+func (p PanicValue) String() string {
+	return fmt.Sprintf("faultinject: injected panic at site %q", p.Site)
+}
+
+// Rule arms one fault at one site.
+type Rule struct {
+	// Site names the injection point, e.g. "exec.run".
+	Site string
+	// Kind is what the fault does (Error, Panic, or Delay).
+	Kind Kind
+	// Every fires on every Nth hit of the site (1 = every hit). Ignored
+	// when Prob > 0; zero behaves as 1.
+	Every int
+	// Prob fires with this probability per hit, driven by the injector's
+	// seeded generator.
+	Prob float64
+	// Count caps the total number of fires; 0 means unlimited.
+	Count int
+	// Delay is the sleep for Delay rules.
+	Delay time.Duration
+	// Err overrides the injected error for Error rules; it is wrapped
+	// together with ErrInjected.
+	Err error
+}
+
+type ruleState struct {
+	Rule
+	hits  int
+	fires int
+}
+
+// Injector is a set of armed rules plus per-site counters.
+type Injector struct {
+	mu    sync.Mutex
+	rng   *rand.Rand
+	rules []*ruleState
+	hits  map[string]int64
+	fires map[string]int64
+}
+
+// New builds an injector from rules; seed drives probabilistic rules.
+func New(seed int64, rules ...Rule) *Injector {
+	in := &Injector{
+		rng:   rand.New(rand.NewSource(seed)),
+		hits:  make(map[string]int64),
+		fires: make(map[string]int64),
+	}
+	for _, r := range rules {
+		in.rules = append(in.rules, &ruleState{Rule: r})
+	}
+	return in
+}
+
+// Fire reports a hit on the site and applies the first matching rule that
+// decides to fire: Error rules return their error, Delay rules sleep,
+// Panic rules panic with a PanicValue. With no matching rule it returns
+// nil immediately.
+func (in *Injector) Fire(site string) error {
+	in.mu.Lock()
+	in.hits[site]++
+	var armed *ruleState
+	for _, r := range in.rules {
+		if r.Site != site {
+			continue
+		}
+		if r.Count > 0 && r.fires >= r.Count {
+			continue
+		}
+		r.hits++
+		fire := false
+		if r.Prob > 0 {
+			fire = in.rng.Float64() < r.Prob
+		} else {
+			every := r.Every
+			if every <= 0 {
+				every = 1
+			}
+			fire = r.hits%every == 0
+		}
+		if fire {
+			r.fires++
+			in.fires[site]++
+			armed = r
+			break
+		}
+	}
+	in.mu.Unlock()
+	if armed == nil {
+		return nil
+	}
+	switch armed.Kind {
+	case Delay:
+		time.Sleep(armed.Delay)
+		return nil
+	case Panic:
+		panic(PanicValue{Site: site})
+	default:
+		if armed.Err != nil {
+			return fmt.Errorf("%w at site %q: %w", ErrInjected, site, armed.Err)
+		}
+		return fmt.Errorf("%w at site %q", ErrInjected, site)
+	}
+}
+
+// Hits returns how many times the site was reached.
+func (in *Injector) Hits(site string) int64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.hits[site]
+}
+
+// Fires returns how many faults actually fired at the site.
+func (in *Injector) Fires(site string) int64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.fires[site]
+}
+
+// active is the process-wide injector; nil means injection is off and
+// package-level Fire is a single atomic load.
+var active atomic.Pointer[Injector]
+
+// Activate installs the injector globally and returns the deactivation
+// function. Tests should defer it.
+func Activate(in *Injector) (deactivate func()) {
+	active.Store(in)
+	return func() { active.CompareAndSwap(in, nil) }
+}
+
+// Enabled reports whether an injector is active.
+func Enabled() bool { return active.Load() != nil }
+
+// Fire reports a hit on the site against the active injector, if any.
+// Sites in production code call this form.
+func Fire(site string) error {
+	in := active.Load()
+	if in == nil {
+		return nil
+	}
+	return in.Fire(site)
+}

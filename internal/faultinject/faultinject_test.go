@@ -1,0 +1,117 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestInactiveFireIsNil(t *testing.T) {
+	if Enabled() {
+		t.Fatal("injector active at test start")
+	}
+	if err := Fire("exec.run"); err != nil {
+		t.Fatalf("inactive Fire returned %v", err)
+	}
+}
+
+func TestEveryNthDeterministic(t *testing.T) {
+	in := New(1, Rule{Site: "s", Kind: Error, Every: 3})
+	var errs int
+	for i := 0; i < 9; i++ {
+		if err := in.Fire("s"); err != nil {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("injected error does not wrap ErrInjected: %v", err)
+			}
+			errs++
+		}
+	}
+	if errs != 3 {
+		t.Fatalf("Every=3 over 9 hits fired %d times, want 3", errs)
+	}
+	if in.Hits("s") != 9 || in.Fires("s") != 3 {
+		t.Fatalf("hits=%d fires=%d, want 9/3", in.Hits("s"), in.Fires("s"))
+	}
+}
+
+func TestCountCapsFires(t *testing.T) {
+	in := New(1, Rule{Site: "s", Kind: Error, Every: 1, Count: 2})
+	var errs int
+	for i := 0; i < 5; i++ {
+		if in.Fire("s") != nil {
+			errs++
+		}
+	}
+	if errs != 2 {
+		t.Fatalf("Count=2 fired %d times", errs)
+	}
+}
+
+func TestSeededProbabilityReproducible(t *testing.T) {
+	run := func() []bool {
+		in := New(42, Rule{Site: "s", Kind: Error, Prob: 0.5})
+		out := make([]bool, 20)
+		for i := range out {
+			out[i] = in.Fire("s") != nil
+		}
+		return out
+	}
+	a, b := run(), run()
+	fired := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("hit %d differs across identical seeds", i)
+		}
+		if a[i] {
+			fired++
+		}
+	}
+	if fired == 0 || fired == len(a) {
+		t.Fatalf("Prob=0.5 fired %d/%d times; expected a mix", fired, len(a))
+	}
+}
+
+func TestPanicKindPanicsWithPanicValue(t *testing.T) {
+	in := New(1, Rule{Site: "s", Kind: Panic})
+	defer func() {
+		r := recover()
+		pv, ok := r.(PanicValue)
+		if !ok || pv.Site != "s" {
+			t.Fatalf("recovered %v, want PanicValue{s}", r)
+		}
+	}()
+	in.Fire("s")
+	t.Fatal("Panic rule did not panic")
+}
+
+func TestDelayKindSleeps(t *testing.T) {
+	in := New(1, Rule{Site: "s", Kind: Delay, Delay: 30 * time.Millisecond})
+	start := time.Now()
+	if err := in.Fire("s"); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Fatalf("Delay rule returned after %v", d)
+	}
+}
+
+func TestActivateDeactivate(t *testing.T) {
+	in := New(1, Rule{Site: "s", Kind: Error})
+	deactivate := Activate(in)
+	if !Enabled() {
+		t.Fatal("not enabled after Activate")
+	}
+	if Fire("s") == nil {
+		t.Fatal("active injector did not fire")
+	}
+	if Fire("other") != nil {
+		t.Fatal("unmatched site fired")
+	}
+	deactivate()
+	if Enabled() {
+		t.Fatal("still enabled after deactivate")
+	}
+	if Fire("s") != nil {
+		t.Fatal("fired after deactivate")
+	}
+}

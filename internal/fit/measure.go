@@ -1,6 +1,7 @@
 package fit
 
 import (
+	"context"
 	"sort"
 	"time"
 
@@ -47,7 +48,7 @@ func MeasureObservations(rel *exec.Relation, tupleSize float64, domain int32,
 func medianRun(rel *exec.Relation, path model.Path, preds []scan.Predicate, trials int) (sec float64, totalRows int, err error) {
 	times := make([]time.Duration, 0, trials)
 	for t := 0; t < trials; t++ {
-		res, err := exec.Run(rel, path, preds, exec.Options{})
+		res, err := exec.Run(context.Background(), rel, path, preds, exec.Options{})
 		if err != nil {
 			return 0, 0, err
 		}

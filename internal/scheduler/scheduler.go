@@ -3,16 +3,41 @@
 // predicated on the same attribute, and hands each group to the optimizer
 // and execution engine as one batch. Query concurrency — the q the APS
 // model needs — is precisely the size of these groups.
+//
+// The scheduler is also the serve path's resilience layer: every query
+// carries a context (cancelled queries are dropped from their batch
+// before execution, shrinking the q the cost model sees, and their
+// submitters are answered promptly), admission is bounded (a per-attribute
+// pending cap and a global in-flight-batch cap fail fast with
+// ErrOverloaded instead of queueing unboundedly), and a panic inside one
+// batch's execution is recovered into per-query errors without touching
+// sibling attributes.
 package scheduler
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"fastcolumns/internal/scan"
 	"fastcolumns/internal/storage"
 )
+
+// ErrClosed is returned by Submit after Close.
+var ErrClosed = errors.New("scheduler: closed")
+
+// ErrOverloaded is returned by Submit when admission control rejects the
+// query — either the attribute's pending queue is full or too many
+// batches are already executing. Callers should shed or retry with
+// backoff; nothing was enqueued.
+var ErrOverloaded = errors.New("scheduler: overloaded")
+
+// ErrBatchPanic wraps a panic recovered during one batch's execution; it
+// is delivered as the Reply error of every query in that batch.
+var ErrBatchPanic = errors.New("scheduler: batch execution panicked")
 
 // Query is one select operator request.
 type Query struct {
@@ -20,8 +45,26 @@ type Query struct {
 	Attr string
 	// Pred is the range predicate.
 	Pred scan.Predicate
-	// reply receives the query's result exactly once.
+
+	ctx   context.Context
 	reply chan Reply
+	// done guards exactly-once reply delivery: the batch runner and the
+	// cancellation watcher race to claim it.
+	done atomic.Bool
+	// settled closes once the reply has been delivered, releasing the
+	// cancellation watcher.
+	settled chan struct{}
+}
+
+// finish delivers the reply if no one else has; reports whether this
+// caller won the claim.
+func (q *Query) finish(rep Reply) bool {
+	if !q.done.CompareAndSwap(false, true) {
+		return false
+	}
+	q.reply <- rep
+	close(q.settled)
+	return true
 }
 
 // Reply is the outcome delivered to the query's submitter.
@@ -31,15 +74,27 @@ type Reply struct {
 }
 
 // ExecFunc executes one batch of queries predicated on the same
-// attribute, returning one result set per query in batch order.
-type ExecFunc func(attr string, preds []scan.Predicate) ([][]storage.RowID, error)
+// attribute, returning one result set per query in batch order. The
+// context carries the batch's deadline (see batchContext); executors
+// should stop early when it is done.
+type ExecFunc func(ctx context.Context, attr string, preds []scan.Predicate) ([][]storage.RowID, error)
 
 // Scheduler collects queries and flushes per-attribute batches when the
 // batching window elapses or a batch reaches MaxBatch.
 type Scheduler struct {
-	exec     ExecFunc
-	window   time.Duration
-	maxBatch int
+	exec        ExecFunc
+	window      time.Duration
+	maxBatch    int
+	maxPending  int
+	maxInFlight int64
+
+	inFlight  atomic.Int64
+	submitted atomic.Int64
+	rejected  atomic.Int64
+	cancelled atomic.Int64
+	batches   atomic.Int64
+	panics    atomic.Int64
+	errored   atomic.Int64
 
 	mu      sync.Mutex
 	pending map[string][]*Query
@@ -57,6 +112,34 @@ type Options struct {
 	// (default 512 — beyond that, result-writing thrash erases the
 	// sharing benefit; see Lesson 5).
 	MaxBatch int
+	// MaxPending bounds each attribute's pending queue; submissions
+	// beyond it fail fast with ErrOverloaded (default 4096).
+	MaxPending int
+	// MaxInFlight bounds concurrently executing batches across all
+	// attributes; submissions while saturated fail fast with
+	// ErrOverloaded (default 64).
+	MaxInFlight int
+}
+
+// Stats is a snapshot of the scheduler's resilience counters.
+type Stats struct {
+	// Submitted counts accepted queries.
+	Submitted int64
+	// Rejected counts submissions refused by admission control.
+	Rejected int64
+	// Cancelled counts queries answered with their context's error —
+	// whether cancelled while pending, dropped from a batch at execution
+	// time, or abandoned mid-execution.
+	Cancelled int64
+	// Batches counts executed (non-empty) batches.
+	Batches int64
+	// Panics counts batch executions that panicked and were recovered.
+	Panics int64
+	// Errored counts batches whose execution reported an error
+	// (including recovered panics and short result sets).
+	Errored int64
+	// InFlight is the number of batches executing right now.
+	InFlight int64
 }
 
 // New creates a scheduler that executes batches with exec.
@@ -67,49 +150,96 @@ func New(exec ExecFunc, opt Options) *Scheduler {
 	if opt.MaxBatch <= 0 {
 		opt.MaxBatch = 512
 	}
+	if opt.MaxPending <= 0 {
+		opt.MaxPending = 4096
+	}
+	if opt.MaxInFlight <= 0 {
+		opt.MaxInFlight = 64
+	}
 	return &Scheduler{
-		exec:     exec,
-		window:   opt.Window,
-		maxBatch: opt.MaxBatch,
-		pending:  make(map[string][]*Query),
-		timers:   make(map[string]*time.Timer),
+		exec:        exec,
+		window:      opt.Window,
+		maxBatch:    opt.MaxBatch,
+		maxPending:  opt.MaxPending,
+		maxInFlight: int64(opt.MaxInFlight),
+		pending:     make(map[string][]*Query),
+		timers:      make(map[string]*time.Timer),
 	}
 }
 
-// Submit enqueues a query and returns a channel that will receive its
-// reply. The channel is buffered; the caller need not be ready.
+// Submit enqueues a query with no deadline; see SubmitContext.
 func (s *Scheduler) Submit(attr string, pred scan.Predicate) (<-chan Reply, error) {
-	q := &Query{Attr: attr, Pred: pred, reply: make(chan Reply, 1)}
+	return s.SubmitContext(context.Background(), attr, pred)
+}
+
+// SubmitContext enqueues a query and returns a channel that will receive
+// its reply exactly once. The channel is buffered; the caller need not be
+// ready. If ctx is cancelled before the batch executes, the query is
+// answered promptly with ctx.Err() and dropped from its batch; if it is
+// cancelled during execution, the submitter is still answered promptly
+// while the batch finishes on behalf of its other members.
+func (s *Scheduler) SubmitContext(ctx context.Context, attr string, pred scan.Predicate) (<-chan Reply, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	q := &Query{
+		Attr:    attr,
+		Pred:    pred,
+		ctx:     ctx,
+		reply:   make(chan Reply, 1),
+		settled: make(chan struct{}),
+	}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		return nil, errors.New("scheduler: closed")
+		return nil, ErrClosed
+	}
+	if s.inFlight.Load() >= s.maxInFlight {
+		s.mu.Unlock()
+		s.rejected.Add(1)
+		return nil, fmt.Errorf("%w: %d batches in flight", ErrOverloaded, s.maxInFlight)
+	}
+	if len(s.pending[attr]) >= s.maxPending {
+		s.mu.Unlock()
+		s.rejected.Add(1)
+		return nil, fmt.Errorf("%w: %d queries pending on %q", ErrOverloaded, s.maxPending, attr)
 	}
 	s.pending[attr] = append(s.pending[attr], q)
-	n := len(s.pending[attr])
-	switch {
+	switch n := len(s.pending[attr]); {
 	case n >= s.maxBatch:
-		batch := s.takeLocked(attr)
-		s.mu.Unlock()
-		s.run(attr, batch)
+		s.dispatchLocked(attr, s.takeLocked(attr))
 	case n == 1:
 		// First query on the attribute arms the window timer.
 		s.timers[attr] = time.AfterFunc(s.window, func() { s.Flush(attr) })
-		s.mu.Unlock()
-	default:
-		s.mu.Unlock()
+	}
+	s.mu.Unlock()
+	s.submitted.Add(1)
+	if ctx.Done() != nil {
+		go s.watchCancel(q)
 	}
 	return q.reply, nil
+}
+
+// watchCancel answers the submitter the moment its context dies, even if
+// the query's batch is still pending or executing.
+func (s *Scheduler) watchCancel(q *Query) {
+	select {
+	case <-q.ctx.Done():
+		if q.finish(Reply{Err: q.ctx.Err()}) {
+			s.cancelled.Add(1)
+		}
+	case <-q.settled:
+	}
 }
 
 // Flush executes whatever is pending on the attribute right now.
 func (s *Scheduler) Flush(attr string) {
 	s.mu.Lock()
-	batch := s.takeLocked(attr)
+	s.dispatchLocked(attr, s.takeLocked(attr))
 	s.mu.Unlock()
-	if len(batch) > 0 {
-		s.run(attr, batch)
-	}
 }
 
 // Pending returns the number of queries waiting on the attribute — the
@@ -118,6 +248,19 @@ func (s *Scheduler) Pending(attr string) int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.pending[attr])
+}
+
+// Stats snapshots the resilience counters.
+func (s *Scheduler) Stats() Stats {
+	return Stats{
+		Submitted: s.submitted.Load(),
+		Rejected:  s.rejected.Load(),
+		Cancelled: s.cancelled.Load(),
+		Batches:   s.batches.Load(),
+		Panics:    s.panics.Load(),
+		Errored:   s.errored.Load(),
+		InFlight:  s.inFlight.Load(),
+	}
 }
 
 // takeLocked removes and returns the attribute's batch. Caller holds mu.
@@ -131,22 +274,98 @@ func (s *Scheduler) takeLocked(attr string) []*Query {
 	return batch
 }
 
-// run executes a batch and delivers replies.
-func (s *Scheduler) run(attr string, batch []*Query) {
-	s.wg.Add(1)
-	defer s.wg.Done()
-	preds := make([]scan.Predicate, len(batch))
-	for i, q := range batch {
-		preds[i] = q.Pred
+// dispatchLocked hands a batch to a worker goroutine. Running on a worker
+// — never on the submitting caller — keeps Submit latency flat even when
+// a full batch triggers immediate execution. Caller holds mu; taking wg
+// under the lock orders the Add before Close's Wait.
+func (s *Scheduler) dispatchLocked(attr string, batch []*Query) {
+	if len(batch) == 0 {
+		return
 	}
-	results, err := s.exec(attr, preds)
-	for i, q := range batch {
-		if err != nil {
-			q.reply <- Reply{Err: err}
+	s.wg.Add(1)
+	s.inFlight.Add(1)
+	go s.run(attr, batch)
+}
+
+// run executes a batch and delivers replies. Cancelled queries are
+// dropped first — shrinking the concurrency q the APS model sees — and a
+// panicking executor is converted into per-query errors so one poisoned
+// batch cannot take down the process or sibling attributes.
+func (s *Scheduler) run(attr string, batch []*Query) {
+	defer s.wg.Done()
+	defer s.inFlight.Add(-1)
+	live := make([]*Query, 0, len(batch))
+	for _, q := range batch {
+		if q.done.Load() {
+			continue // cancellation watcher already answered it
+		}
+		if err := q.ctx.Err(); err != nil {
+			if q.finish(Reply{Err: err}) {
+				s.cancelled.Add(1)
+			}
 			continue
 		}
-		q.reply <- Reply{RowIDs: results[i]}
+		live = append(live, q)
 	}
+	if len(live) == 0 {
+		return
+	}
+	s.batches.Add(1)
+	preds := make([]scan.Predicate, len(live))
+	for i, q := range live {
+		preds[i] = q.Pred
+	}
+	ctx, cancel := batchContext(live)
+	results, err := s.safeExec(ctx, attr, preds)
+	cancel()
+	if err == nil && len(results) != len(preds) {
+		err = fmt.Errorf("scheduler: executor returned %d result sets for a %d-query batch on %q",
+			len(results), len(preds), attr)
+	}
+	if err != nil {
+		s.errored.Add(1)
+	}
+	for i, q := range live {
+		if err != nil {
+			q.finish(Reply{Err: err})
+			continue
+		}
+		q.finish(Reply{RowIDs: results[i]})
+	}
+}
+
+// batchContext derives the context a batch executes under. A batch acts
+// on behalf of every member, so it may only be deadline-bounded by a time
+// no member outlives: the latest member deadline when all members have
+// one, unbounded otherwise. A single-query batch simply runs under that
+// query's context.
+func batchContext(live []*Query) (context.Context, context.CancelFunc) {
+	if len(live) == 1 {
+		return live[0].ctx, func() {}
+	}
+	latest := time.Time{}
+	for _, q := range live {
+		d, ok := q.ctx.Deadline()
+		if !ok {
+			return context.Background(), func() {}
+		}
+		if d.After(latest) {
+			latest = d
+		}
+	}
+	return context.WithDeadline(context.Background(), latest)
+}
+
+// safeExec runs the executor with panic isolation.
+func (s *Scheduler) safeExec(ctx context.Context, attr string, preds []scan.Predicate) (results [][]storage.RowID, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.panics.Add(1)
+			results = nil
+			err = fmt.Errorf("%w on %q: %v", ErrBatchPanic, attr, r)
+		}
+	}()
+	return s.exec(ctx, attr, preds)
 }
 
 // Close flushes every pending batch and stops accepting submissions.

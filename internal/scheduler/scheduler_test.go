@@ -1,7 +1,9 @@
 package scheduler
 
 import (
+	"context"
 	"errors"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -22,7 +24,7 @@ func newCountingExec() *countingExec {
 	return &countingExec{batches: make(map[string][]int)}
 }
 
-func (c *countingExec) exec(attr string, preds []scan.Predicate) ([][]storage.RowID, error) {
+func (c *countingExec) exec(_ context.Context, attr string, preds []scan.Predicate) ([][]storage.RowID, error) {
 	c.mu.Lock()
 	c.batches[attr] = append(c.batches[attr], len(preds))
 	c.mu.Unlock()
@@ -119,7 +121,7 @@ func TestManualFlush(t *testing.T) {
 
 func TestExecErrorsPropagate(t *testing.T) {
 	boom := errors.New("boom")
-	s := New(func(string, []scan.Predicate) ([][]storage.RowID, error) {
+	s := New(func(context.Context, string, []scan.Predicate) ([][]storage.RowID, error) {
 		return nil, boom
 	}, Options{Window: time.Millisecond})
 	defer s.Close()
@@ -143,14 +145,14 @@ func TestCloseFlushesAndRejects(t *testing.T) {
 	case <-time.After(time.Second):
 		t.Fatal("Close did not flush pending work")
 	}
-	if _, err := s.Submit("a", scan.Predicate{}); err == nil {
-		t.Fatal("Submit after Close accepted")
+	if _, err := s.Submit("a", scan.Predicate{}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Submit after Close: %v, want ErrClosed", err)
 	}
 }
 
 func TestConcurrentSubmitters(t *testing.T) {
 	var served atomic.Int64
-	s := New(func(attr string, preds []scan.Predicate) ([][]storage.RowID, error) {
+	s := New(func(_ context.Context, attr string, preds []scan.Predicate) ([][]storage.RowID, error) {
 		served.Add(int64(len(preds)))
 		out := make([][]storage.RowID, len(preds))
 		return out, nil
@@ -175,5 +177,351 @@ func TestConcurrentSubmitters(t *testing.T) {
 	s.Close()
 	if served.Load() != goroutines*perG {
 		t.Fatalf("served %d queries, want %d", served.Load(), goroutines*perG)
+	}
+}
+
+// TestMaxBatchSubmitDoesNotBlock is the regression test for the Submit
+// blocking bug: the submission that completes a MaxBatch-sized batch used
+// to execute the whole batch synchronously on the submitting goroutine.
+func TestMaxBatchSubmitDoesNotBlock(t *testing.T) {
+	block := make(chan struct{})
+	s := New(func(_ context.Context, attr string, preds []scan.Predicate) ([][]storage.RowID, error) {
+		<-block
+		return make([][]storage.RowID, len(preds)), nil
+	}, Options{Window: time.Hour, MaxBatch: 2})
+	defer func() { close(block); s.Close() }()
+
+	if _, err := s.Submit("a", scan.Predicate{}); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		// This submission completes the batch; it must return while the
+		// executor is still blocked.
+		if _, err := s.Submit("a", scan.Predicate{}); err != nil {
+			t.Error(err)
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Submit blocked on batch execution")
+	}
+}
+
+// TestShortResultSetFailsBatch is the regression test for the silent
+// out-of-range panic: an executor returning fewer result sets than
+// queries must fail the batch with a descriptive error, not panic.
+func TestShortResultSetFailsBatch(t *testing.T) {
+	s := New(func(_ context.Context, attr string, preds []scan.Predicate) ([][]storage.RowID, error) {
+		return make([][]storage.RowID, len(preds)-1), nil
+	}, Options{Window: time.Millisecond})
+	defer s.Close()
+	chA, _ := s.Submit("a", scan.Predicate{})
+	chB, _ := s.Submit("a", scan.Predicate{})
+	for _, ch := range []<-chan Reply{chA, chB} {
+		r := <-ch
+		if r.Err == nil {
+			t.Fatal("short result set did not fail the batch")
+		}
+		if !strings.Contains(r.Err.Error(), "result sets") {
+			t.Fatalf("error %q does not describe the mismatch", r.Err)
+		}
+	}
+}
+
+func TestPanicIsolatedToItsBatch(t *testing.T) {
+	s := New(func(_ context.Context, attr string, preds []scan.Predicate) ([][]storage.RowID, error) {
+		if attr == "poison" {
+			panic("kernel bug")
+		}
+		return make([][]storage.RowID, len(preds)), nil
+	}, Options{Window: time.Millisecond})
+	defer s.Close()
+
+	chP, _ := s.Submit("poison", scan.Predicate{})
+	chOK, _ := s.Submit("healthy", scan.Predicate{})
+	if r := <-chP; !errors.Is(r.Err, ErrBatchPanic) {
+		t.Fatalf("poisoned batch reply: %v, want ErrBatchPanic", r.Err)
+	}
+	if r := <-chOK; r.Err != nil {
+		t.Fatalf("sibling attribute failed: %v", r.Err)
+	}
+	// The scheduler survives: the same attribute serves again.
+	ch, err := s.Submit("healthy", scan.Predicate{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := <-ch; r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	if got := s.Stats().Panics; got != 1 {
+		t.Fatalf("Stats().Panics = %d, want 1", got)
+	}
+}
+
+func TestCancelledContextAnsweredPromptly(t *testing.T) {
+	release := make(chan struct{})
+	s := New(func(_ context.Context, attr string, preds []scan.Predicate) ([][]storage.RowID, error) {
+		<-release
+		return make([][]storage.RowID, len(preds)), nil
+	}, Options{Window: time.Millisecond})
+	defer func() { close(release); s.Close() }()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	ch, err := s.SubmitContext(ctx, "a", scan.Predicate{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	select {
+	case r := <-ch:
+		if !errors.Is(r.Err, context.Canceled) {
+			t.Fatalf("reply error %v, want context.Canceled", r.Err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("cancelled query not answered promptly")
+	}
+	if got := s.Stats().Cancelled; got != 1 {
+		t.Fatalf("Stats().Cancelled = %d, want 1", got)
+	}
+}
+
+func TestCancelledQueriesDroppedFromBatch(t *testing.T) {
+	var sawBatch atomic.Int64
+	s := New(func(_ context.Context, attr string, preds []scan.Predicate) ([][]storage.RowID, error) {
+		sawBatch.Store(int64(len(preds)))
+		return make([][]storage.RowID, len(preds)), nil
+	}, Options{Window: 50 * time.Millisecond})
+	defer s.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var cancelled, kept []<-chan Reply
+	for i := 0; i < 2; i++ {
+		ch, err := s.SubmitContext(ctx, "a", scan.Predicate{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cancelled = append(cancelled, ch)
+	}
+	for i := 0; i < 3; i++ {
+		ch, err := s.Submit("a", scan.Predicate{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		kept = append(kept, ch)
+	}
+	cancel()
+	for _, ch := range cancelled {
+		if r := <-ch; !errors.Is(r.Err, context.Canceled) {
+			t.Fatalf("cancelled query reply: %v", r.Err)
+		}
+	}
+	for _, ch := range kept {
+		if r := <-ch; r.Err != nil {
+			t.Fatal(r.Err)
+		}
+	}
+	if got := sawBatch.Load(); got != 3 {
+		t.Fatalf("executor saw a %d-query batch, want 3 (cancelled dropped)", got)
+	}
+}
+
+func TestSubmitRejectsPendingOverload(t *testing.T) {
+	ce := newCountingExec()
+	s := New(ce.exec, Options{Window: time.Hour, MaxPending: 2, MaxBatch: 1 << 20})
+	defer s.Close()
+	var chans []<-chan Reply
+	for i := 0; i < 2; i++ {
+		ch, err := s.Submit("a", scan.Predicate{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		chans = append(chans, ch)
+	}
+	if _, err := s.Submit("a", scan.Predicate{}); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("3rd submit: %v, want ErrOverloaded", err)
+	}
+	// Another attribute is unaffected by a's full queue.
+	if _, err := s.Submit("b", scan.Predicate{}); err != nil {
+		t.Fatalf("sibling attribute rejected: %v", err)
+	}
+	s.Flush("a")
+	for _, ch := range chans {
+		if r := <-ch; r.Err != nil {
+			t.Fatal(r.Err)
+		}
+	}
+	if got := s.Stats().Rejected; got != 1 {
+		t.Fatalf("Stats().Rejected = %d, want 1", got)
+	}
+}
+
+func TestSubmitRejectsInFlightOverload(t *testing.T) {
+	release := make(chan struct{})
+	s := New(func(_ context.Context, attr string, preds []scan.Predicate) ([][]storage.RowID, error) {
+		<-release
+		return make([][]storage.RowID, len(preds)), nil
+	}, Options{Window: time.Hour, MaxInFlight: 1})
+
+	ch, err := s.Submit("a", scan.Predicate{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Flush("a")
+	// Wait for the batch to be in flight.
+	deadline := time.Now().Add(time.Second)
+	for s.Stats().InFlight == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("batch never went in flight")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := s.Submit("b", scan.Predicate{}); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("submit while saturated: %v, want ErrOverloaded", err)
+	}
+	close(release)
+	if r := <-ch; r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	// Capacity frees up once the batch completes.
+	deadline = time.Now().Add(time.Second)
+	for {
+		if _, err := s.Submit("b", scan.Predicate{}); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("submissions still rejected after batch completed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	s.Close()
+}
+
+// TestRaceSubmitFlushClose hammers Submit/Flush/Close concurrently across
+// many attributes and asserts every accepted query receives exactly one
+// reply. Run under -race.
+func TestRaceSubmitFlushClose(t *testing.T) {
+	ce := newCountingExec()
+	s := New(ce.exec, Options{Window: 200 * time.Microsecond, MaxBatch: 8})
+
+	attrs := []string{"a", "b", "c", "d", "e"}
+	var accepted, replied atomic.Int64
+	var doubles atomic.Int64
+	var wg sync.WaitGroup
+
+	stopFlush := make(chan struct{})
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; ; j++ {
+				select {
+				case <-stopFlush:
+					return
+				default:
+					s.Flush(attrs[(i+j)%len(attrs)])
+				}
+			}
+		}(i)
+	}
+
+	var submitters sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		submitters.Add(1)
+		go func(g int) {
+			defer submitters.Done()
+			ctx := context.Background()
+			for i := 0; i < 200; i++ {
+				attr := attrs[(g+i)%len(attrs)]
+				var ch <-chan Reply
+				var err error
+				if i%3 == 0 {
+					c, cancel := context.WithTimeout(ctx, time.Duration(i%5)*time.Millisecond)
+					defer cancel()
+					ch, err = s.SubmitContext(c, attr, scan.Predicate{})
+				} else {
+					ch, err = s.Submit(attr, scan.Predicate{})
+				}
+				if err != nil {
+					continue // closed or overloaded: nothing enqueued
+				}
+				accepted.Add(1)
+				<-ch
+				replied.Add(1)
+				// Exactly-once: the buffered channel must now be empty and
+				// stay empty.
+				select {
+				case <-ch:
+					doubles.Add(1)
+				default:
+				}
+			}
+		}(g)
+	}
+
+	time.Sleep(20 * time.Millisecond)
+	s.Close() // races with in-flight submits by design
+	submitters.Wait()
+	close(stopFlush)
+	wg.Wait()
+
+	if a, r := accepted.Load(), replied.Load(); a != r {
+		t.Fatalf("accepted %d queries but %d replies arrived", a, r)
+	}
+	if d := doubles.Load(); d != 0 {
+		t.Fatalf("%d reply channels received a second reply", d)
+	}
+}
+
+// TestBatchContextDeadline checks the executor sees the latest member
+// deadline when every member carries one.
+func TestBatchContextDeadline(t *testing.T) {
+	type probe struct {
+		hasDeadline bool
+	}
+	got := make(chan probe, 1)
+	s := New(func(ctx context.Context, attr string, preds []scan.Predicate) ([][]storage.RowID, error) {
+		_, ok := ctx.Deadline()
+		got <- probe{hasDeadline: ok}
+		return make([][]storage.RowID, len(preds)), nil
+	}, Options{Window: 10 * time.Millisecond})
+	defer s.Close()
+
+	ctx1, cancel1 := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel1()
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel2()
+	ch1, _ := s.SubmitContext(ctx1, "a", scan.Predicate{})
+	ch2, _ := s.SubmitContext(ctx2, "a", scan.Predicate{})
+	<-ch1
+	<-ch2
+	if p := <-got; !p.hasDeadline {
+		t.Fatal("batch of all-deadline members executed without a deadline")
+	}
+
+	// Mixed batch (one member without a deadline): no deadline propagates.
+	ch3, _ := s.SubmitContext(ctx1, "a", scan.Predicate{})
+	ch4, _ := s.Submit("a", scan.Predicate{})
+	<-ch3
+	<-ch4
+	if p := <-got; p.hasDeadline {
+		t.Fatal("mixed batch executed under a deadline")
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	ce := newCountingExec()
+	s := New(ce.exec, Options{Window: time.Millisecond})
+	ch, _ := s.Submit("a", scan.Predicate{})
+	<-ch
+	s.Close()
+	st := s.Stats()
+	if st.Submitted != 1 || st.Batches != 1 {
+		t.Fatalf("stats = %+v, want 1 submitted / 1 batch", st)
+	}
+	if st.InFlight != 0 {
+		t.Fatalf("InFlight after Close = %d", st.InFlight)
 	}
 }

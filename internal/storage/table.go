@@ -3,6 +3,8 @@ package storage
 import (
 	"fmt"
 	"sort"
+
+	"fastcolumns/internal/faultinject"
 )
 
 // Table is a read-optimized relation: a set of attributes, each stored
@@ -131,6 +133,9 @@ func (t *Table) Delta() *WriteStore {
 func (t *Table) MergeDelta() (added int, err error) {
 	if t.delta == nil || t.delta.Pending() == 0 {
 		return 0, nil
+	}
+	if err := faultinject.Fire("storage.merge"); err != nil {
+		return 0, err
 	}
 	cols := t.delta.Drain()
 	var n int

@@ -1,6 +1,7 @@
 package fastcolumns
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -53,6 +54,13 @@ type QueryResult struct {
 // filters over the survivors. Aggregates and cross-attribute projections
 // run as downstream operators over the final rowID set.
 func (e *Engine) Query(statement string) (QueryResult, error) {
+	return e.QueryContext(context.Background(), statement)
+}
+
+// QueryContext is Query with a deadline/cancellation context, threaded
+// through access path execution (cooperative granularity: checks land
+// between execution phases, not inside a running kernel).
+func (e *Engine) QueryContext(ctx context.Context, statement string) (QueryResult, error) {
 	start := time.Now()
 	q, err := dsl.Parse(statement)
 	if err != nil {
@@ -91,7 +99,7 @@ func (e *Engine) Query(statement string) (QueryResult, error) {
 	// COUNT(*) with no residual filters never needs the rowIDs: count
 	// inside the chosen access structure.
 	if q.Agg == dsl.AggCount && len(plan.Residuals) == 0 {
-		counts, d, err := tbl.Count(plan.Driver.Attr, []Predicate{plan.Driver.Pred})
+		counts, d, err := tbl.CountContext(ctx, plan.Driver.Attr, []Predicate{plan.Driver.Pred})
 		if err != nil {
 			return QueryResult{}, err
 		}
@@ -103,7 +111,7 @@ func (e *Engine) Query(statement string) (QueryResult, error) {
 		}, nil
 	}
 
-	res, err := tbl.SelectBatch(plan.Driver.Attr, []Predicate{plan.Driver.Pred})
+	res, err := tbl.SelectBatchContext(ctx, plan.Driver.Attr, []Predicate{plan.Driver.Pred})
 	if err != nil {
 		return QueryResult{}, err
 	}

@@ -1,9 +1,12 @@
 package fastcolumns
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"fastcolumns/internal/scheduler"
@@ -13,14 +16,37 @@ import (
 // Reply is the result delivered for one submitted query.
 type Reply = scheduler.Reply
 
+// ErrOverloaded is returned by Submit when admission control sheds the
+// query instead of queueing it unboundedly; nothing was enqueued and the
+// caller should back off.
+var ErrOverloaded = scheduler.ErrOverloaded
+
+// ErrBatchPanic wraps a panic recovered during batch execution; it
+// reaches submitters as their Reply error when even the scan fallback
+// could not answer the batch.
+var ErrBatchPanic = scheduler.ErrBatchPanic
+
 // Server is the asynchronous query front door of Section 3 (Figure 11):
 // submitted queries are continuously collected, grouped per (table,
 // attribute), and each group is answered as one batch through access path
 // selection — so concurrency is created by the workload and exploited by
 // the optimizer, without callers coordinating.
+//
+// The front door is hardened for production traffic: queries carry
+// contexts (deadlines and cancellation propagate into execution, and
+// cancelled queries shrink their batch before the APS model sees it),
+// admission is bounded (ErrOverloaded instead of unbounded queues), a
+// panic in one batch is isolated to that batch's queries, and a batch
+// that fails on the chosen access path is retried once through the safe
+// fallback path — a full scan, the only path that needs no auxiliary
+// structure to be correct.
 type Server struct {
 	engine *Engine
 	sched  *scheduler.Scheduler
+
+	recovered  atomic.Int64
+	fallbacks  atomic.Int64
+	fallbackOK atomic.Int64
 
 	mu    sync.Mutex
 	stats map[string]*AttrStats
@@ -40,6 +66,31 @@ type AttrStats struct {
 	PathCounts map[string]int64
 }
 
+// ServerStats aggregates the server's resilience counters — the health
+// picture an operator watches under heavy traffic.
+type ServerStats struct {
+	// Submitted counts accepted queries; Rejected counts submissions shed
+	// by admission control with ErrOverloaded.
+	Submitted int64
+	Rejected  int64
+	// Cancelled counts queries answered with their context's error.
+	Cancelled int64
+	// Batches counts executed batches across all attributes.
+	Batches int64
+	// RecoveredPanics counts panics converted into per-query errors
+	// (in the server's execution layer or the scheduler's last-resort
+	// recover).
+	RecoveredPanics int64
+	// FallbackRetries counts batches retried on the scan fallback after
+	// failing their chosen access path; FallbackSuccesses counts the
+	// retries that answered the batch.
+	FallbackRetries   int64
+	FallbackSuccesses int64
+	// FailedBatches counts batches that reported an error to their
+	// queries after all retries.
+	FailedBatches int64
+}
+
 // Stats returns a snapshot for table.attr (zero value if never queried).
 func (s *Server) Stats(table, attr string) AttrStats {
 	s.mu.Lock()
@@ -54,6 +105,21 @@ func (s *Server) Stats(table, attr string) AttrStats {
 		cp.PathCounts[k] = v
 	}
 	return cp
+}
+
+// ServerStats snapshots the server-wide resilience counters.
+func (s *Server) ServerStats() ServerStats {
+	st := s.sched.Stats()
+	return ServerStats{
+		Submitted:         st.Submitted,
+		Rejected:          st.Rejected,
+		Cancelled:         st.Cancelled,
+		Batches:           st.Batches,
+		RecoveredPanics:   st.Panics + s.recovered.Load(),
+		FallbackRetries:   s.fallbacks.Load(),
+		FallbackSuccesses: s.fallbackOK.Load(),
+		FailedBatches:     st.Errored,
+	}
 }
 
 // record folds one executed batch into the stats.
@@ -73,7 +139,7 @@ func (s *Server) record(key string, q int, path Path) {
 	st.PathCounts[path.String()]++
 }
 
-// ServeOptions tunes the batching behaviour.
+// ServeOptions tunes the batching and admission behaviour.
 type ServeOptions struct {
 	// Window is how long the first query of a batch waits for company
 	// (default 1ms).
@@ -81,25 +147,42 @@ type ServeOptions struct {
 	// MaxBatch flushes early at this batch size (default 512; beyond that
 	// result-writing thrash erodes sharing — Lesson 5).
 	MaxBatch int
+	// MaxPending bounds each (table, attribute)'s pending queue; beyond
+	// it Submit fails fast with ErrOverloaded (default 4096).
+	MaxPending int
+	// MaxInFlight bounds concurrently executing batches server-wide;
+	// while saturated Submit fails fast with ErrOverloaded (default 64).
+	MaxInFlight int
 }
 
 // Serve starts a server over the engine's tables.
 func (e *Engine) Serve(opt ServeOptions) *Server {
 	s := &Server{engine: e, stats: make(map[string]*AttrStats)}
 	s.sched = scheduler.New(s.execBatch, scheduler.Options{
-		Window:   opt.Window,
-		MaxBatch: opt.MaxBatch,
+		Window:      opt.Window,
+		MaxBatch:    opt.MaxBatch,
+		MaxPending:  opt.MaxPending,
+		MaxInFlight: opt.MaxInFlight,
 	})
 	return s
 }
 
 // Submit enqueues one select query on table.attr; the returned channel
 // delivers its result once the batch it lands in executes.
-func (s *Server) Submit(table, attr string, pred Predicate) (<-chan scheduler.Reply, error) {
+func (s *Server) Submit(table, attr string, pred Predicate) (<-chan Reply, error) {
+	return s.SubmitContext(context.Background(), table, attr, pred)
+}
+
+// SubmitContext is Submit with a per-query deadline/cancellation context.
+// A query whose context dies before its batch executes is answered
+// promptly with the context's error and dropped from the batch; one whose
+// context dies mid-execution is answered promptly while the batch
+// finishes for its other members.
+func (s *Server) SubmitContext(ctx context.Context, table, attr string, pred Predicate) (<-chan Reply, error) {
 	if _, err := s.engine.Table(table); err != nil {
 		return nil, err
 	}
-	return s.sched.Submit(table+"\x00"+attr, pred)
+	return s.sched.SubmitContext(ctx, table+"\x00"+attr, pred)
 }
 
 // Flush forces immediate execution of whatever is pending on table.attr.
@@ -117,8 +200,9 @@ func (s *Server) Pending(table, attr string) int {
 func (s *Server) Close() { s.sched.Close() }
 
 // execBatch is the scheduler's executor: resolve the table, run the batch
-// through APS.
-func (s *Server) execBatch(key string, preds []Predicate) ([][]storage.RowID, error) {
+// through APS; on failure of the chosen access path (error or panic),
+// retry once through the safe fallback — a full scan.
+func (s *Server) execBatch(ctx context.Context, key string, preds []Predicate) ([][]storage.RowID, error) {
 	table, attr, ok := strings.Cut(key, "\x00")
 	if !ok {
 		return nil, fmt.Errorf("fastcolumns: malformed batch key %q", key)
@@ -143,7 +227,22 @@ func (s *Server) execBatch(key string, preds []Predicate) ([][]storage.RowID, er
 		slot[i] = len(unique)
 		unique = append(unique, p)
 	}
-	res, err := t.SelectBatch(attr, unique)
+	res, err := s.selectRecovered(func() (BatchResult, error) {
+		return t.SelectBatchContext(ctx, attr, unique)
+	})
+	if err != nil && retryable(ctx, err) {
+		// The chosen path failed on a real fault; the full scan needs no
+		// auxiliary structure, so it is the safe place to retry once.
+		s.fallbacks.Add(1)
+		first := err
+		res, err = s.selectRecovered(func() (BatchResult, error) {
+			return t.SelectViaContext(ctx, PathScan, attr, unique)
+		})
+		if err != nil {
+			return nil, fmt.Errorf("fastcolumns: batch failed on chosen path (%v) and on scan fallback: %w", first, err)
+		}
+		s.fallbackOK.Add(1)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -156,4 +255,27 @@ func (s *Server) execBatch(key string, preds []Predicate) ([][]storage.RowID, er
 		out[i] = res.RowIDs[slot[i]]
 	}
 	return out, nil
+}
+
+// selectRecovered runs one batch attempt with panic isolation: a panic in
+// execution (a poisoned kernel, a corrupt auxiliary structure) becomes an
+// error for this batch alone instead of taking down the process.
+func (s *Server) selectRecovered(attempt func() (BatchResult, error)) (res BatchResult, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.recovered.Add(1)
+			err = fmt.Errorf("%w: %v", ErrBatchPanic, r)
+		}
+	}()
+	return attempt()
+}
+
+// retryable reports whether a batch failure is worth one fallback-scan
+// retry: real execution faults are; context death and unknown tables or
+// attributes are not.
+func retryable(ctx context.Context, err error) bool {
+	if ctx.Err() != nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	return true
 }

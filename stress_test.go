@@ -1,11 +1,15 @@
 package fastcolumns
 
 import (
+	"context"
+	"errors"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 
+	"fastcolumns/internal/faultinject"
 	"fastcolumns/internal/workload"
 )
 
@@ -146,4 +150,313 @@ func TestConcurrentQueriesAndMerges(t *testing.T) {
 	if !equalIDs(a.RowIDs[0], b.RowIDs[0]) {
 		t.Fatal("paths disagree after quiescence")
 	}
+}
+
+// chaosEngine builds a small indexed table for the fault-injection suite.
+func chaosEngine(t *testing.T) (*Engine, *Table) {
+	t.Helper()
+	eng := New(Config{})
+	tbl, err := eng.CreateTable("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n, domain = 20000, 5000
+	if err := tbl.AddColumn("a", workload.Uniform(1, n, domain)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.AddColumn("b", workload.Uniform(2, n, domain)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.CreateIndex("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Analyze("a", 64); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Analyze("b", 64); err != nil {
+		t.Fatal(err)
+	}
+	return eng, tbl
+}
+
+// waitGoroutines asserts the goroutine count settles back near base.
+func waitGoroutines(t *testing.T, base int) {
+	t.Helper()
+	const slack = 4
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		runtime.GC()
+		n := runtime.NumGoroutine()
+		if n <= base+slack {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			buf = buf[:runtime.Stack(buf, true)]
+			t.Fatalf("goroutine leak: %d running, started with %d\n%s", n, base, buf)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestFaultInjectionPanicIsolatedPerBatch is the acceptance scenario: a
+// panic injected into one batch's execution yields errors only for that
+// batch's queries; sibling attributes keep serving and the process stays
+// up. Count=2 poisons both the chosen-path attempt and the scan-fallback
+// retry of exactly one batch.
+func TestFaultInjectionPanicIsolatedPerBatch(t *testing.T) {
+	eng, _ := chaosEngine(t)
+	srv := eng.Serve(ServeOptions{Window: time.Hour})
+	defer srv.Close()
+
+	deactivate := faultinject.Activate(faultinject.New(1,
+		faultinject.Rule{Site: "exec.run", Kind: faultinject.Panic, Count: 2}))
+	defer deactivate()
+
+	ch, err := srv.Submit("t", "a", Predicate{Lo: 0, Hi: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Flush("t", "a")
+	if r := <-ch; !errors.Is(r.Err, ErrBatchPanic) {
+		t.Fatalf("poisoned batch reply: %v, want ErrBatchPanic", r.Err)
+	}
+
+	// Sibling attribute serves normally while the injector is still armed
+	// (its fire budget is spent on the poisoned batch).
+	ch, err = srv.Submit("t", "b", Predicate{Lo: 0, Hi: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Flush("t", "b")
+	if r := <-ch; r.Err != nil {
+		t.Fatalf("sibling attribute failed: %v", r.Err)
+	}
+	// And the poisoned attribute recovers on the next batch.
+	ch, _ = srv.Submit("t", "a", Predicate{Lo: 0, Hi: 10})
+	srv.Flush("t", "a")
+	if r := <-ch; r.Err != nil {
+		t.Fatalf("attribute did not recover after poisoned batch: %v", r.Err)
+	}
+
+	st := srv.ServerStats()
+	if st.RecoveredPanics != 2 {
+		t.Fatalf("RecoveredPanics = %d, want 2 (chosen path + fallback)", st.RecoveredPanics)
+	}
+	if st.FallbackRetries != 1 || st.FallbackSuccesses != 0 {
+		t.Fatalf("fallback retries/successes = %d/%d, want 1/0", st.FallbackRetries, st.FallbackSuccesses)
+	}
+}
+
+// TestFaultInjectionFallbackScanAnswersBatch: an injected error on the
+// index path is absorbed by the one-shot scan fallback — the submitter
+// sees a clean answer that matches an uninjected scan.
+func TestFaultInjectionFallbackScanAnswersBatch(t *testing.T) {
+	eng, tbl := chaosEngine(t)
+	srv := eng.Serve(ServeOptions{Window: time.Hour})
+	defer srv.Close()
+
+	deactivate := faultinject.Activate(faultinject.New(1,
+		faultinject.Rule{Site: "exec.index", Kind: faultinject.Error, Count: 1}))
+	defer deactivate()
+
+	// A single point lookup on the indexed attribute: APS picks the index,
+	// which faults; the fallback scan must answer.
+	p := Predicate{Lo: 42, Hi: 42}
+	ch, err := srv.Submit("t", "a", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Flush("t", "a")
+	r := <-ch
+	if r.Err != nil {
+		t.Fatalf("fallback did not absorb the index fault: %v", r.Err)
+	}
+	want, _ := tbl.SelectVia(PathScan, "a", []Predicate{p})
+	if !equalIDs(r.RowIDs, want.RowIDs[0]) {
+		t.Fatal("fallback answer differs from a clean scan")
+	}
+	st := srv.ServerStats()
+	if st.FallbackRetries != 1 || st.FallbackSuccesses != 1 {
+		t.Fatalf("fallback retries/successes = %d/%d, want 1/1", st.FallbackRetries, st.FallbackSuccesses)
+	}
+}
+
+// TestCancelledSubmissionReturnsPromptly is the acceptance scenario for
+// cancellation: with execution artificially delayed, a cancelled context
+// answers the submitter with context.Canceled long before the batch
+// finishes.
+func TestCancelledSubmissionReturnsPromptly(t *testing.T) {
+	eng, _ := chaosEngine(t)
+	srv := eng.Serve(ServeOptions{Window: time.Millisecond})
+	defer srv.Close()
+
+	deactivate := faultinject.Activate(faultinject.New(1,
+		faultinject.Rule{Site: "exec.run", Kind: faultinject.Delay, Delay: 400 * time.Millisecond}))
+	defer deactivate()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	ch, err := srv.SubmitContext(ctx, "t", "a", Predicate{Lo: 0, Hi: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(5 * time.Millisecond) // let the batch go in flight
+	start := time.Now()
+	cancel()
+	select {
+	case r := <-ch:
+		if !errors.Is(r.Err, context.Canceled) {
+			t.Fatalf("reply error %v, want context.Canceled", r.Err)
+		}
+		if wait := time.Since(start); wait > 150*time.Millisecond {
+			t.Fatalf("cancelled reply took %v; not prompt", wait)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled submission never answered")
+	}
+	if st := srv.ServerStats(); st.Cancelled != 1 {
+		t.Fatalf("Cancelled = %d, want 1", st.Cancelled)
+	}
+}
+
+// TestOverloadedSubmissionsRejectedWithoutLeaks is the acceptance
+// scenario for admission control: submissions beyond the limit return
+// ErrOverloaded fast, nothing is enqueued for them, and the server winds
+// down without goroutine or channel leaks.
+func TestOverloadedSubmissionsRejectedWithoutLeaks(t *testing.T) {
+	base := runtime.NumGoroutine()
+	eng, _ := chaosEngine(t)
+	srv := eng.Serve(ServeOptions{Window: time.Hour, MaxPending: 8, MaxInFlight: 2})
+
+	var accepted []<-chan Reply
+	var rejected int
+	for i := 0; i < 64; i++ {
+		ch, err := srv.Submit("t", "a", Predicate{Lo: Value(i), Hi: Value(i + 10)})
+		switch {
+		case err == nil:
+			accepted = append(accepted, ch)
+		case errors.Is(err, ErrOverloaded):
+			rejected++
+		default:
+			t.Fatalf("unexpected submit error: %v", err)
+		}
+	}
+	if rejected != 64-8 {
+		t.Fatalf("rejected %d submissions, want %d (MaxPending=8)", rejected, 64-8)
+	}
+	srv.Flush("t", "a")
+	for _, ch := range accepted {
+		if r := <-ch; r.Err != nil {
+			t.Fatal(r.Err)
+		}
+	}
+	if st := srv.ServerStats(); st.Rejected != int64(rejected) {
+		t.Fatalf("Stats.Rejected = %d, want %d", st.Rejected, rejected)
+	}
+	srv.Close()
+	waitGoroutines(t, base)
+}
+
+// TestServerSurvivesChaos soaks the server in seeded chaos — injected
+// errors, panics, and delays across the exec sites — while concurrent
+// clients submit, cancel, and flood. Every accepted query must get
+// exactly one reply, the server must keep serving after the injector is
+// removed, and no goroutines may leak.
+func TestServerSurvivesChaos(t *testing.T) {
+	base := runtime.NumGoroutine()
+	eng, _ := chaosEngine(t)
+	srv := eng.Serve(ServeOptions{
+		Window:      500 * time.Microsecond,
+		MaxBatch:    32,
+		MaxPending:  256,
+		MaxInFlight: 8,
+	})
+
+	deactivate := faultinject.Activate(faultinject.New(7,
+		faultinject.Rule{Site: "exec.run", Kind: faultinject.Panic, Prob: 0.05},
+		faultinject.Rule{Site: "exec.run", Kind: faultinject.Error, Prob: 0.10},
+		faultinject.Rule{Site: "exec.run", Kind: faultinject.Delay, Prob: 0.20, Delay: 2 * time.Millisecond},
+		faultinject.Rule{Site: "exec.scan", Kind: faultinject.Error, Prob: 0.05},
+		faultinject.Rule{Site: "exec.index", Kind: faultinject.Error, Prob: 0.10},
+	))
+
+	attrs := []string{"a", "b"}
+	var accepted, replied, rejected, cancelled, failed atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 150; i++ {
+				attr := attrs[(g+i)%len(attrs)]
+				lo := Value((g*131 + i*17) % 4000)
+				pred := Predicate{Lo: lo, Hi: lo + 25}
+				ctx := context.Background()
+				var cancel context.CancelFunc
+				if i%4 == 0 {
+					ctx, cancel = context.WithTimeout(ctx, time.Duration(1+i%3)*time.Millisecond)
+				}
+				ch, err := srv.SubmitContext(ctx, "t", attr, pred)
+				if err != nil {
+					if cancel != nil {
+						cancel()
+					}
+					if errors.Is(err, ErrOverloaded) {
+						rejected.Add(1)
+						continue
+					}
+					t.Errorf("submit: %v", err)
+					return
+				}
+				accepted.Add(1)
+				r := <-ch
+				replied.Add(1)
+				switch {
+				case r.Err == nil:
+				case errors.Is(r.Err, context.Canceled) || errors.Is(r.Err, context.DeadlineExceeded):
+					cancelled.Add(1)
+				default:
+					failed.Add(1)
+				}
+				// Exactly-once delivery: the buffered channel stays empty.
+				select {
+				case <-ch:
+					t.Error("reply channel received a second reply")
+				default:
+				}
+				if cancel != nil {
+					cancel()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	deactivate()
+
+	if accepted.Load() != replied.Load() {
+		t.Fatalf("accepted %d queries, %d replies", accepted.Load(), replied.Load())
+	}
+	// The server is still healthy once the chaos stops.
+	for _, attr := range attrs {
+		ch, err := srv.Submit("t", attr, Predicate{Lo: 0, Hi: 50})
+		if err != nil {
+			t.Fatalf("post-chaos submit on %q: %v", attr, err)
+		}
+		srv.Flush("t", attr)
+		if r := <-ch; r.Err != nil {
+			t.Fatalf("post-chaos query on %q failed: %v", attr, r.Err)
+		}
+	}
+	st := srv.ServerStats()
+	t.Logf("chaos: accepted=%d rejected=%d cancelled=%d failed=%d batches=%d panics=%d fallback=%d/%d",
+		accepted.Load(), rejected.Load(), cancelled.Load(), failed.Load(),
+		st.Batches, st.RecoveredPanics, st.FallbackSuccesses, st.FallbackRetries)
+	if st.RecoveredPanics == 0 {
+		t.Error("chaos never injected a recovered panic; suite is not exercising panic isolation")
+	}
+	if st.FallbackRetries == 0 {
+		t.Error("chaos never exercised the scan fallback")
+	}
+	srv.Close()
+	waitGoroutines(t, base)
 }
