@@ -1,16 +1,31 @@
 GO ?= go
+GOFMT ?= gofmt
 
-.PHONY: check build vet test race fuzz-seeds
+.PHONY: check build fmt vet lint test race fuzz-seeds
 
-# check is the tier-1 gate CI runs: static checks, build, plain and
-# race-enabled tests, and the fuzz seed corpora as unit tests.
-check: vet build test race fuzz-seeds
+# check is the tier-1 gate CI runs: static checks (formatting, go vet,
+# the repo's own fclint invariant suite), build, plain and race-enabled
+# tests, and the fuzz seed corpora as unit tests.
+check: fmt vet lint build test race fuzz-seeds
 
 build:
 	$(GO) build ./...
 
+# fmt fails (and lists the offenders) when any file is not gofmt-clean.
+fmt:
+	@out="$$($(GOFMT) -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
 vet:
 	$(GO) vet ./...
+
+# lint runs cmd/fclint, the stdlib-only static-analysis suite that
+# enforces the repo's concurrency and cost-model contracts (nopanic,
+# ctxflow, atomicfield, floatcmp, errdrop). Zero findings required.
+lint:
+	$(GO) run ./cmd/fclint ./...
 
 test:
 	$(GO) test ./...

@@ -63,7 +63,7 @@ func main() {
 		hw = memsim.Calibrate(0)
 		fmt.Printf("calibrated host: %.1f GB/s scan, %.0f ns LLC miss, fp=%.3f\n",
 			hw.ScanBandwidth/1e9, hw.MemAccess*1e9, hw.Pipelining)
-		obs, err := fit.MeasureObservations(rel, 4, domain,
+		obs, err := fit.MeasureObservations(context.Background(), rel, 4, domain,
 			[]int{1, 8, 64}, []float64{0.0002, 0.002, 0.02, 0.1}, 2)
 		if err != nil {
 			log.Fatal(err)

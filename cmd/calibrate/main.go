@@ -19,6 +19,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -124,7 +125,7 @@ func wallObserver(n int) observer {
 	col := storage.NewColumn("v", data)
 	rel := &exec.Relation{Column: col, Index: index.Build(col, index.DefaultFanout)}
 	return func(q int, s float64) fit.Observation {
-		obs, err := fit.MeasureObservations(rel, 4, domain, []int{q}, []float64{s}, 3)
+		obs, err := fit.MeasureObservations(context.Background(), rel, 4, domain, []int{q}, []float64{s}, 3)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,0 +1,77 @@
+// Command fclint runs the repo's static-analysis suite (internal/lint)
+// over every package of the module and fails the build on any finding.
+// It is stdlib-only and wired into `make lint`, `make check`, and CI.
+//
+// Usage:
+//
+//	fclint [-C dir] [packages]
+//
+// The package arguments are accepted for `go vet ./...` muscle-memory
+// compatibility but ignored: fclint always analyzes the whole module,
+// because its invariants (atomic-field consistency in particular) are
+// cross-package properties.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"fastcolumns/internal/lint"
+)
+
+func main() {
+	dir := flag.String("C", "", "module directory (default: walk up from the working directory to go.mod)")
+	list := flag.Bool("analyzers", false, "list the analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-12s %s\n", a.Name(), a.Doc())
+		}
+		return
+	}
+
+	root := *dir
+	if root == "" {
+		var err error
+		root, err = findModuleRoot()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fclint:", err)
+			os.Exit(2)
+		}
+	}
+	loader, pkgs, err := lint.LoadModule(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fclint:", err)
+		os.Exit(2)
+	}
+	diags := lint.Run(loader.Fset(), pkgs, lint.Analyzers())
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "fclint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		os.Exit(1)
+	}
+}
+
+// findModuleRoot walks up from the working directory to the nearest
+// go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

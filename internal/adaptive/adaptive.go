@@ -70,8 +70,8 @@ func Select(rel *exec.Relation, p scan.Predicate, budget int) (Result, error) {
 	// keeps the operator simple and its waste is capped by budget).
 	wasted := len(ids)
 	var out []storage.RowID
-	if rel.Column.Contiguous() {
-		out = scan.Parallel(rel.Column.Raw(), p, 0)
+	if raw, err := rel.Column.Raw(); err == nil {
+		out = scan.Parallel(raw, p, 0)
 	} else {
 		out = scan.ScanColumn(rel.Column, p, 0, nil)
 	}

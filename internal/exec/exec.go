@@ -112,19 +112,21 @@ func RunScan(ctx context.Context, rel *Relation, preds []scan.Predicate, opt Opt
 	}
 	start := time.Now()
 	var rowIDs [][]storage.RowID
-	switch {
+	// A strided column-group member has no raw view (rawErr != nil); every
+	// kernel that needs one falls through to the strided path.
+	switch raw, rawErr := rel.Column.Raw(); {
 	case opt.PreferCompressed && rel.Compressed != nil:
 		rowIDs = scan.SharedCompressed(rel.Compressed, preds, opt.BlockTuples)
-	case opt.UseImprints && rel.Imprints != nil && rel.Column.Contiguous():
+	case opt.UseImprints && rel.Imprints != nil && rawErr == nil:
 		ranges := make([][2]storage.Value, len(preds))
 		for i, p := range preds {
 			ranges[i] = [2]storage.Value{p.Lo, p.Hi}
 		}
-		rowIDs = rel.Imprints.SharedSelect(rel.Column.Raw(), ranges)
-	case opt.UseZonemap && rel.Zonemap != nil && rel.Column.Contiguous():
-		rowIDs = scan.SharedWithZonemap(rel.Column.Raw(), rel.Zonemap, preds)
-	case rel.Column.Contiguous():
-		rowIDs = scan.SharedParallel(rel.Column.Raw(), preds, opt.BlockTuples, opt.Workers)
+		rowIDs = rel.Imprints.SharedSelect(raw, ranges)
+	case opt.UseZonemap && rel.Zonemap != nil && rawErr == nil:
+		rowIDs = scan.SharedWithZonemap(raw, rel.Zonemap, preds)
+	case rawErr == nil:
+		rowIDs = scan.SharedParallel(raw, preds, opt.BlockTuples, opt.Workers)
 	default:
 		// Column-group member: blocked strided shared scan across workers.
 		rowIDs = scan.SharedStrided(rel.Column, preds, opt.BlockTuples, opt.Workers)
@@ -238,8 +240,7 @@ func RunCount(ctx context.Context, rel *Relation, path model.Path, preds []scan.
 			counts[i] = rel.Bitmap.Count(p.Lo, p.Hi)
 		}
 	default:
-		if rel.Column.Contiguous() {
-			data := rel.Column.Raw()
+		if data, rawErr := rel.Column.Raw(); rawErr == nil {
 			for i, p := range preds {
 				if err := ctxErr(ctx); err != nil {
 					return nil, err

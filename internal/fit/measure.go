@@ -14,8 +14,10 @@ import (
 // MeasureObservations runs both access paths on the relation across a
 // (concurrency x selectivity) sweep and returns wall-clock observations
 // ready for Fit — the "small number of experiments" Appendix C says a new
-// setup needs before the model captures machine performance.
-func MeasureObservations(rel *exec.Relation, tupleSize float64, domain int32,
+// setup needs before the model captures machine performance. The context
+// bounds the whole sweep: cancellation is honored between runs, so a
+// deadline cuts a calibration short instead of hanging the caller.
+func MeasureObservations(ctx context.Context, rel *exec.Relation, tupleSize float64, domain int32,
 	qs []int, sels []float64, trials int) ([]Observation, error) {
 	if trials < 1 {
 		trials = 1
@@ -25,11 +27,11 @@ func MeasureObservations(rel *exec.Relation, tupleSize float64, domain int32,
 	for _, q := range qs {
 		for _, s := range sels {
 			preds := workload.Batch(int64(q)*1000+int64(s*1e6), q, s, domain)
-			scanSec, rows, err := medianRun(rel, model.PathScan, preds, trials)
+			scanSec, rows, err := medianRun(ctx, rel, model.PathScan, preds, trials)
 			if err != nil {
 				return nil, err
 			}
-			indexSec, _, err := medianRun(rel, model.PathIndex, preds, trials)
+			indexSec, _, err := medianRun(ctx, rel, model.PathIndex, preds, trials)
 			if err != nil {
 				return nil, err
 			}
@@ -45,10 +47,10 @@ func MeasureObservations(rel *exec.Relation, tupleSize float64, domain int32,
 	return obs, nil
 }
 
-func medianRun(rel *exec.Relation, path model.Path, preds []scan.Predicate, trials int) (sec float64, totalRows int, err error) {
+func medianRun(ctx context.Context, rel *exec.Relation, path model.Path, preds []scan.Predicate, trials int) (sec float64, totalRows int, err error) {
 	times := make([]time.Duration, 0, trials)
 	for t := 0; t < trials; t++ {
-		res, err := exec.Run(context.Background(), rel, path, preds, exec.Options{})
+		res, err := exec.Run(ctx, rel, path, preds, exec.Options{})
 		if err != nil {
 			return 0, 0, err
 		}

@@ -11,6 +11,7 @@ package imprints
 
 import (
 	"errors"
+	"fmt"
 	"sort"
 
 	"fastcolumns/internal/storage"
@@ -41,10 +42,10 @@ type Index struct {
 // cache line. The column must be contiguous (imprints describe physical
 // lines).
 func Build(c *storage.Column) (*Index, error) {
-	if !c.Contiguous() {
-		return nil, errors.New("imprints: column must be contiguous")
+	data, err := c.Raw()
+	if err != nil {
+		return nil, fmt.Errorf("imprints: column must be contiguous: %w", err)
 	}
-	data := c.Raw()
 	if len(data) == 0 {
 		return nil, errors.New("imprints: empty column")
 	}

@@ -67,16 +67,16 @@ func Build(c *storage.Column, fanout int) *Tree {
 }
 
 // BuildFromSorted bulk-loads from pre-sorted (key, rowID) pairs. The keys
-// must be ascending; ties must be ordered by rowID. It panics on unsorted
-// input in the same spirit as sort.SearchInts misbehaving silently would
-// be worse.
-func BuildFromSorted(keys []storage.Value, ids []storage.RowID, fanout int) *Tree {
+// must be ascending; ties must be ordered by rowID. Unsorted input is
+// rejected with an error — a tree built over it would misbehave silently
+// on every later probe, which is strictly worse than failing the load.
+func BuildFromSorted(keys []storage.Value, ids []storage.RowID, fanout int) (*Tree, error) {
 	for i := 1; i < len(keys); i++ {
 		if keys[i] < keys[i-1] || (keys[i] == keys[i-1] && ids[i] < ids[i-1]) {
-			panic(fmt.Sprintf("index: BuildFromSorted input unsorted at %d", i))
+			return nil, fmt.Errorf("index: BuildFromSorted input unsorted at %d", i)
 		}
 	}
-	return buildFromSorted(keys, ids, fanout)
+	return buildFromSorted(keys, ids, fanout), nil
 }
 
 func buildFromSorted(keys []storage.Value, ids []storage.RowID, fanout int) *Tree {

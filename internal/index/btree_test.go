@@ -215,18 +215,22 @@ func TestSharedSelect(t *testing.T) {
 }
 
 func TestBuildFromSortedValidates(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("unsorted input accepted")
-		}
-	}()
-	BuildFromSorted([]storage.Value{5, 3}, []storage.RowID{0, 1}, 8)
+	if _, err := BuildFromSorted([]storage.Value{5, 3}, []storage.RowID{0, 1}, 8); err == nil {
+		t.Fatal("unsorted keys accepted")
+	}
+	// Equal keys with descending rowIDs violate the tie order.
+	if _, err := BuildFromSorted([]storage.Value{4, 4}, []storage.RowID{2, 1}, 8); err == nil {
+		t.Fatal("descending tie rowIDs accepted")
+	}
 }
 
 func TestBuildFromSortedTiesByRowID(t *testing.T) {
 	keys := []storage.Value{1, 1, 1, 2}
 	ids := []storage.RowID{3, 7, 9, 1}
-	tr := BuildFromSorted(keys, ids, 3)
+	tr, err := BuildFromSorted(keys, ids, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
 	got := tr.RangeRowIDs(1, 1, nil)
 	if !equalIDs(got, []storage.RowID{3, 7, 9}) {
 		t.Fatalf("duplicate-key walk = %v", got)

@@ -1,0 +1,138 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Atomicfield guards the stats-counter discipline: a struct field that is
+// read or written through the sync/atomic functions anywhere must be
+// accessed that way everywhere, across every package of the module. A
+// mixed access is a data race the race detector only reports when the two
+// sides actually collide under test load — exactly the kind of bug that
+// survives CI and surfaces in production. (Fields typed as the atomic.*
+// wrapper types are immune by construction and are ignored; this analyzer
+// exists for the legacy pattern of atomic.AddInt64(&s.n, 1) against a
+// plain integer field.)
+type Atomicfield struct {
+	atomicUses map[*types.Var][]token.Pos
+	plainUses  map[*types.Var][]token.Pos
+}
+
+// NewAtomicfield returns the analyzer with empty cross-package state.
+func NewAtomicfield() *Atomicfield {
+	return &Atomicfield{
+		atomicUses: make(map[*types.Var][]token.Pos),
+		plainUses:  make(map[*types.Var][]token.Pos),
+	}
+}
+
+func (*Atomicfield) Name() string { return "atomicfield" }
+func (*Atomicfield) Doc() string {
+	return "a struct field accessed via sync/atomic anywhere must be accessed atomically everywhere"
+}
+
+func (a *Atomicfield) Package(pkg *Package, report Reporter) {
+	for _, f := range pkg.Files {
+		// First pass: record the &x.f operands of sync/atomic calls.
+		atomicSels := make(map[*ast.SelectorExpr]bool)
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicFuncCall(pkg.Info, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				if sel, ok := addressedField(arg); ok {
+					if fv := fieldVar(pkg.Info, sel); fv != nil {
+						atomicSels[sel] = true
+						a.atomicUses[fv] = append(a.atomicUses[fv], sel.Pos())
+					}
+				}
+			}
+			return true
+		})
+		// Second pass: every other selection of a plain-typed field is a
+		// plain access.
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || atomicSels[sel] {
+				return true
+			}
+			fv := fieldVar(pkg.Info, sel)
+			if fv == nil || isAtomicWrapperType(fv.Type()) {
+				return true
+			}
+			a.plainUses[fv] = append(a.plainUses[fv], sel.Pos())
+			return true
+		})
+	}
+}
+
+// Finish reports every plain access to a field that some package accessed
+// atomically.
+func (a *Atomicfield) Finish(report Reporter) {
+	fields := make([]*types.Var, 0, len(a.atomicUses))
+	for fv := range a.atomicUses {
+		if len(a.plainUses[fv]) > 0 {
+			fields = append(fields, fv)
+		}
+	}
+	sort.Slice(fields, func(i, j int) bool { return fields[i].Pos() < fields[j].Pos() })
+	for _, fv := range fields {
+		poss := a.plainUses[fv]
+		sort.Slice(poss, func(i, j int) bool { return poss[i] < poss[j] })
+		for _, pos := range poss {
+			report(pos, "field %s is accessed via sync/atomic elsewhere; this plain access races with it", fv.Name())
+		}
+	}
+}
+
+// isAtomicFuncCall reports whether the call invokes a package-level
+// function of sync/atomic (methods on the atomic.* wrapper types have a
+// receiver and are excluded — they cannot be mixed with plain access).
+func isAtomicFuncCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// addressedField unwraps &x.f into the selector.
+func addressedField(e ast.Expr) (*ast.SelectorExpr, bool) {
+	u, ok := e.(*ast.UnaryExpr)
+	if !ok || u.Op != token.AND {
+		return nil, false
+	}
+	sel, ok := u.X.(*ast.SelectorExpr)
+	return sel, ok
+}
+
+// fieldVar resolves a selector to the struct field it selects, or nil
+// when the selector is not a field selection.
+func fieldVar(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	return s.Obj().(*types.Var)
+}
+
+// isAtomicWrapperType reports whether t is one of the sync/atomic value
+// types (atomic.Int64, atomic.Pointer[T], ...), whose method set is the
+// only access path.
+func isAtomicWrapperType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}

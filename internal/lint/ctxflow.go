@@ -1,0 +1,151 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Ctxflow guards the cancellation plumbing PR 1 installed: every request
+// context must flow Server → scheduler → exec unbroken. Two failure modes
+// break the chain, and both are invisible to the compiler:
+//
+//  1. Minting a fresh root with context.Background()/context.TODO() deep
+//     in library code, detaching everything below it from the caller's
+//     deadline. Roots are allowed only in package main and in the
+//     documented *Context wrapper layer — the `Query`/`QueryContext`
+//     convention, where the context-less convenience entry is a shim whose
+//     body hands context.Background() straight to its *Context twin, and
+//     where *Context-named internals (batchContext, SubmitContext's
+//     nil-default) are the audited places roots may be derived.
+//  2. Passing a nil context to a callee that accepts one — the lazy way
+//     to drop a deadline on the floor.
+type Ctxflow struct{}
+
+// NewCtxflow returns the analyzer.
+func NewCtxflow() *Ctxflow { return &Ctxflow{} }
+
+func (*Ctxflow) Name() string { return "ctxflow" }
+func (*Ctxflow) Doc() string {
+	return "contexts flow unbroken: no fresh context roots or nil contexts outside package main and the *Context wrapper shims"
+}
+
+func (a *Ctxflow) Package(pkg *Package, report Reporter) {
+	if pkg.IsMain() {
+		return
+	}
+	for _, f := range pkg.Files {
+		parents := parentMap(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if name := contextRootCall(pkg.Info, call); name != "" {
+				if !rootAllowed(call, parents) {
+					report(call.Pos(), "context.%s() in library code detaches the caller's deadline; thread the caller's ctx (or add a documented *Context wrapper shim)", name)
+				}
+				return true
+			}
+			a.checkNilContext(pkg, call, report)
+			return true
+		})
+	}
+}
+
+func (*Ctxflow) Finish(Reporter) {}
+
+// checkNilContext flags a literal nil passed where the callee expects a
+// context.Context.
+func (*Ctxflow) checkNilContext(pkg *Package, call *ast.CallExpr, report Reporter) {
+	sig, ok := pkg.Info.Types[call.Fun].Type.(*types.Signature)
+	if !ok || sig.Params().Len() == 0 || len(call.Args) == 0 {
+		return
+	}
+	if !isContextType(sig.Params().At(0).Type()) {
+		return
+	}
+	if tv, ok := pkg.Info.Types[call.Args[0]]; ok && tv.IsNil() {
+		report(call.Args[0].Pos(), "nil passed as context.Context to %s; pass the caller's ctx", calleeName(call))
+	}
+}
+
+// contextRootCall returns "Background" or "TODO" when the call mints a
+// fresh context root, "" otherwise.
+func contextRootCall(info *types.Info, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return ""
+	}
+	switch fn.FullName() {
+	case "context.Background":
+		return "Background"
+	case "context.TODO":
+		return "TODO"
+	}
+	return ""
+}
+
+// rootAllowed reports whether a fresh context root at this position falls
+// inside the documented wrapper layer: either the root is handed directly
+// to a *Context-named callee (the shim idiom), or the enclosing function
+// is itself *Context-named (the audited derivation points).
+func rootAllowed(call *ast.CallExpr, parents map[ast.Node]ast.Node) bool {
+	if p, ok := parents[call].(*ast.CallExpr); ok {
+		for _, arg := range p.Args {
+			if arg == ast.Expr(call) && strings.HasSuffix(calleeName(p), "Context") {
+				return true
+			}
+		}
+	}
+	for n := parents[call]; n != nil; n = parents[n] {
+		if fd, ok := n.(*ast.FuncDecl); ok {
+			return strings.HasSuffix(fd.Name.Name, "Context")
+		}
+	}
+	return false
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// calleeName returns the called function's bare name, or "" when the
+// callee is not a simple identifier or selector.
+func calleeName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+// parentMap records each node's syntactic parent within one file.
+func parentMap(f *ast.File) map[ast.Node]ast.Node {
+	parents := make(map[ast.Node]ast.Node)
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}

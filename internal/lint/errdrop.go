@@ -1,0 +1,67 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Errdrop forbids the silent form of error discarding in library code: a
+// call used as a bare statement whose results include an error. The
+// serve path's resilience story depends on failures propagating — a
+// swallowed error at the storage or persist layer surfaces later as
+// corrupt state with no trail. Deliberate discards stay possible but
+// must be visible in the diff: write `_ = f()` (or `_, _ = ...`), which
+// this analyzer accepts. Deferred teardown calls (`defer f.Close()`) and
+// package main are exempt.
+type Errdrop struct{}
+
+// NewErrdrop returns the analyzer.
+func NewErrdrop() *Errdrop { return &Errdrop{} }
+
+func (*Errdrop) Name() string { return "errdrop" }
+func (*Errdrop) Doc() string {
+	return "library code may not silently drop error results; discard explicitly with a blank assignment"
+}
+
+func (a *Errdrop) Package(pkg *Package, report Reporter) {
+	if pkg.IsMain() {
+		return
+	}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := stmt.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if returnsError(pkg.Info, call) {
+				report(call.Pos(), "%s returns an error that is silently dropped; handle it or discard with `_ =`", calleeName(call))
+			}
+			return true
+		})
+	}
+}
+
+func (*Errdrop) Finish(Reporter) {}
+
+// returnsError reports whether the call's result list includes an error.
+// Type conversions and builtins have no signature and are skipped.
+func returnsError(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call.Fun]
+	if !ok || tv.IsType() {
+		return false
+	}
+	sig, ok := tv.Type.(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		if types.Identical(sig.Results().At(i).Type(), types.Universe.Lookup("error").Type()) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,84 @@
+package lint
+
+import (
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// loadFixture loads testdata/src/<name> as a standalone package whose
+// import path is its directory name.
+func loadFixture(t *testing.T, name string) (*Loader, *Package) {
+	t.Helper()
+	l := NewLoader("", "")
+	pkg, err := l.LoadDir(filepath.Join("testdata", "src", name), name)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", name, err)
+	}
+	return l, pkg
+}
+
+// runFixture runs one analyzer over one fixture package and checks its
+// diagnostics against the fixture's `// want "regexp"` comments: every
+// want must be matched by a diagnostic on its line, and every diagnostic
+// must be claimed by a want.
+func runFixture(t *testing.T, a Analyzer, name string) {
+	t.Helper()
+	l, pkg := loadFixture(t, name)
+	diags := Run(l.Fset(), []*Package{pkg}, []Analyzer{a})
+	checkExpectations(t, l.Fset(), pkg, diags)
+}
+
+type expectation struct {
+	file string
+	line int
+	rx   *regexp.Regexp
+	hit  bool
+}
+
+func checkExpectations(t *testing.T, fset *token.FileSet, pkg *Package, diags []Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				rest, ok := strings.CutPrefix(text, "want ")
+				if !ok {
+					continue
+				}
+				pat, err := strconv.Unquote(strings.TrimSpace(rest))
+				if err != nil {
+					t.Fatalf("%s: malformed want comment %q: %v", fset.Position(c.Pos()), rest, err)
+				}
+				rx, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("%s: bad want pattern %q: %v", fset.Position(c.Pos()), pat, err)
+				}
+				pos := fset.Position(c.Pos())
+				wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, rx: rx})
+			}
+		}
+	}
+	for _, d := range diags {
+		claimed := false
+		for _, w := range wants {
+			if !w.hit && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.rx.MatchString(d.Message) {
+				w.hit = true
+				claimed = true
+				break
+			}
+		}
+		if !claimed {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.rx)
+		}
+	}
+}

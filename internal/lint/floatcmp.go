@@ -1,0 +1,65 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Floatcmp guards the cost model's float-precision contract. The APS
+// ratio's decision boundary sits exactly at 1.0 and the crossover
+// bisection converges to it through hundreds of float64 evaluations;
+// direct ==/!= against such values either never fires or fires on noise.
+// Inside the targeted packages (internal/model by default) every
+// floating-point equality must go through the epsilon helpers (EqZero,
+// ApproxEq), which make the tolerance explicit and reviewable.
+type Floatcmp struct {
+	// Target holds the import-path suffixes of packages under the
+	// contract.
+	Target []string
+}
+
+// NewFloatcmp returns the analyzer targeting the cost-model package.
+func NewFloatcmp() *Floatcmp {
+	return &Floatcmp{Target: []string{"internal/model"}}
+}
+
+func (*Floatcmp) Name() string { return "floatcmp" }
+func (*Floatcmp) Doc() string {
+	return "no ==/!= on floating-point values in the cost-model package; use the epsilon helpers"
+}
+
+func (a *Floatcmp) Package(pkg *Package, report Reporter) {
+	if !pathAllowed(pkg.Path, a.Target) {
+		return
+	}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			bin, ok := n.(*ast.BinaryExpr)
+			if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+				return true
+			}
+			xt, yt := pkg.Info.Types[bin.X], pkg.Info.Types[bin.Y]
+			// Constant folding (two literals) cannot lose precision at
+			// run time; everything else with a float operand can.
+			if xt.Value != nil && yt.Value != nil {
+				return true
+			}
+			if isFloat(xt.Type) || isFloat(yt.Type) {
+				report(bin.OpPos, "%s on floating-point values; use EqZero/ApproxEq so the tolerance is explicit", bin.Op)
+			}
+			return true
+		})
+	}
+}
+
+func (*Floatcmp) Finish(Reporter) {}
+
+// isFloat reports whether t's underlying type is a floating-point kind.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

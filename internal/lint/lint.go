@@ -1,0 +1,103 @@
+// Package lint is the repo's own static-analysis suite: a stdlib-only
+// (go/ast, go/parser, go/token, go/types) driver plus five analyzers that
+// turn this codebase's concurrency and cost-model conventions into
+// machine-checked invariants. The serve path's resilience guarantees
+// (errors-not-panics, context threading, atomic counters) and the cost
+// model's float-precision contract (the APS crossover sits exactly at
+// ratio 1.0) are only as strong as the code that follows them; fclint
+// makes "follows them" a build failure instead of a review habit.
+//
+// The analyzers:
+//
+//   - nopanic: library packages return errors; panic() is reserved for
+//     package main and internal/faultinject.
+//   - ctxflow: context.Background()/TODO() only in package main and the
+//     documented *Context wrapper shims; a function holding a context
+//     never substitutes a fresh one (or nil) when calling down.
+//   - atomicfield: a struct field touched through sync/atomic anywhere
+//     must be touched atomically everywhere, across all packages.
+//   - floatcmp: no ==/!= on floating-point values in the cost-model
+//     package; the epsilon helpers make tolerance explicit.
+//   - errdrop: a call statement may not silently discard an error
+//     result; discards must be written as explicit blank assignments.
+//
+// Test files are exempt from every analyzer and are not loaded at all.
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String formats the diagnostic the way compilers do, so editors can jump
+// to it.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Reporter records one finding at a position.
+type Reporter func(pos token.Pos, format string, args ...any)
+
+// Analyzer is one invariant checker. Package is called once per loaded
+// package; Finish runs after every package has been seen, which is where
+// cross-package analyzers (atomicfield) emit their findings. Analyzers
+// carry per-run state, so construct a fresh set for each run.
+type Analyzer interface {
+	Name() string
+	Doc() string
+	Package(pkg *Package, report Reporter)
+	Finish(report Reporter)
+}
+
+// Analyzers returns a fresh instance of every repo analyzer with its
+// default configuration.
+func Analyzers() []Analyzer {
+	return []Analyzer{
+		NewNopanic(),
+		NewCtxflow(),
+		NewAtomicfield(),
+		NewFloatcmp(),
+		NewErrdrop(),
+	}
+}
+
+// Run applies the analyzers to the packages and returns the findings in
+// position order.
+func Run(fset *token.FileSet, pkgs []*Package, analyzers []Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		report := func(pos token.Pos, format string, args ...any) {
+			diags = append(diags, Diagnostic{
+				Pos:      fset.Position(pos),
+				Analyzer: a.Name(),
+				Message:  fmt.Sprintf(format, args...),
+			})
+		}
+		for _, pkg := range pkgs {
+			a.Package(pkg, report)
+		}
+		a.Finish(report)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags
+}

@@ -1,0 +1,64 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Nopanic enforces the errors-not-panics contract of the serve path: the
+// scheduler's panic-isolation layer (safeExec) exists to contain bugs,
+// not to serve as a control-flow channel, so library packages must report
+// failure through error returns. panic() stays legal in package main
+// (commands own their process) and in the packages listed in Allowed —
+// by default internal/faultinject, whose entire job is injecting panics.
+type Nopanic struct {
+	// Allowed holds import-path suffixes whose packages may panic.
+	Allowed []string
+}
+
+// NewNopanic returns the analyzer with the repo's default allowance.
+func NewNopanic() *Nopanic {
+	return &Nopanic{Allowed: []string{"internal/faultinject"}}
+}
+
+func (*Nopanic) Name() string { return "nopanic" }
+func (*Nopanic) Doc() string {
+	return "library packages must return errors; panic() is reserved for package main and the fault-injection harness"
+}
+
+func (a *Nopanic) Package(pkg *Package, report Reporter) {
+	if pkg.IsMain() || pathAllowed(pkg.Path, a.Allowed) {
+		return
+	}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if b, ok := pkg.Info.Uses[id].(*types.Builtin); ok && b.Name() == "panic" {
+				report(call.Pos(), "panic in library package %s: return an error instead", pkg.Path)
+			}
+			return true
+		})
+	}
+}
+
+func (*Nopanic) Finish(Reporter) {}
+
+// pathAllowed reports whether the import path matches one of the allowed
+// suffixes ("internal/faultinject" matches both that exact path and any
+// module-qualified form of it).
+func pathAllowed(path string, allowed []string) bool {
+	for _, s := range allowed {
+		if path == s || strings.HasSuffix(path, "/"+s) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,58 @@
+// Package atomicfix is the atomicfield analyzer fixture: a field touched
+// through sync/atomic anywhere must be touched atomically everywhere;
+// mutex-guarded fields and the atomic.* wrapper types must stay quiet.
+package atomicfix
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Counter mixes atomic and plain access to hits — the race the analyzer
+// exists to catch before the race detector has to.
+type Counter struct {
+	hits int64
+	name string
+}
+
+// Inc is the atomic side.
+func (c *Counter) Inc() { atomic.AddInt64(&c.hits, 1) }
+
+// Peek is the racy plain side.
+func (c *Counter) Peek() int64 {
+	return c.hits // want "accessed via sync/atomic elsewhere"
+}
+
+// Reset is a racy plain write.
+func (c *Counter) Reset() {
+	c.hits = 0 // want "accessed via sync/atomic elsewhere"
+}
+
+// Name touches an unrelated field of the same struct: quiet.
+func (c *Counter) Name() string { return c.name }
+
+// Guarded is consistently mutex-protected: no atomic access anywhere, so
+// plain access is fine.
+type Guarded struct {
+	mu sync.Mutex
+	n  int64
+}
+
+// Inc holds the lock.
+func (g *Guarded) Inc() {
+	g.mu.Lock()
+	g.n++
+	g.mu.Unlock()
+}
+
+// Wrapped uses the atomic value types, whose method set is the only
+// access path: immune by construction, never flagged.
+type Wrapped struct {
+	n atomic.Int64
+}
+
+// Inc and Get are both safe.
+func (w *Wrapped) Inc() { w.n.Add(1) }
+
+// Get loads the wrapped counter.
+func (w *Wrapped) Get() int64 { return w.n.Load() }

@@ -1,0 +1,50 @@
+// Package ctxflowfix is the ctxflow analyzer fixture: fresh context
+// roots and nil contexts in library code must be flagged; the documented
+// *Context wrapper-shim idiom must stay quiet.
+package ctxflowfix
+
+import "context"
+
+func runner(ctx context.Context) error { return ctx.Err() }
+
+// Bad mints a fresh root mid-stack, detaching the caller's deadline.
+func Bad() error {
+	return runner(context.Background()) // want "detaches the caller's deadline"
+}
+
+// BadTODO is the same bug spelled TODO.
+func BadTODO() error {
+	return runner(context.TODO()) // want "detaches the caller's deadline"
+}
+
+// BadDrop holds a context but hands its callee a fresh root anyway.
+func BadDrop(ctx context.Context) error {
+	_ = ctx
+	return runner(context.Background()) // want "detaches the caller's deadline"
+}
+
+// BadNil drops the deadline the lazy way.
+func BadNil(ctx context.Context) error {
+	_ = ctx
+	return runner(nil) // want "nil passed as context.Context"
+}
+
+// Run is the context-less convenience entry: a shim that hands a fresh
+// root straight to its *Context twin. This is the allowed idiom.
+func Run() error {
+	return RunContext(context.Background())
+}
+
+// RunContext is the real entry; deriving a root here (the nil-default)
+// is inside the audited wrapper layer and allowed.
+func RunContext(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return runner(ctx)
+}
+
+// Threaded passes its context straight through: quiet.
+func Threaded(ctx context.Context) error {
+	return runner(ctx)
+}

@@ -1,0 +1,31 @@
+// Package errdropfix is the errdrop analyzer fixture: bare call
+// statements that discard an error result must be flagged; handled
+// errors, explicit blank assignments, deferred teardown, and error-free
+// calls must stay quiet.
+package errdropfix
+
+import "errors"
+
+func fallible() error { return errors.New("boom") }
+
+func pair() (int, error) { return 0, errors.New("boom") }
+
+func fine() int { return 1 }
+
+// Bad drops errors silently.
+func Bad() {
+	fallible() // want "silently dropped"
+	pair()     // want "silently dropped"
+}
+
+// Good handles, visibly discards, or has nothing to drop.
+func Good() error {
+	if err := fallible(); err != nil {
+		return err
+	}
+	_ = fallible()
+	_, _ = pair()
+	fine()
+	defer fallible()
+	return nil
+}

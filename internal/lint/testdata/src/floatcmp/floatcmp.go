@@ -1,0 +1,36 @@
+// Package floatcmpfix is the floatcmp analyzer fixture: direct ==/!= on
+// floating-point values must be flagged; ordered comparisons, integer
+// equality, and epsilon-style code must stay quiet.
+package floatcmpfix
+
+const eps = 1e-12
+
+// Bad compares two float64 values exactly.
+func Bad(a, b float64) bool {
+	return a == b // want "floating-point"
+}
+
+// BadZero is the sentinel-zero pattern that bites near the APS crossover.
+func BadZero(x float64) bool {
+	return x != 0 // want "floating-point"
+}
+
+// Bad32 shows float32 is covered too.
+func Bad32(a float32) bool {
+	return a == 1.5 // want "floating-point"
+}
+
+// Good is the epsilon idiom the contract requires.
+func Good(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= eps
+}
+
+// Ints shows integer equality stays legal.
+func Ints(a, b int) bool { return a == b }
+
+// Ordered shows <, <=, >, >= on floats stay legal.
+func Ordered(a, b float64) bool { return a < b || a >= 2*b }

@@ -1,0 +1,38 @@
+// Package nopanicfix is the nopanic analyzer fixture: library code that
+// panics instead of returning errors must be flagged; error-returning
+// code must stay quiet.
+package nopanicfix
+
+import "errors"
+
+// Bad panics on invalid input — the pattern the analyzer exists to stop.
+func Bad(i int) int {
+	if i < 0 {
+		panic("negative input") // want "panic in library package"
+	}
+	return i
+}
+
+// BadFmt panics through a helper expression.
+func BadFmt(name string) {
+	panic(errors.New("no such column " + name)) // want "panic in library package"
+}
+
+// Good reports the same failure as an error.
+func Good(i int) (int, error) {
+	if i < 0 {
+		return 0, errors.New("negative input")
+	}
+	return i, nil
+}
+
+// recoverOK shows that recover (the containment side) is not flagged.
+func recoverOK(f func()) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = errors.New("recovered")
+		}
+	}()
+	f()
+	return nil
+}

@@ -28,7 +28,7 @@ func (p Path) String() string {
 // (Equation 15). Values >= 1 favor the scan; values < 1 favor the index.
 func APS(p Params) float64 {
 	ss := SharedScan(p)
-	if ss == 0 {
+	if EqZero(ss) {
 		return math.Inf(1)
 	}
 	return ConcIndex(p) / ss

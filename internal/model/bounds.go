@@ -54,12 +54,12 @@ func MinSortComparisons(stot float64, q int, d Dataset) float64 {
 // selectivities are all equal.
 func SortEntropy(w Workload) float64 {
 	stot := w.TotalSelectivity()
-	if stot == 0 {
+	if EqZero(stot) {
 		return 0
 	}
 	var e float64
 	for _, s := range w.Selectivities {
-		if s == 0 {
+		if EqZero(s) {
 			continue
 		}
 		f := s / stot

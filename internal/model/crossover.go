@@ -68,5 +68,5 @@ func CrossoverCurve(qs []int, d Dataset, h Hardware, dg Design) []float64 {
 // predicate evaluation dominate any index advantage.
 func ScanAlwaysWins(q int, d Dataset, h Hardware, dg Design) bool {
 	s, ok := Crossover(q, d, h, dg)
-	return !ok && s == 0
+	return !ok && EqZero(s)
 }

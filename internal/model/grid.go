@@ -87,7 +87,7 @@ func (g Grid) ContourCrossings(level float64) []float64 {
 		out[j] = math.NaN()
 		for i := 1; i < len(g.Ys); i++ {
 			a, b := g.Ratio[i-1][j], g.Ratio[i][j]
-			if (a-level)*(b-level) <= 0 && a != b {
+			if (a-level)*(b-level) <= 0 && !ApproxEq(a, b) {
 				t := (level - a) / (b - a)
 				ly := math.Log(g.Ys[i-1]) + t*(math.Log(g.Ys[i])-math.Log(g.Ys[i-1]))
 				out[j] = math.Exp(ly)

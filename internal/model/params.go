@@ -183,7 +183,7 @@ func (d Design) Validate() error {
 
 // alphaOrOne returns the fitted alpha, or 1 when the design is unfitted.
 func (d Design) alphaOrOne() float64 {
-	if d.Alpha == 0 {
+	if EqZero(d.Alpha) {
 		return 1
 	}
 	return d.Alpha
@@ -199,7 +199,7 @@ func (d Design) alphaOrOne() float64 {
 // reported behaviour (a correction well below 1 that discounts the
 // pessimistic worst-case sorting bound, growing slowly with N).
 func (d Design) sortCorrection(n float64) float64 {
-	if d.SortFitScale == 0 || d.SortFitExp == 0 {
+	if EqZero(d.SortFitScale) || EqZero(d.SortFitExp) {
 		return 1
 	}
 	return d.SortFitScale * math.Pow(n, d.SortFitExp) / d.SortFitExp

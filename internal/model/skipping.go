@@ -29,7 +29,7 @@ func SharedScanWithSkipping(p Params, skipFraction float64) float64 {
 // scan. With skipFraction 0 it equals APS.
 func APSWithSkipping(p Params, skipFraction float64) float64 {
 	ss := SharedScanWithSkipping(p, skipFraction)
-	if ss == 0 {
+	if EqZero(ss) {
 		return math.Inf(1)
 	}
 	return ConcIndex(p) / ss

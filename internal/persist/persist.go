@@ -87,7 +87,7 @@ func ReadColumn(r io.Reader) ([]storage.Value, error) {
 		if _, err := io.ReadFull(br, buf); err != nil {
 			return nil, fmt.Errorf("persist: truncated payload at tuple %d: %w", i, err)
 		}
-		crc.Write(buf)
+		_, _ = crc.Write(buf) // hash.Hash.Write never returns an error
 		values[i] = storage.Value(binary.LittleEndian.Uint32(buf))
 	}
 	var want uint32
@@ -108,12 +108,12 @@ func SaveColumnFile(path string, values []storage.Value) error {
 		return err
 	}
 	if err := WriteColumn(f, values); err != nil {
-		f.Close()
-		os.Remove(tmp)
+		_ = f.Close()      // best-effort cleanup; the write error wins
+		_ = os.Remove(tmp) // best-effort cleanup of the temp file
 		return err
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+		_ = os.Remove(tmp) // best-effort cleanup of the temp file
 		return err
 	}
 	return os.Rename(tmp, path)

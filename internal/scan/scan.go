@@ -107,17 +107,19 @@ func ScanUnrolled(data []storage.Value, p Predicate, out []storage.RowID) []stor
 // kernel or the strided column-group path. base offsets the produced
 // rowIDs (used by partitioned execution).
 func ScanColumn(c *storage.Column, p Predicate, base int, out []storage.RowID) []storage.RowID {
-	if c.Contiguous() {
-		start := len(out)
-		out = ScanUnrolled(c.Raw(), p, out)
-		if base != 0 {
-			for i := start; i < len(out); i++ {
-				out[i] += storage.RowID(base)
-			}
-		}
-		return out
+	raw, err := c.Raw()
+	if err != nil {
+		// Strided column-group member: no raw view exists.
+		return scanStrided(c, p, base, out)
 	}
-	return scanStrided(c, p, base, out)
+	start := len(out)
+	out = ScanUnrolled(raw, p, out)
+	if base != 0 {
+		for i := start; i < len(out); i++ {
+			out[i] += storage.RowID(base)
+		}
+	}
+	return out
 }
 
 // scanStrided walks a column-group member. Every qualifying check drags

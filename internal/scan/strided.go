@@ -13,8 +13,8 @@ import (
 // the strided-access penalty once per block instead of once per query).
 // Queries spread across workers. workers <= 0 selects GOMAXPROCS.
 func SharedStrided(c *storage.Column, preds []Predicate, blockTuples, workers int) [][]storage.RowID {
-	if c.Contiguous() {
-		return SharedParallel(c.Raw(), preds, blockTuples, workers)
+	if raw, err := c.Raw(); err == nil {
+		return SharedParallel(raw, preds, blockTuples, workers)
 	}
 	if blockTuples <= 0 {
 		blockTuples = DefaultBlockTuples

@@ -525,3 +525,87 @@ func TestStatsCounters(t *testing.T) {
 		t.Fatalf("InFlight after Close = %d", st.InFlight)
 	}
 }
+
+// Direct coverage of the batchContext merge rule: a batch acts on behalf
+// of every member, so it may only be deadline-bounded by a time no member
+// outlives.
+
+func TestBatchContextSingleQueryPassesThrough(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	q := &Query{ctx: ctx}
+	got, done := batchContext([]*Query{q})
+	defer done()
+	if got != ctx {
+		t.Fatal("single-query batch must run under that query's own context")
+	}
+}
+
+func TestBatchContextNoDeadlines(t *testing.T) {
+	qs := []*Query{
+		{ctx: context.Background()},
+		{ctx: context.Background()},
+	}
+	got, done := batchContext(qs)
+	defer done()
+	if d, ok := got.Deadline(); ok {
+		t.Fatalf("batch of deadline-free members got deadline %v", d)
+	}
+}
+
+func TestBatchContextMixedDeadlines(t *testing.T) {
+	// One member is unbounded, so the batch must be unbounded too: cutting
+	// it off at the other member's deadline would answer the unbounded
+	// query with an error it never asked for.
+	bounded, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	qs := []*Query{
+		{ctx: bounded},
+		{ctx: context.Background()},
+		{ctx: bounded},
+	}
+	got, done := batchContext(qs)
+	defer done()
+	if d, ok := got.Deadline(); ok {
+		t.Fatalf("mixed batch got deadline %v", d)
+	}
+}
+
+func TestBatchContextLatestDeadlineWins(t *testing.T) {
+	near, cancelNear := context.WithTimeout(context.Background(), time.Minute)
+	defer cancelNear()
+	far, cancelFar := context.WithTimeout(context.Background(), time.Hour)
+	defer cancelFar()
+	farDeadline, _ := far.Deadline()
+	qs := []*Query{{ctx: near}, {ctx: far}}
+	got, done := batchContext(qs)
+	defer done()
+	d, ok := got.Deadline()
+	if !ok {
+		t.Fatal("all-deadline batch lost its deadline")
+	}
+	if !d.Equal(farDeadline) {
+		t.Fatalf("batch deadline = %v, want the latest member deadline %v", d, farDeadline)
+	}
+	if err := got.Err(); err != nil {
+		t.Fatalf("batch context dead before its deadline: %v", err)
+	}
+}
+
+func TestBatchContextAlreadyExpired(t *testing.T) {
+	// Every member deadline is in the past: the merged context must be
+	// born dead so the executor refuses to start work nobody can use.
+	expired, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	qs := []*Query{{ctx: expired}, {ctx: expired}}
+	got, done := batchContext(qs)
+	defer done()
+	select {
+	case <-got.Done():
+	case <-time.After(time.Second):
+		t.Fatal("batch context of expired members not done")
+	}
+	if err := got.Err(); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("batch context error = %v, want DeadlineExceeded", err)
+	}
+}

@@ -63,13 +63,15 @@ func (c *Column) TupleSize() int { return c.stride * 4 }
 // vectorized scan kernels.
 func (c *Column) Contiguous() bool { return c.stride == 1 }
 
-// Raw returns the underlying contiguous slice. It panics for strided
-// views; callers must check Contiguous first.
-func (c *Column) Raw() []Value {
+// Raw returns the underlying contiguous slice. A strided view has no
+// contiguous representation, so Raw fails on column-group members; the
+// error doubles as the dispatch signal for callers that fall back to the
+// strided kernels.
+func (c *Column) Raw() ([]Value, error) {
 	if !c.Contiguous() {
-		panic("storage: Raw on strided column view")
+		return nil, fmt.Errorf("storage: no raw view of strided column %q (stride %d)", c.name, c.stride)
 	}
-	return c.data[c.offset:]
+	return c.data[c.offset:], nil
 }
 
 // ColumnGroup is a row-major array of w adjacent attributes — the hybrid

@@ -19,7 +19,11 @@ func TestColumnBasics(t *testing.T) {
 	if !c.Contiguous() || c.Stride() != 1 || c.TupleSize() != 4 {
 		t.Fatalf("contiguous column misdescribed: stride=%d ts=%d", c.Stride(), c.TupleSize())
 	}
-	if got := c.Raw(); len(got) != 4 || got[0] != 5 {
+	got, err := c.Raw()
+	if err != nil {
+		t.Fatalf("Raw on contiguous column: %v", err)
+	}
+	if len(got) != 4 || got[0] != 5 {
 		t.Fatalf("Raw = %v", got)
 	}
 }
@@ -77,14 +81,12 @@ func TestColumnGroupErrors(t *testing.T) {
 	}
 }
 
-func TestRawPanicsOnStridedView(t *testing.T) {
+func TestRawFailsOnStridedView(t *testing.T) {
 	g, _ := NewColumnGroup([]string{"a", "b"}, [][]Value{{1, 2}, {3, 4}})
-	defer func() {
-		if recover() == nil {
-			t.Fatal("Raw on strided view did not panic")
-		}
-	}()
-	_ = g.Column("a").Raw()
+	raw, err := g.Column("a").Raw()
+	if err == nil {
+		t.Fatalf("Raw on strided view succeeded: %v", raw)
+	}
 }
 
 func TestGroupRoundTripProperty(t *testing.T) {

@@ -1,7 +1,6 @@
 package storage
 
 import (
-	"errors"
 	"fmt"
 	"sort"
 )
@@ -80,10 +79,10 @@ type CompressedColumn struct {
 
 // Compress dictionary-encodes a contiguous column.
 func Compress(c *Column) (*CompressedColumn, error) {
-	if !c.Contiguous() {
-		return nil, errors.New("storage: can only compress contiguous columns")
+	raw, err := c.Raw()
+	if err != nil {
+		return nil, fmt.Errorf("storage: can only compress contiguous columns: %w", err)
 	}
-	raw := c.Raw()
 	dict, err := BuildDictionary(raw)
 	if err != nil {
 		return nil, err

@@ -149,7 +149,11 @@ func (t *Table) MergeDelta() (added int, err error) {
 		if !ok {
 			return 0, fmt.Errorf("storage: delta missing column %q", name)
 		}
-		t.columns[name] = NewColumn(name, append(c.Raw(), add...))
+		raw, err := c.Raw()
+		if err != nil {
+			return 0, fmt.Errorf("storage: merge into column %q: %w", name, err)
+		}
+		t.columns[name] = NewColumn(name, append(raw, add...))
 	}
 	// Rebuild groups with the appended rows interleaved.
 	for gi, g := range t.groups {
