@@ -1,12 +1,13 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: check build fmt vet lint test race fuzz-seeds
+.PHONY: check build fmt vet lint test race fuzz-seeds diffalloc
 
 # check is the tier-1 gate CI runs: static checks (formatting, go vet,
 # the repo's own fclint invariant suite), build, plain and race-enabled
-# tests, and the fuzz seed corpora as unit tests.
-check: fmt vet lint build test race fuzz-seeds
+# tests, the differential+allocation guards, and the fuzz seed corpora
+# as unit tests.
+check: fmt vet lint build test race diffalloc fuzz-seeds
 
 build:
 	$(GO) build ./...
@@ -32,6 +33,14 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# diffalloc runs the differential scan-kernel suite (every kernel must
+# select the same rowIDs as the naive reference) and the zero-allocation
+# guards on the scan and observability hot paths. Both run inside `test`
+# too; this target names them so CI reports them as their own gate and
+# developers can run just these quickly.
+diffalloc:
+	$(GO) test -run 'Differential|ZeroAlloc' ./internal/scan ./internal/obs
 
 # Runs each fuzz target's seed corpus as regular tests (no fuzzing engine).
 fuzz-seeds:

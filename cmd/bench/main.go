@@ -8,6 +8,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -35,6 +36,7 @@ func main() {
 	trials := flag.Int("trials", 3, "trials per cell (median)")
 	hw1 := flag.Bool("hw1", false, "model the paper's HW1 instead of calibrating the host")
 	hwfile := flag.String("hwfile", "", "load a saved host profile instead of calibrating")
+	jsonOut := flag.String("json", "", "also write the grid to this file as JSON (see EXPERIMENTS.md)")
 	flag.Parse()
 
 	const domain = int32(1 << 24)
@@ -97,6 +99,7 @@ func main() {
 	fmt.Fprintln(w, "workload\tq\tindex scan\tshared scan\tFastColumns\tAPS chose\tmatched best\t")
 	matched := 0
 	specs := workload.Nine()
+	cells := make([]benchCell, 0, len(specs))
 	for _, sp := range specs {
 		preds := workload.Batch(42, sp.Q, sp.Selectivity, domain)
 		idx := measure(model.PathIndex, preds)
@@ -123,8 +126,57 @@ func main() {
 			sp.Name, sp.Q,
 			idx.Round(time.Microsecond), scn.Round(time.Microsecond),
 			aps.Round(time.Microsecond), d.Path, ok)
+		cells = append(cells, benchCell{
+			Workload: sp.Name, Q: sp.Q, Selectivity: sp.Selectivity,
+			IndexNs: idx.Nanoseconds(), ScanNs: scn.Nanoseconds(), APSNs: aps.Nanoseconds(),
+			Chose: d.Path.String(), Ratio: d.Ratio, MatchedBest: ok,
+		})
 	}
 	w.Flush()
 	fmt.Printf("APS matched the best access path (or within 1.4x) in %d/%d workloads\n",
 		matched, len(specs))
+	if *jsonOut != "" {
+		out := benchOutput{
+			Schema: "fastcolumns/bench_aps/v1",
+			N:      *n, Trials: *trials,
+			Hardware: hw, Design: design,
+			Cells: cells, MatchedBest: matched, TotalCells: len(specs),
+		}
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *jsonOut)
+	}
+}
+
+// benchCell is one workload cell of the Figure 18 grid in the JSON
+// output (schema fastcolumns/bench_aps/v1; documented in EXPERIMENTS.md).
+type benchCell struct {
+	Workload    string  `json:"workload"`
+	Q           int     `json:"q"`
+	Selectivity float64 `json:"selectivity"`
+	IndexNs     int64   `json:"index_ns"`
+	ScanNs      int64   `json:"scan_ns"`
+	APSNs       int64   `json:"aps_ns"`
+	Chose       string  `json:"chose"`
+	Ratio       float64 `json:"ratio"`
+	MatchedBest bool    `json:"matched_best"`
+}
+
+// benchOutput is the -json document: the full grid plus the hardware
+// profile and design constants the optimizer ran with, so a stored run
+// is reproducible and comparable across machines.
+type benchOutput struct {
+	Schema      string         `json:"schema"`
+	N           int            `json:"n"`
+	Trials      int            `json:"trials"`
+	Hardware    model.Hardware `json:"hardware"`
+	Design      model.Design   `json:"design"`
+	Cells       []benchCell    `json:"cells"`
+	MatchedBest int            `json:"matched_best"`
+	TotalCells  int            `json:"total_cells"`
 }

@@ -13,8 +13,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"math/rand"
+	"net"
+	"net/http"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -74,6 +77,22 @@ func main() {
 		MaxInFlight: 4,
 	})
 	defer srv.Close()
+
+	// Serve the observability endpoint live while the phases run: GET
+	// /metrics for the full JSON snapshot (metrics + drift report) and
+	// /debug/decisions?n=K for the most recent APS decision traces.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	obsURL := "http://" + ln.Addr().String()
+	go func() {
+		if err := http.Serve(ln, eng.Observer().Handler()); err != nil && !errors.Is(err, net.ErrClosed) {
+			log.Print(err)
+		}
+	}()
+	defer func() { _ = ln.Close() }()
+	fmt.Printf("observability endpoint live at %s/metrics and %s/debug/decisions\n\n", obsURL, obsURL)
 
 	for _, ph := range phases {
 		var wg sync.WaitGroup
@@ -159,4 +178,34 @@ func main() {
 	fmt.Printf("  recovered panics   %6d\n", st.RecoveredPanics)
 	fmt.Printf("  fallback retries   %6d (%d succeeded)\n", st.FallbackRetries, st.FallbackSuccesses)
 	fmt.Printf("  failed batches     %6d\n", st.FailedBatches)
+
+	// The same picture over the wire: what a dashboard scraping /metrics
+	// would see (here just proving the endpoint serves real data).
+	resp, err := http.Get(obsURL + "/metrics")
+	if err != nil {
+		log.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nGET /metrics -> %s, %d bytes of JSON\n", resp.Status, len(body))
+
+	// And the in-process snapshot an embedded operator would read.
+	snap := srv.Observe()
+	fmt.Printf("\nobservability snapshot:\n")
+	if h, ok := snap.Metrics.Histograms["scheduler.batch_width"]; ok {
+		fmt.Printf("  batch width        p50 %d  p95 %d  (the q the APS model saw)\n",
+			int64(h.P50), int64(h.P95))
+	}
+	if h, ok := snap.Metrics.Histograms["engine.batch_ns"]; ok {
+		fmt.Printf("  batch latency      p50 %v  p99 %v over %d batches\n",
+			time.Duration(h.P50).Round(time.Microsecond),
+			time.Duration(h.P99).Round(time.Microsecond), h.Count)
+	}
+	fmt.Printf("  decision traces    %d retained\n", len(snap.Decisions))
+	fmt.Printf("  drift: %d cells, global calibration %.2fx, max drift %.3f (threshold %.3f) stale=%v\n",
+		len(snap.Drift.Cells), snap.Drift.GlobalRatio, snap.Drift.MaxDrift,
+		snap.Drift.Threshold, snap.Drift.Stale)
 }

@@ -38,6 +38,7 @@ import (
 	"fastcolumns/internal/index"
 	"fastcolumns/internal/memsim"
 	"fastcolumns/internal/model"
+	"fastcolumns/internal/obs"
 	"fastcolumns/internal/optimizer"
 	"fastcolumns/internal/scan"
 	"fastcolumns/internal/stats"
@@ -91,15 +92,18 @@ type Config struct {
 	Workers int
 	// Fanout sets the B+-tree branching factor (<= 0: the memory-tuned 21).
 	Fanout int
+	// TraceCap bounds the decision trace ring buffer (<= 0: 1024 entries).
+	TraceCap int
 }
 
 // Engine is a FastColumns instance: a set of tables plus the APS
 // optimizer configured for one machine profile.
 type Engine struct {
-	hw      Hardware
-	opt     *optimizer.Optimizer
-	workers int
-	fanout  int
+	hw       Hardware
+	opt      *optimizer.Optimizer
+	workers  int
+	fanout   int
+	observer *obs.Observer
 
 	mu     sync.RWMutex
 	tables map[string]*Table
@@ -115,14 +119,28 @@ func New(cfg Config) *Engine {
 	if fanout <= 0 {
 		fanout = index.DefaultFanout
 	}
-	return &Engine{
-		hw:      hw,
-		opt:     optimizer.New(hw),
-		workers: cfg.Workers,
-		fanout:  fanout,
-		tables:  make(map[string]*Table),
+	e := &Engine{
+		hw:       hw,
+		opt:      optimizer.New(hw),
+		workers:  cfg.Workers,
+		fanout:   fanout,
+		observer: obs.NewObserver(cfg.TraceCap),
+		tables:   make(map[string]*Table),
 	}
+	e.opt.SetMetrics(e.observer.Metrics)
+	return e
 }
+
+// Observer exposes the engine's observability layer: the metrics
+// registry, the APS decision trace, and the model-drift accounting.
+// Every batch the engine executes is recorded here.
+func (e *Engine) Observer() *obs.Observer { return e.observer }
+
+// Observe snapshots the engine's observability state: all metrics (with
+// histogram quantiles), the most recent APS decisions, and the
+// model-drift report that says whether the fitted cost-model constants
+// still describe this host.
+func (e *Engine) Observe() obs.Snapshot { return e.observer.Snapshot() }
 
 // Hardware returns the profile the optimizer models.
 func (e *Engine) Hardware() Hardware { return e.hw }
@@ -359,7 +377,33 @@ func (t *Table) SelectBatchContext(ctx context.Context, attr string, preds []Pre
 	if err != nil {
 		return BatchResult{}, err
 	}
+	t.observeBatch(attr, d, res.Elapsed)
 	return BatchResult{RowIDs: res.RowIDs, Decision: d, Elapsed: res.Elapsed}, nil
+}
+
+// observeBatch folds one executed batch into the engine's observability
+// layer: a decision-trace entry, the drift accumulator (predicted cost of
+// the chosen path vs measured wall time), and the batch latency
+// histogram. Everything here is allocation-free on the warm path.
+func (t *Table) observeBatch(attr string, d Decision, elapsed time.Duration) {
+	o := t.engine.observer
+	e := obs.TraceEntry{
+		At:             time.Now(),
+		Table:          t.st.Name(),
+		Attr:           attr,
+		Q:              len(d.Selectivities),
+		Path:           d.Path.String(),
+		Forced:         d.Forced,
+		Ratio:          d.Ratio,
+		PredScanCost:   d.ScanCost,
+		PredIndexCost:  d.IndexCost,
+		PredChosenCost: d.ChosenCost,
+		Elapsed:        elapsed,
+	}
+	e.SetSelectivities(d.Selectivities)
+	o.Trace.Append(e)
+	o.Drift.Record(d.Path.String(), d.MeanSelectivity(), d.ChosenCost, elapsed.Seconds())
+	o.Metrics.Histogram("engine.batch_ns").Record(elapsed.Nanoseconds())
 }
 
 // Count answers COUNT(*) for a batch of range queries without
@@ -442,6 +486,7 @@ func (t *Table) execOptions(rel *exec.Relation) exec.Options {
 		PreferCompressed: rel.Compressed != nil,
 		UseZonemap:       rel.Zonemap != nil,
 		UseImprints:      rel.Imprints != nil,
+		Metrics:          t.engine.observer.Metrics,
 	}
 }
 

@@ -16,6 +16,7 @@ import (
 	"fastcolumns/internal/imprints"
 	"fastcolumns/internal/index"
 	"fastcolumns/internal/model"
+	"fastcolumns/internal/obs"
 	"fastcolumns/internal/scan"
 	"fastcolumns/internal/storage"
 )
@@ -79,6 +80,22 @@ type Options struct {
 	// UseImprints lets scans skip cache lines when imprints are present
 	// (takes precedence over the coarser zonemap).
 	UseImprints bool
+	// Metrics, when non-nil, receives per-path execution observations:
+	// batch and query counters plus a latency histogram per access path.
+	// Instrument names are constants, so recording is allocation-free.
+	Metrics *obs.Registry
+}
+
+// record tallies one executed batch under a path's instruments. The
+// names arrive as string constants from the call sites so the lookups
+// never build a key at run time.
+func (o Options) record(batches, queries, ns string, q int, elapsed time.Duration) {
+	if o.Metrics == nil {
+		return
+	}
+	o.Metrics.Counter(batches).Add(1)
+	o.Metrics.Counter(queries).Add(int64(q))
+	o.Metrics.Histogram(ns).Record(elapsed.Nanoseconds())
 }
 
 // Result is the outcome of running one batch through one access path.
@@ -131,7 +148,9 @@ func RunScan(ctx context.Context, rel *Relation, preds []scan.Predicate, opt Opt
 		// Column-group member: blocked strided shared scan across workers.
 		rowIDs = scan.SharedStrided(rel.Column, preds, opt.BlockTuples, opt.Workers)
 	}
-	return Result{Path: model.PathScan, RowIDs: rowIDs, Elapsed: time.Since(start)}, nil
+	elapsed := time.Since(start)
+	opt.record("exec.scan.batches", "exec.scan.queries", "exec.scan.ns", len(preds), elapsed)
+	return Result{Path: model.PathScan, RowIDs: rowIDs, Elapsed: elapsed}, nil
 }
 
 // RunIndex answers the batch with a concurrent secondary-index scan,
@@ -155,7 +174,9 @@ func RunIndex(ctx context.Context, rel *Relation, preds []scan.Predicate, opt Op
 	}
 	start := time.Now()
 	rowIDs := rel.Index.SharedSelect(ranges, opt.Workers)
-	return Result{Path: model.PathIndex, RowIDs: rowIDs, Elapsed: time.Since(start)}, nil
+	elapsed := time.Since(start)
+	opt.record("exec.index.batches", "exec.index.queries", "exec.index.ns", len(preds), elapsed)
+	return Result{Path: model.PathIndex, RowIDs: rowIDs, Elapsed: elapsed}, nil
 }
 
 // RunBitmap answers the batch with the bitmap index; results emerge in
@@ -179,7 +200,9 @@ func RunBitmap(ctx context.Context, rel *Relation, preds []scan.Predicate, opt O
 	}
 	start := time.Now()
 	rowIDs := rel.Bitmap.SharedSelect(ranges)
-	return Result{Path: model.PathBitmap, RowIDs: rowIDs, Elapsed: time.Since(start)}, nil
+	elapsed := time.Since(start)
+	opt.record("exec.bitmap.batches", "exec.bitmap.queries", "exec.bitmap.ns", len(preds), elapsed)
+	return Result{Path: model.PathBitmap, RowIDs: rowIDs, Elapsed: elapsed}, nil
 }
 
 // Run dispatches to the chosen access path. The context carries the

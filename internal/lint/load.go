@@ -1,14 +1,17 @@
 package lint
 
 import (
+	"bufio"
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 )
@@ -193,10 +196,48 @@ func goFiles(dir string) ([]string, error) {
 			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
 			continue
 		}
+		ok, err := buildIncluded(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			continue
+		}
 		names = append(names, name)
 	}
 	sort.Strings(names)
 	return names, nil
+}
+
+// buildIncluded reports whether a file's //go:build constraint (if any)
+// holds for the default build of this host — GOOS/GOARCH tags true,
+// everything else (race, custom tags) false. Files the compiler would
+// exclude must not reach the type-checker: tagged alternates (such as
+// internal/race's race/!race pair) redeclare the same names by design.
+func buildIncluded(path string) (bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return false, err
+	}
+	defer func() { _ = f.Close() }()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if strings.HasPrefix(line, "package ") {
+			break // constraints must precede the package clause
+		}
+		if !constraint.IsGoBuild(line) {
+			continue
+		}
+		expr, err := constraint.Parse(line)
+		if err != nil {
+			return false, fmt.Errorf("lint: %s: %w", path, err)
+		}
+		return expr.Eval(func(tag string) bool {
+			return tag == runtime.GOOS || tag == runtime.GOARCH
+		}), nil
+	}
+	return true, sc.Err()
 }
 
 // readModulePath extracts the module path from a go.mod file.

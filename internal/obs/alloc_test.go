@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"testing"
+	"time"
+
+	"fastcolumns/internal/race"
+)
+
+// TestRecordingSitesZeroAlloc pins the hot-path cost contract of the
+// observability layer: once instruments and cells exist, every recording
+// operation — counter add, gauge move, histogram record, trace append,
+// drift record, and the registry's read-path lookup — allocates nothing.
+// A regression here silently taxes every batch the server executes.
+func TestRecordingSitesZeroAlloc(t *testing.T) {
+	if race.Enabled {
+		t.Skip("race instrumentation allocates; alloc guards run without -race")
+	}
+	reg := NewRegistry()
+	c := reg.Counter("c")
+	g := reg.Gauge("g")
+	h := reg.Histogram("h")
+	tr := NewDecisionTrace(64)
+	dr := NewDrift(0)
+
+	sel := []float64{0.01, 0.002, 0.4}
+	mkEntry := func() TraceEntry {
+		e := TraceEntry{
+			At: time.Unix(1, 0), Table: "t", Attr: "v",
+			Q: len(sel), Path: "scan", Ratio: 1.2,
+			PredScanCost: 1e-3, PredIndexCost: 2e-3, PredChosenCost: 1e-3,
+			Elapsed: time.Millisecond,
+		}
+		e.SetSelectivities(sel)
+		return e
+	}
+	// Warm: create the drift cell and fill the ring once.
+	dr.Record("scan", 0.01, 1e-3, 2e-3)
+	tr.Append(mkEntry())
+
+	sites := []struct {
+		name string
+		op   func()
+	}{
+		{"counter add", func() { c.Add(1) }},
+		{"gauge add", func() { g.Add(1) }},
+		{"histogram record", func() { h.Record(12345) }},
+		{"trace append", func() { tr.Append(mkEntry()) }},
+		{"drift record", func() { dr.Record("scan", 0.01, 1e-3, 2e-3) }},
+		{"registry counter lookup + add", func() { reg.Counter("c").Add(1) }},
+		{"registry histogram lookup + record", func() { reg.Histogram("h").Record(99) }},
+	}
+	for _, site := range sites {
+		if n := testing.AllocsPerRun(200, site.op); n != 0 {
+			t.Errorf("%s allocates %.1f per op, want 0", site.name, n)
+		}
+	}
+}

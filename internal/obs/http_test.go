@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func observedObserver() *Observer {
+	o := NewObserver(8)
+	o.Metrics.Counter("engine.batches").Add(3)
+	o.Metrics.Histogram("engine.batch_ns").Record(1500)
+	for i := 0; i < 5; i++ {
+		e := TraceEntry{
+			At: time.Unix(int64(i), 0), Table: "t", Attr: "v",
+			Q: i + 1, Path: "scan", Ratio: 2,
+			PredScanCost: 1e-3, PredChosenCost: 1e-3,
+			Elapsed: 2 * time.Millisecond,
+		}
+		e.SetSelectivities([]float64{0.01})
+		o.Trace.Append(e)
+		o.Drift.Record("scan", 0.01, 1e-3, 2e-3)
+	}
+	return o
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	h := observedObserver().Handler()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status = %d, body %s", rec.Code, rec.Body.String())
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type = %q", ct)
+	}
+	var got struct {
+		Metrics RegistrySnapshot `json:"metrics"`
+		Drift   DriftReport      `json:"drift"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if got.Metrics.Counters["engine.batches"] != 3 {
+		t.Fatalf("counters = %v", got.Metrics.Counters)
+	}
+	if got.Metrics.Histograms["engine.batch_ns"].Count != 1 {
+		t.Fatalf("histograms = %v", got.Metrics.Histograms)
+	}
+	if len(got.Drift.Cells) == 0 {
+		t.Fatal("drift report empty over populated observer")
+	}
+}
+
+func TestDecisionsEndpoint(t *testing.T) {
+	h := observedObserver().Handler()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/decisions?n=2", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status = %d, body %s", rec.Code, rec.Body.String())
+	}
+	var got struct {
+		Total     int64        `json:"total"`
+		Decisions []TraceEntry `json:"decisions"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if got.Total != 5 || len(got.Decisions) != 2 {
+		t.Fatalf("total=%d len=%d, want 5/2", got.Total, len(got.Decisions))
+	}
+	if got.Decisions[1].Seq != 4 {
+		t.Fatalf("last decision seq = %d, want 4", got.Decisions[1].Seq)
+	}
+}
+
+func TestDecisionsEndpointRejectsBadN(t *testing.T) {
+	h := observedObserver().Handler()
+	for _, q := range []string{"?n=-1", "?n=abc"} {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/decisions"+q, nil))
+		if rec.Code != 400 {
+			t.Fatalf("%s: status = %d, want 400", q, rec.Code)
+		}
+	}
+}

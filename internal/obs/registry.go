@@ -1,0 +1,305 @@
+package obs
+
+import (
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Gauge is an instantaneous atomic value (queue depths, in-flight
+// batches); unlike a Counter it moves in both directions.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the current value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add moves the gauge by n (negative to decrease).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// histBuckets is the number of log2 buckets: bucket 0 holds values <= 0,
+// bucket k (1..64) holds values in [2^(k-1), 2^k - 1]. With nanosecond
+// recordings this spans 1 ns to ~584 years, so nothing saturates.
+const histBuckets = 65
+
+// Histogram is a log-bucketed distribution with lock-free recording:
+// one atomic add per observation. It is sized for latency-in-nanoseconds
+// but records any non-negative int64.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// bucketOf maps a recorded value to its bucket index.
+func bucketOf(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(v))
+}
+
+// Record adds one observation. It is safe for concurrent use and does
+// not allocate.
+func (h *Histogram) Record(v int64) {
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[bucketOf(v)].Add(1)
+}
+
+// Snapshot copies the histogram's state and derives the quantiles.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	s.Count = h.count.Load()
+	s.Sum = h.sum.Load()
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	s.finalize()
+	return s
+}
+
+// HistogramSnapshot is an immutable copy of a Histogram. Snapshots from
+// different histograms (shards, processes) merge by bucket addition.
+type HistogramSnapshot struct {
+	Count int64 `json:"count"`
+	Sum   int64 `json:"sum"`
+	// P50, P95 and P99 are the estimated quantiles in recorded units,
+	// derived from the buckets at snapshot (and re-derived on merge).
+	P50 int64 `json:"p50"`
+	P95 int64 `json:"p95"`
+	P99 int64 `json:"p99"`
+	// Buckets holds the log2 bucket counts; bucket 0 is values <= 0,
+	// bucket k counts values in [2^(k-1), 2^k - 1].
+	Buckets [histBuckets]int64 `json:"buckets"`
+}
+
+// Quantile estimates the p-quantile (p in [0,1]) by locating the bucket
+// where the cumulative count crosses p and interpolating linearly inside
+// its value range. Empty histograms report 0.
+func (s *HistogramSnapshot) Quantile(p float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	target := p * float64(s.Count)
+	var cum float64
+	for k, c := range s.Buckets {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if next >= target {
+			if k == 0 {
+				return 0
+			}
+			lo := int64(1) << (k - 1)
+			hi := lo << 1 // exclusive
+			frac := 0.0
+			if c > 0 {
+				frac = (target - cum) / float64(c)
+			}
+			return lo + int64(frac*float64(hi-lo))
+		}
+		cum = next
+	}
+	return s.Sum / s.Count
+}
+
+// Merge folds another snapshot into this one and re-derives quantiles.
+func (s *HistogramSnapshot) Merge(o HistogramSnapshot) {
+	s.Count += o.Count
+	s.Sum += o.Sum
+	for i := range s.Buckets {
+		s.Buckets[i] += o.Buckets[i]
+	}
+	s.finalize()
+}
+
+// Mean returns the average recorded value (0 when empty).
+func (s *HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// finalize derives the exported quantile fields from the buckets.
+func (s *HistogramSnapshot) finalize() {
+	s.P50 = s.Quantile(0.50)
+	s.P95 = s.Quantile(0.95)
+	s.P99 = s.Quantile(0.99)
+}
+
+// Registry is a named collection of counters, gauges, and histograms.
+// Creation takes a short lock; the returned instruments record through
+// atomics only, so callers on the hot path either cache the pointer or
+// re-resolve it (a read-locked map lookup, allocation-free).
+type Registry struct {
+	mu         sync.RWMutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c, ok := r.counters[name]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	c = &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g, ok := r.gauges[name]
+	r.mu.RUnlock()
+	if ok {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	g = &Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.RLock()
+	h, ok := r.histograms[name]
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.histograms[name]; ok {
+		return h
+	}
+	h = &Histogram{}
+	r.histograms[name] = h
+	return h
+}
+
+// RegistrySnapshot is a point-in-time copy of every instrument. Two
+// snapshots (from sharded registries, or the same registry at different
+// times on different hosts) merge additively.
+type RegistrySnapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot copies the registry's current state.
+func (r *Registry) Snapshot() RegistrySnapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s := RegistrySnapshot{
+		Counters:   make(map[string]int64, len(r.counters)),
+		Gauges:     make(map[string]int64, len(r.gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.histograms)),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Load()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Load()
+	}
+	for name, h := range r.histograms {
+		s.Histograms[name] = h.Snapshot()
+	}
+	return s
+}
+
+// Merge folds another snapshot into this one: counters, gauges and
+// histogram buckets add (gauges from disjoint shards are summed, e.g.
+// in-flight batches across servers).
+func (s *RegistrySnapshot) Merge(o RegistrySnapshot) {
+	if s.Counters == nil {
+		s.Counters = make(map[string]int64, len(o.Counters))
+	}
+	if s.Gauges == nil {
+		s.Gauges = make(map[string]int64, len(o.Gauges))
+	}
+	if s.Histograms == nil {
+		s.Histograms = make(map[string]HistogramSnapshot, len(o.Histograms))
+	}
+	for name, v := range o.Counters {
+		s.Counters[name] += v
+	}
+	for name, v := range o.Gauges {
+		s.Gauges[name] += v
+	}
+	for name, h := range o.Histograms {
+		cur := s.Histograms[name]
+		cur.Merge(h)
+		s.Histograms[name] = cur
+	}
+}
+
+// Names returns the sorted instrument names of one kind ("counter",
+// "gauge", or "histogram") — handy for stable test and debug output.
+func (s *RegistrySnapshot) Names(kind string) []string {
+	var names []string
+	switch kind {
+	case "counter":
+		for n := range s.Counters {
+			names = append(names, n)
+		}
+	case "gauge":
+		for n := range s.Gauges {
+			names = append(names, n)
+		}
+	case "histogram":
+		for n := range s.Histograms {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("queries")
+	c.Add(3)
+	c.Add(4)
+	if got := c.Load(); got != 7 {
+		t.Fatalf("counter = %d, want 7", got)
+	}
+	if r.Counter("queries") != c {
+		t.Fatal("second lookup returned a different counter")
+	}
+	g := r.Gauge("inflight")
+	g.Set(5)
+	g.Add(-2)
+	if got := g.Load(); got != 3 {
+		t.Fatalf("gauge = %d, want 3", got)
+	}
+}
+
+func TestHistogramBucketsAndQuantiles(t *testing.T) {
+	var h Histogram
+	// 100 values uniform in [1, 100]: p50 ~ 50, p99 ~ 99 — log buckets
+	// give order-of-magnitude resolution, so check loose bounds.
+	for v := int64(1); v <= 100; v++ {
+		h.Record(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("count = %d, want 100", s.Count)
+	}
+	if s.Sum != 5050 {
+		t.Fatalf("sum = %d, want 5050", s.Sum)
+	}
+	if s.P50 < 32 || s.P50 > 64 {
+		t.Errorf("p50 = %d, want within [32, 64]", s.P50)
+	}
+	if s.P99 < 64 || s.P99 > 128 {
+		t.Errorf("p99 = %d, want within [64, 128]", s.P99)
+	}
+	if s.P50 > s.P95 || s.P95 > s.P99 {
+		t.Errorf("quantiles not monotone: p50=%d p95=%d p99=%d", s.P50, s.P95, s.P99)
+	}
+	if m := s.Mean(); math.Abs(m-50.5) > 1e-9 {
+		t.Errorf("mean = %v, want 50.5", m)
+	}
+}
+
+func TestHistogramZeroAndNegative(t *testing.T) {
+	var h Histogram
+	h.Record(0)
+	h.Record(-7)
+	s := h.Snapshot()
+	if s.Count != 2 || s.Buckets[0] != 2 {
+		t.Fatalf("non-positive values must land in bucket 0: count=%d b0=%d", s.Count, s.Buckets[0])
+	}
+	if s.P50 != 0 {
+		t.Fatalf("p50 of all-zero histogram = %d, want 0", s.P50)
+	}
+}
+
+func TestHistogramEmptyQuantile(t *testing.T) {
+	var h Histogram
+	s := h.Snapshot()
+	if q := s.Quantile(0.5); q != 0 {
+		t.Fatalf("empty histogram quantile = %d, want 0", q)
+	}
+}
+
+func TestSnapshotMerge(t *testing.T) {
+	r1, r2 := NewRegistry(), NewRegistry()
+	r1.Counter("c").Add(10)
+	r2.Counter("c").Add(5)
+	r2.Counter("only2").Add(1)
+	r1.Gauge("g").Set(2)
+	r2.Gauge("g").Set(3)
+	for v := int64(1); v <= 50; v++ {
+		r1.Histogram("h").Record(v)
+		r2.Histogram("h").Record(v + 50)
+	}
+	s := r1.Snapshot()
+	s.Merge(r2.Snapshot())
+	if s.Counters["c"] != 15 || s.Counters["only2"] != 1 {
+		t.Fatalf("merged counters = %v", s.Counters)
+	}
+	if s.Gauges["g"] != 5 {
+		t.Fatalf("merged gauge = %d, want 5 (shard sum)", s.Gauges["g"])
+	}
+	h := s.Histograms["h"]
+	if h.Count != 100 || h.Sum != 5050 {
+		t.Fatalf("merged histogram count=%d sum=%d, want 100/5050", h.Count, h.Sum)
+	}
+	// Merging must equal recording everything into one histogram.
+	var whole Histogram
+	for v := int64(1); v <= 100; v++ {
+		whole.Record(v)
+	}
+	if w := whole.Snapshot(); w.P50 != h.P50 || w.P99 != h.P99 {
+		t.Fatalf("merged quantiles (%d, %d) differ from whole (%d, %d)", h.P50, h.P99, w.P50, w.P99)
+	}
+}
+
+func TestMergeIntoZeroValueSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Add(2)
+	r.Histogram("h").Record(8)
+	var s RegistrySnapshot
+	s.Merge(r.Snapshot())
+	if s.Counters["c"] != 2 || s.Histograms["h"].Count != 1 {
+		t.Fatalf("merge into zero value lost data: %+v", s)
+	}
+}
+
+func TestRegistryConcurrentAccess(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Counter("shared").Add(1)
+				r.Histogram("lat").Record(int64(i + 1))
+				r.Gauge(fmt.Sprintf("g%d", g%3)).Add(1)
+				if i%100 == 0 {
+					_ = r.Snapshot()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	if s.Counters["shared"] != 8000 {
+		t.Fatalf("shared counter = %d, want 8000", s.Counters["shared"])
+	}
+	if s.Histograms["lat"].Count != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", s.Histograms["lat"].Count)
+	}
+}
+
+func TestNamesSorted(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b")
+	r.Counter("a")
+	s := r.Snapshot()
+	names := s.Names("counter")
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("names = %v, want [a b]", names)
+	}
+}

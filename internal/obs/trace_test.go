@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func entry(attr string, q int) TraceEntry {
+	e := TraceEntry{
+		At:    time.Unix(0, 0),
+		Table: "t",
+		Attr:  attr,
+		Q:     q,
+		Path:  "scan",
+		Ratio: 1.5,
+	}
+	return e
+}
+
+func TestTraceAppendAndSnapshot(t *testing.T) {
+	tr := NewDecisionTrace(4)
+	for i := 0; i < 3; i++ {
+		tr.Append(entry("a", i+1))
+	}
+	if tr.Len() != 3 || tr.Total() != 3 {
+		t.Fatalf("len=%d total=%d, want 3/3", tr.Len(), tr.Total())
+	}
+	got := tr.Snapshot(0)
+	if len(got) != 3 {
+		t.Fatalf("snapshot has %d entries, want 3", len(got))
+	}
+	for i, e := range got {
+		if e.Seq != int64(i) || e.Q != i+1 {
+			t.Fatalf("entry %d = seq %d q %d, want oldest-first order", i, e.Seq, e.Q)
+		}
+	}
+}
+
+func TestTraceWrapsKeepingNewest(t *testing.T) {
+	tr := NewDecisionTrace(4)
+	for i := 0; i < 10; i++ {
+		tr.Append(entry("a", i))
+	}
+	if tr.Len() != 4 || tr.Total() != 10 {
+		t.Fatalf("len=%d total=%d, want 4/10", tr.Len(), tr.Total())
+	}
+	got := tr.Snapshot(0)
+	for i, e := range got {
+		if want := int64(6 + i); e.Seq != want {
+			t.Fatalf("entry %d seq = %d, want %d (newest 4 retained)", i, e.Seq, want)
+		}
+	}
+	if limited := tr.Snapshot(2); len(limited) != 2 || limited[1].Seq != 9 {
+		t.Fatalf("Snapshot(2) = %+v, want the last 2 entries", limited)
+	}
+}
+
+func TestTraceDefaultCap(t *testing.T) {
+	tr := NewDecisionTrace(0)
+	for i := 0; i < DefaultTraceCap+10; i++ {
+		tr.Append(entry("a", i))
+	}
+	if tr.Len() != DefaultTraceCap {
+		t.Fatalf("len = %d, want %d", tr.Len(), DefaultTraceCap)
+	}
+}
+
+func TestSetSelectivities(t *testing.T) {
+	var e TraceEntry
+	e.SetSelectivities([]float64{0.5, 0.1, 0.9})
+	if e.SelCount != 3 {
+		t.Fatalf("SelCount = %d, want 3", e.SelCount)
+	}
+	if e.SelMin != 0.1 || e.SelMax != 0.9 {
+		t.Fatalf("min/max = %v/%v, want 0.1/0.9", e.SelMin, e.SelMax)
+	}
+	if e.SelTotal < 1.49 || e.SelTotal > 1.51 {
+		t.Fatalf("total = %v, want 1.5", e.SelTotal)
+	}
+	// Wider than the inline cap: summary covers all, inline holds the
+	// first TraceSelCap.
+	wide := make([]float64, TraceSelCap+4)
+	for i := range wide {
+		wide[i] = float64(i)
+	}
+	e.SetSelectivities(wide)
+	if e.SelCount != TraceSelCap {
+		t.Fatalf("SelCount = %d, want %d", e.SelCount, TraceSelCap)
+	}
+	if e.SelMax != float64(len(wide)-1) {
+		t.Fatalf("SelMax = %v, want %v (summary must span the whole batch)", e.SelMax, float64(len(wide)-1))
+	}
+	// Empty batch resets everything.
+	e.SetSelectivities(nil)
+	if e.SelCount != 0 || e.SelMax != 0 || e.SelTotal != 0 {
+		t.Fatalf("empty SetSelectivities left residue: %+v", e)
+	}
+}

@@ -8,10 +8,12 @@
 package optimizer
 
 import (
+	"math"
 	"time"
 
 	"fastcolumns/internal/exec"
 	"fastcolumns/internal/model"
+	"fastcolumns/internal/obs"
 	"fastcolumns/internal/scan"
 	"fastcolumns/internal/stats"
 )
@@ -21,6 +23,45 @@ import (
 type Optimizer struct {
 	HW     model.Hardware
 	Design model.Design
+
+	m *optMetrics
+}
+
+// optMetrics holds the optimizer's pre-resolved instruments so the
+// per-decision recording is two allocation-free atomic operations.
+type optMetrics struct {
+	decideNs *obs.Histogram
+	chose    [3]*obs.Counter // indexed by model.Path
+}
+
+// SetMetrics wires decision observability into the optimizer: every
+// Decide records its own latency (the paper stresses decisions stay in
+// the microsecond range — this histogram proves it in production) and
+// tallies the chosen path. nil detaches.
+func (o *Optimizer) SetMetrics(r *obs.Registry) {
+	if r == nil {
+		o.m = nil
+		return
+	}
+	o.m = &optMetrics{
+		decideNs: r.Histogram("optimizer.decide_ns"),
+		chose: [3]*obs.Counter{
+			model.PathScan:   r.Counter("optimizer.chose.scan"),
+			model.PathIndex:  r.Counter("optimizer.chose.index"),
+			model.PathBitmap: r.Counter("optimizer.chose.bitmap"),
+		},
+	}
+}
+
+// observe records one finished decision.
+func (o *Optimizer) observe(d Decision) {
+	if o.m == nil {
+		return
+	}
+	o.m.decideNs.Record(d.Elapsed.Nanoseconds())
+	if d.Path >= 0 && int(d.Path) < len(o.m.chose) {
+		o.m.chose[d.Path].Add(1)
+	}
 }
 
 // New returns an optimizer for the given machine profile using the
@@ -45,9 +86,41 @@ type Decision struct {
 	Selectivities []float64
 	// Forced is true when only one path existed (e.g. no secondary index).
 	Forced bool
+	// ScanCost and IndexCost are the model's predicted wall times in
+	// seconds for the shared scan (skip-aware when the relation supports
+	// skipping) and the concurrent index scan; IndexCost is 0 when no
+	// index exists. ChosenCost is the predicted time of the chosen path —
+	// it can differ from both when a bitmap index wins. The drift
+	// accounting in internal/obs compares these against measured
+	// runtimes to tell when the Appendix C constants have gone stale.
+	ScanCost   float64
+	IndexCost  float64
+	ChosenCost float64
 	// Elapsed is the optimization time itself — the paper stresses this
 	// stays in the microsecond range even for sub-second queries.
 	Elapsed time.Duration
+}
+
+// MeanSelectivity returns the batch's mean per-query selectivity
+// estimate (0 for an empty batch) — the drift accounting's band key.
+func (d Decision) MeanSelectivity() float64 {
+	if len(d.Selectivities) == 0 {
+		return 0
+	}
+	var t float64
+	for _, s := range d.Selectivities {
+		t += s
+	}
+	return t / float64(len(d.Selectivities))
+}
+
+// ratioOf is the APS value from the two predicted costs, guarding the
+// zero-cost denominator the way model.APS does.
+func ratioOf(indexCost, scanCost float64) float64 {
+	if model.EqZero(scanCost) {
+		return math.Inf(1)
+	}
+	return indexCost / scanCost
 }
 
 // Choose runs access path selection from raw model inputs: the relation
@@ -60,12 +133,20 @@ func (o *Optimizer) Choose(n int, tupleSize float64, sel []float64) Decision {
 		Hardware: o.HW,
 		Design:   o.Design,
 	}
-	ratio := model.APS(p)
-	path := model.PathScan
+	scanCost := model.SharedScan(p)
+	indexCost := model.ConcIndex(p)
+	ratio := ratioOf(indexCost, scanCost)
+	path, chosen := model.PathScan, scanCost
 	if ratio < 1 {
-		path = model.PathIndex
+		path, chosen = model.PathIndex, indexCost
 	}
-	return Decision{Path: path, Ratio: ratio, Selectivities: sel, Elapsed: time.Since(start)}
+	d := Decision{
+		Path: path, Ratio: ratio, Selectivities: sel,
+		ScanCost: scanCost, IndexCost: indexCost, ChosenCost: chosen,
+		Elapsed: time.Since(start),
+	}
+	o.observe(d)
+	return d
 }
 
 // Decide performs the full run-time decision for a batch over a relation:
@@ -81,15 +162,21 @@ func (o *Optimizer) Decide(rel *exec.Relation, h *stats.Histogram, preds []scan.
 			sel[i] = h.EstimateRange(p.Lo, p.Hi)
 		}
 	}
-	if rel.Index == nil && rel.Bitmap == nil {
-		return Decision{Path: model.PathScan, Ratio: 0, Selectivities: sel,
-			Forced: true, Elapsed: time.Since(start)}
-	}
 	p := model.Params{
 		Workload: model.Workload{Selectivities: sel},
 		Dataset:  model.Dataset{N: float64(rel.Column.Len()), TupleSize: float64(rel.Column.TupleSize())},
 		Hardware: o.HW,
 		Design:   o.Design,
+	}
+	if rel.Index == nil && rel.Bitmap == nil {
+		// Only the scan exists; still predict its cost so the drift
+		// accounting covers forced batches too.
+		scanCost := model.SharedScan(p)
+		d := Decision{Path: model.PathScan, Ratio: 0, Selectivities: sel,
+			Forced: true, ScanCost: scanCost, ChosenCost: scanCost,
+			Elapsed: time.Since(start)}
+		o.observe(d)
+		return d
 	}
 	// Credit the scan with whatever data skipping the relation supports:
 	// imprints at cache-line granularity, else zonemaps (Appendix E).
@@ -115,13 +202,24 @@ func (o *Optimizer) Decide(rel *exec.Relation, h *stats.Histogram, preds []scan.
 	if rel.Bitmap != nil {
 		card = float64(rel.Bitmap.Cardinality())
 	}
-	path, _ := model.ChooseAmong(p, skip, rel.Index != nil, card)
-	return Decision{
+	path, chosen := model.ChooseAmong(p, skip, rel.Index != nil, card)
+	scanCost := model.SharedScanWithSkipping(p, skip)
+	ic := model.ConcIndex(p)
+	var indexCost float64
+	if rel.Index != nil {
+		indexCost = ic
+	}
+	d := Decision{
 		Path:          path,
-		Ratio:         model.APSWithSkipping(p, skip),
+		Ratio:         ratioOf(ic, scanCost),
 		Selectivities: sel,
+		ScanCost:      scanCost,
+		IndexCost:     indexCost,
+		ChosenCost:    chosen,
 		Elapsed:       time.Since(start),
 	}
+	o.observe(d)
+	return d
 }
 
 // Traditional is the pre-2017 optimizer: a selectivity threshold fixed

@@ -1,0 +1,10 @@
+//go:build !race
+
+// Package race reports whether the race detector instruments this build.
+// Allocation-regression tests consult it: instrumented builds allocate
+// shadow state on operations that are allocation-free in production, so
+// testing.AllocsPerRun guards only hold without -race.
+package race
+
+// Enabled is true when the binary was built with -race.
+const Enabled = false

@@ -22,6 +22,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"fastcolumns/internal/obs"
 	"fastcolumns/internal/scan"
 	"fastcolumns/internal/storage"
 )
@@ -96,6 +97,16 @@ type Scheduler struct {
 	panics    atomic.Int64
 	errored   atomic.Int64
 
+	// Pre-resolved observability instruments (nil without a registry):
+	// the batch-width histogram is the live record of the concurrency q
+	// the APS model actually saw, the latency histogram the executor's
+	// end-to-end batch time, and the gauge mirrors inFlight.
+	batchWidth  *obs.Histogram
+	batchNs     *obs.Histogram
+	inFlightG   *obs.Gauge
+	dropped     *obs.Counter
+	batchErrors *obs.Counter
+
 	mu      sync.Mutex
 	pending map[string][]*Query
 	timers  map[string]*time.Timer
@@ -119,6 +130,11 @@ type Options struct {
 	// attributes; submissions while saturated fail fast with
 	// ErrOverloaded (default 64).
 	MaxInFlight int
+	// Metrics, when non-nil, receives scheduler observations: batch width
+	// (the concurrency q the APS model saw), executor latency, in-flight
+	// batches, dropped-at-execution queries, and batch errors. Instruments
+	// are resolved once here, so recording stays allocation-free.
+	Metrics *obs.Registry
 }
 
 // Stats is a snapshot of the scheduler's resilience counters.
@@ -156,7 +172,7 @@ func New(exec ExecFunc, opt Options) *Scheduler {
 	if opt.MaxInFlight <= 0 {
 		opt.MaxInFlight = 64
 	}
-	return &Scheduler{
+	s := &Scheduler{
 		exec:        exec,
 		window:      opt.Window,
 		maxBatch:    opt.MaxBatch,
@@ -165,6 +181,14 @@ func New(exec ExecFunc, opt Options) *Scheduler {
 		pending:     make(map[string][]*Query),
 		timers:      make(map[string]*time.Timer),
 	}
+	if opt.Metrics != nil {
+		s.batchWidth = opt.Metrics.Histogram("scheduler.batch_width")
+		s.batchNs = opt.Metrics.Histogram("scheduler.exec_ns")
+		s.inFlightG = opt.Metrics.Gauge("scheduler.in_flight")
+		s.dropped = opt.Metrics.Counter("scheduler.dropped")
+		s.batchErrors = opt.Metrics.Counter("scheduler.batch_errors")
+	}
+	return s
 }
 
 // Submit enqueues a query with no deadline; see SubmitContext.
@@ -294,6 +318,10 @@ func (s *Scheduler) dispatchLocked(attr string, batch []*Query) {
 func (s *Scheduler) run(attr string, batch []*Query) {
 	defer s.wg.Done()
 	defer s.inFlight.Add(-1)
+	if s.inFlightG != nil {
+		s.inFlightG.Add(1)
+		defer s.inFlightG.Add(-1)
+	}
 	live := make([]*Query, 0, len(batch))
 	for _, q := range batch {
 		if q.done.Load() {
@@ -303,6 +331,9 @@ func (s *Scheduler) run(attr string, batch []*Query) {
 			if q.finish(Reply{Err: err}) {
 				s.cancelled.Add(1)
 			}
+			if s.dropped != nil {
+				s.dropped.Add(1)
+			}
 			continue
 		}
 		live = append(live, q)
@@ -311,12 +342,19 @@ func (s *Scheduler) run(attr string, batch []*Query) {
 		return
 	}
 	s.batches.Add(1)
+	if s.batchWidth != nil {
+		s.batchWidth.Record(int64(len(live)))
+	}
 	preds := make([]scan.Predicate, len(live))
 	for i, q := range live {
 		preds[i] = q.Pred
 	}
 	ctx, cancel := batchContext(live)
+	start := time.Now()
 	results, err := s.safeExec(ctx, attr, preds)
+	if s.batchNs != nil {
+		s.batchNs.Record(time.Since(start).Nanoseconds())
+	}
 	cancel()
 	if err == nil && len(results) != len(preds) {
 		err = fmt.Errorf("scheduler: executor returned %d result sets for a %d-query batch on %q",
@@ -324,6 +362,9 @@ func (s *Scheduler) run(attr string, batch []*Query) {
 	}
 	if err != nil {
 		s.errored.Add(1)
+		if s.batchErrors != nil {
+			s.batchErrors.Add(1)
+		}
 	}
 	for i, q := range live {
 		if err != nil {

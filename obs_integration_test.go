@@ -1,0 +1,114 @@
+package fastcolumns
+
+import (
+	"testing"
+
+	"fastcolumns/internal/model"
+	"fastcolumns/internal/obs"
+)
+
+// driftBandSels places one representative batch selectivity in each of
+// the drift accumulator's log-spaced bands.
+var driftBandSels = []float64{5e-5, 5e-4, 5e-3, 5e-2, 0.5}
+
+// feedDrift plays a synthetic serving history into a drift accumulator:
+// the host's true cost behaviour follows trueDesign times a constant
+// machine factor (the model predicts an idealized machine, so a uniform
+// offset is expected and must NOT read as drift), while predictions come
+// from predDesign — the constants the optimizer is actually running with.
+func feedDrift(d *obs.Drift, predDesign, trueDesign model.Design, hostFactor float64) {
+	hw := model.HW1()
+	const batchesPerCell = 4 // above the evidence floor
+	for _, sel := range driftBandSels {
+		for b := 0; b < batchesPerCell; b++ {
+			q := 8 + 8*b
+			sels := make([]float64, q)
+			for i := range sels {
+				sels[i] = sel
+			}
+			p := model.Params{
+				Workload: model.Workload{Selectivities: sels},
+				Dataset:  model.Dataset{N: 1e8, TupleSize: 4},
+				Hardware: hw,
+			}
+			p.Design = predDesign
+			predicted := model.SharedScan(p)
+			p.Design = trueDesign
+			measured := hostFactor * model.SharedScan(p)
+			d.Record("scan", sel, predicted, measured)
+		}
+	}
+}
+
+// TestDriftFlagsMisfittedDesign is the model-drift acceptance scenario.
+// A freshly fitted design predicts every selectivity band equally well,
+// so even a 1.4x constant host factor keeps MaxDrift near zero — the
+// report must NOT cry stale. A mis-fitted design (result-write weight
+// alpha off by 16x, as after a hardware change without re-fitting)
+// distorts high-selectivity cells relative to low ones; the dispersion
+// must push MaxDrift over the threshold and flag staleness, telling the
+// operator to re-run the Appendix C fit (internal/fit) on this host.
+func TestDriftFlagsMisfittedDesign(t *testing.T) {
+	fitted := model.FittedDesign()
+
+	fresh := obs.NewDrift(0)
+	feedDrift(fresh, fitted, fitted, 1.4)
+	freshRep := fresh.Report()
+	if len(freshRep.Cells) != len(driftBandSels) {
+		t.Fatalf("fresh fit populated %d cells, want %d", len(freshRep.Cells), len(driftBandSels))
+	}
+	if freshRep.Stale {
+		t.Fatalf("fresh fit flagged stale (MaxDrift=%.3f > %.3f); a constant host factor is not drift",
+			freshRep.MaxDrift, freshRep.Threshold)
+	}
+	if freshRep.MaxDrift > 0.1 {
+		t.Errorf("fresh fit MaxDrift = %.3f, want ~0: identical shape up to a constant factor", freshRep.MaxDrift)
+	}
+
+	misfit := fitted
+	misfit.Alpha *= 16
+	stale := obs.NewDrift(0)
+	feedDrift(stale, misfit, fitted, 1.4)
+	staleRep := stale.Report()
+	if !staleRep.Stale {
+		t.Fatalf("mis-fitted design not flagged: MaxDrift=%.3f <= threshold %.3f",
+			staleRep.MaxDrift, staleRep.Threshold)
+	}
+	if staleRep.MaxDrift <= freshRep.MaxDrift {
+		t.Errorf("mis-fit MaxDrift %.3f not above fresh-fit %.3f", staleRep.MaxDrift, freshRep.MaxDrift)
+	}
+}
+
+// TestEngineObserveAfterBatches pins the engine-level wiring: a handful
+// of directly executed batches must surface in Engine.Observe() as
+// decision traces, drift cells, and populated histograms.
+func TestEngineObserveAfterBatches(t *testing.T) {
+	eng, tbl := chaosEngine(t)
+	for i := 0; i < 5; i++ {
+		lo := Value(i * 100)
+		if _, err := tbl.SelectBatch("a", []Predicate{{Lo: lo, Hi: lo + 200}, {Lo: lo, Hi: lo + 10}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := eng.Observe()
+	if len(snap.Decisions) != 5 {
+		t.Fatalf("Observe holds %d decision traces, want 5", len(snap.Decisions))
+	}
+	for _, d := range snap.Decisions {
+		if d.Table != "t" || d.Attr != "a" || d.Q != 2 {
+			t.Fatalf("trace entry %+v: want table t, attr a, q 2", d)
+		}
+		if d.PredChosenCost <= 0 {
+			t.Fatalf("trace entry has no predicted cost: %+v", d)
+		}
+	}
+	if len(snap.Drift.Cells) == 0 {
+		t.Fatal("Observe holds no drift cells after executed batches")
+	}
+	if hs := snap.Metrics.Histograms["engine.batch_ns"]; hs.Count != 5 {
+		t.Fatalf("engine.batch_ns count = %d, want 5", hs.Count)
+	}
+	if hs := snap.Metrics.Histograms["optimizer.decide_ns"]; hs.Count != 5 {
+		t.Fatalf("optimizer.decide_ns count = %d, want 5", hs.Count)
+	}
+}

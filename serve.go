@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"fastcolumns/internal/obs"
 	"fastcolumns/internal/scheduler"
 	"fastcolumns/internal/storage"
 )
@@ -163,8 +164,28 @@ func (e *Engine) Serve(opt ServeOptions) *Server {
 		MaxBatch:    opt.MaxBatch,
 		MaxPending:  opt.MaxPending,
 		MaxInFlight: opt.MaxInFlight,
+		Metrics:     e.observer.Metrics,
 	})
 	return s
+}
+
+// Observe snapshots the server's full observability state: every metric
+// the engine, optimizer, executor, and scheduler recorded (with
+// histogram quantiles), the most recent APS decision traces, and the
+// model-drift report. The server's own resilience counters are mirrored
+// into gauges first, so one snapshot carries the whole health picture.
+func (s *Server) Observe() obs.Snapshot {
+	st := s.ServerStats()
+	m := s.engine.observer.Metrics
+	m.Gauge("server.submitted").Set(st.Submitted)
+	m.Gauge("server.rejected").Set(st.Rejected)
+	m.Gauge("server.cancelled").Set(st.Cancelled)
+	m.Gauge("server.batches").Set(st.Batches)
+	m.Gauge("server.recovered_panics").Set(st.RecoveredPanics)
+	m.Gauge("server.fallback_retries").Set(st.FallbackRetries)
+	m.Gauge("server.fallback_successes").Set(st.FallbackSuccesses)
+	m.Gauge("server.failed_batches").Set(st.FailedBatches)
+	return s.engine.observer.Snapshot()
 }
 
 // Submit enqueues one select query on table.attr; the returned channel

@@ -460,3 +460,122 @@ func TestServerSurvivesChaos(t *testing.T) {
 	srv.Close()
 	waitGoroutines(t, base)
 }
+
+// TestChaosReplyConservationAndObservability is the ledger-audit version
+// of the chaos soak: every accepted submission must produce exactly one
+// reply (none lost, none duplicated), the scheduler's counters must
+// reconcile with the client-side ledger, and afterwards Server.Observe()
+// must carry the whole story — populated latency histograms, APS decision
+// traces, and drift cells — because an observability layer that goes
+// blind under faults is worthless precisely when it is needed.
+func TestChaosReplyConservationAndObservability(t *testing.T) {
+	base := runtime.NumGoroutine()
+	eng, _ := chaosEngine(t)
+	srv := eng.Serve(ServeOptions{
+		Window:      500 * time.Microsecond,
+		MaxBatch:    16,
+		MaxPending:  128,
+		MaxInFlight: 4,
+	})
+
+	deactivate := faultinject.Activate(faultinject.New(99,
+		faultinject.Rule{Site: "exec.run", Kind: faultinject.Panic, Prob: 0.03},
+		faultinject.Rule{Site: "exec.run", Kind: faultinject.Error, Prob: 0.08},
+		faultinject.Rule{Site: "exec.index", Kind: faultinject.Error, Prob: 0.10},
+		faultinject.Rule{Site: "exec.run", Kind: faultinject.Delay, Prob: 0.15, Delay: time.Millisecond},
+	))
+
+	attrs := []string{"a", "b"}
+	var accepted, rejected, replies, ctxErrReplies atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 120; i++ {
+				attr := attrs[(g+i)%len(attrs)]
+				lo := Value((g*977 + i*13) % 4000)
+				ctx := context.Background()
+				var cancel context.CancelFunc
+				if i%5 == 0 {
+					ctx, cancel = context.WithTimeout(ctx, time.Duration(1+i%2)*time.Millisecond)
+				}
+				ch, err := srv.SubmitContext(ctx, "t", attr, Predicate{Lo: lo, Hi: lo + 40})
+				if err != nil {
+					if cancel != nil {
+						cancel()
+					}
+					if errors.Is(err, ErrOverloaded) {
+						rejected.Add(1)
+						continue
+					}
+					t.Errorf("submit: %v", err)
+					return
+				}
+				accepted.Add(1)
+				r := <-ch
+				replies.Add(1)
+				if errors.Is(r.Err, context.Canceled) || errors.Is(r.Err, context.DeadlineExceeded) {
+					ctxErrReplies.Add(1)
+				}
+				// Conservation: the buffered channel must never hold a
+				// second reply for the same query.
+				select {
+				case <-ch:
+					t.Error("double delivery: reply channel yielded twice")
+				default:
+				}
+				if cancel != nil {
+					cancel()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	deactivate()
+	srv.Close()
+
+	// Ledger reconciliation: the scheduler accepted what we think it
+	// accepted, rejected what it refused, and answered everything.
+	if accepted.Load() != replies.Load() {
+		t.Fatalf("accepted %d queries but saw %d replies", accepted.Load(), replies.Load())
+	}
+	st := srv.ServerStats()
+	if st.Submitted != accepted.Load() {
+		t.Fatalf("Stats.Submitted = %d, ledger says %d", st.Submitted, accepted.Load())
+	}
+	if st.Rejected != rejected.Load() {
+		t.Fatalf("Stats.Rejected = %d, ledger says %d", st.Rejected, rejected.Load())
+	}
+	// Every scheduler-counted cancellation surfaced as a context-error
+	// reply on some channel (the converse does not hold: a batch-wide
+	// deadline error reaches submitters without touching the counter).
+	if st.Cancelled > ctxErrReplies.Load() {
+		t.Fatalf("Stats.Cancelled = %d exceeds the %d context-error replies seen", st.Cancelled, ctxErrReplies.Load())
+	}
+
+	// The acceptance criterion: after the stress the observability
+	// snapshot is populated end to end.
+	snap := srv.Observe()
+	if len(snap.Decisions) == 0 {
+		t.Error("Observe: no APS decision traces recorded")
+	}
+	if len(snap.Drift.Cells) == 0 {
+		t.Error("Observe: no drift cells recorded")
+	}
+	for _, h := range []string{"scheduler.exec_ns", "scheduler.batch_width", "engine.batch_ns", "optimizer.decide_ns"} {
+		hs, ok := snap.Metrics.Histograms[h]
+		if !ok || hs.Count == 0 {
+			t.Errorf("Observe: histogram %q empty or missing", h)
+		}
+	}
+	if snap.Metrics.Gauges["server.submitted"] != accepted.Load() {
+		t.Errorf("Observe: server.submitted gauge = %d, want %d",
+			snap.Metrics.Gauges["server.submitted"], accepted.Load())
+	}
+	if c := snap.Metrics.Counters["exec.scan.batches"] + snap.Metrics.Counters["exec.index.batches"] +
+		snap.Metrics.Counters["exec.bitmap.batches"]; c == 0 {
+		t.Error("Observe: no executed batches counted on any access path")
+	}
+	waitGoroutines(t, base)
+}
