@@ -1,7 +1,12 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: check build fmt vet lint test race fuzz-seeds diffalloc
+# bench knobs: BENCH_N sizes the relation (smaller is faster; CI uses
+# 200000), BENCH_STAMP names the output document.
+BENCH_N ?= 2000000
+BENCH_STAMP ?= $(shell date -u +%Y%m%d)
+
+.PHONY: check build fmt vet lint test race fuzz-seeds diffalloc bench
 
 # check is the tier-1 gate CI runs: static checks (formatting, go vet,
 # the repo's own fclint invariant suite), build, plain and race-enabled
@@ -45,3 +50,13 @@ diffalloc:
 # Runs each fuzz target's seed corpus as regular tests (no fuzzing engine).
 fuzz-seeds:
 	$(GO) test -run Fuzz ./internal/dsl ./internal/persist
+
+# bench runs the Go micro-benchmarks with allocation reporting, then the
+# Figure 18 + skewed-batch experiment driver, writing the machine-readable
+# document BENCH_$(BENCH_STAMP).json at the repo root (schema
+# fastcolumns/bench_aps/v2, documented in EXPERIMENTS.md). -hw1 skips
+# host calibration so the target is fast and deterministic enough for CI;
+# drop it (run cmd/bench by hand) for a calibrated run.
+bench:
+	$(GO) test -run XXX -bench 'SkewedBatch|Fig13|AblationSharing' -benchmem -benchtime 20x .
+	$(GO) run ./cmd/bench -hw1 -n $(BENCH_N) -trials 3 -json BENCH_$(BENCH_STAMP).json

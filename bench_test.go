@@ -25,6 +25,7 @@ import (
 	"fastcolumns/internal/ops"
 	"fastcolumns/internal/optimizer"
 	"fastcolumns/internal/persist"
+	rt "fastcolumns/internal/runtime"
 	"fastcolumns/internal/scan"
 	"fastcolumns/internal/simexec"
 	"fastcolumns/internal/stats"
@@ -416,6 +417,66 @@ func BenchmarkAblationSharing(b *testing.B) {
 			for _, p := range preds {
 				_ = scan.ScanUnrolled(f.data, p, nil)
 			}
+		}
+	})
+}
+
+// skewedPreds builds the tentpole's skewed batch: one query selecting
+// ~20% of the domain plus fifteen selecting ~0.1% each. Under a static
+// query partition, whoever draws the heavy query straggles while its
+// siblings idle.
+func skewedPreds() []scan.Predicate {
+	d := int64(benchDomain)
+	preds := make([]scan.Predicate, 0, 16)
+	preds = append(preds, scan.Predicate{Lo: 0, Hi: storage.Value(d/5 - 1)})
+	w := d / 1000
+	for i := 0; i < 15; i++ {
+		lo := int64(i) * (d / 16)
+		preds = append(preds, scan.Predicate{Lo: storage.Value(lo), Hi: storage.Value(lo + w - 1)})
+	}
+	return preds
+}
+
+// skewedHints mirrors what the optimizer hands the executor in
+// production: expected result cardinality per query, sizing the arena's
+// checkouts.
+func skewedHints(preds []scan.Predicate, n int) []int {
+	hints := make([]int, len(preds))
+	for i, p := range preds {
+		frac := float64(int64(p.Hi)-int64(p.Lo)+1) / float64(benchDomain)
+		hints[i] = int(frac*float64(n)) + 1
+	}
+	return hints
+}
+
+// BenchmarkSkewedBatch is the tentpole's headline experiment: the same
+// skewed batch through the pre-morsel static query partition
+// (SharedStatic, spawning per call) and through morsel dispatch on a
+// persistent pool with pooled result arenas. Run with -benchmem: the
+// morsel side should also show (near-)zero steady-state allocations.
+func BenchmarkSkewedBatch(b *testing.B) {
+	f := getFixture(b)
+	preds := skewedPreds()
+	workers := rt.Default().Workers()
+	b.Run("static", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = scan.SharedStatic(f.data, preds, 0, workers)
+		}
+	})
+	b.Run("morsel", func(b *testing.B) {
+		b.ReportAllocs()
+		pool := rt.NewPool(workers, nil)
+		defer pool.Close()
+		arena := rt.NewArena(0, nil)
+		hints := skewedHints(preds, benchN)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := scan.SharedPool(pool, arena, f.data, preds, 0, hints)
+			if err != nil {
+				b.Fatal(err)
+			}
+			res.Release()
 		}
 	})
 }

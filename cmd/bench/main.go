@@ -14,6 +14,7 @@ import (
 	"log"
 	"os"
 	"sort"
+	"testing"
 	"text/tabwriter"
 	"time"
 
@@ -23,6 +24,7 @@ import (
 	"fastcolumns/internal/memsim"
 	"fastcolumns/internal/model"
 	"fastcolumns/internal/optimizer"
+	rt "fastcolumns/internal/runtime"
 	"fastcolumns/internal/scan"
 	"fastcolumns/internal/stats"
 	"fastcolumns/internal/storage"
@@ -135,12 +137,20 @@ func main() {
 	w.Flush()
 	fmt.Printf("APS matched the best access path (or within 1.4x) in %d/%d workloads\n",
 		matched, len(specs))
+
+	skew := measureSkew(data, domain, *trials)
+	fmt.Printf("skewed batch (1x20%% + 15x0.1%%): static partition %v, morsel dispatch %v (%.2fx), steady-state allocs/batch %.0f\n",
+		time.Duration(skew.StaticNs).Round(time.Microsecond),
+		time.Duration(skew.MorselNs).Round(time.Microsecond),
+		skew.Speedup, skew.SteadyAllocs)
+
 	if *jsonOut != "" {
 		out := benchOutput{
-			Schema: "fastcolumns/bench_aps/v1",
+			Schema: "fastcolumns/bench_aps/v2",
 			N:      *n, Trials: *trials,
 			Hardware: hw, Design: design,
 			Cells: cells, MatchedBest: matched, TotalCells: len(specs),
+			Skew: skew,
 		}
 		data, err := json.MarshalIndent(out, "", "  ")
 		if err != nil {
@@ -153,8 +163,88 @@ func main() {
 	}
 }
 
+// measureSkew runs the morsel-runtime tentpole experiment: a batch of
+// sixteen queries where one selects ~20% of the domain and fifteen
+// select ~0.1% each. The static query partition (one worker straggles on
+// the heavy query) is compared against morsel dispatch on a persistent
+// pool with pooled result arenas, and the steady-state allocation count
+// of the pooled path is measured with testing.AllocsPerRun — the
+// tentpole's contract is that it reaches zero once the pools are warm.
+func measureSkew(data []storage.Value, domain int32, trials int) skewResult {
+	const heavySel, lightSel = 0.2, 0.001
+	d := int64(domain)
+	preds := make([]scan.Predicate, 0, 16)
+	preds = append(preds, scan.Predicate{Lo: 0, Hi: storage.Value(int64(heavySel*float64(d)) - 1)})
+	w := int64(lightSel * float64(d))
+	for i := 0; i < 15; i++ {
+		lo := int64(i) * (d / 16)
+		preds = append(preds, scan.Predicate{Lo: storage.Value(lo), Hi: storage.Value(lo + w - 1)})
+	}
+	hints := make([]int, len(preds))
+	for i, p := range preds {
+		frac := float64(int64(p.Hi)-int64(p.Lo)+1) / float64(d)
+		hints[i] = int(frac*float64(len(data))) + 1
+	}
+
+	workers := rt.Default().Workers()
+	median := func(run func()) int64 {
+		times := make([]time.Duration, 0, trials)
+		for t := 0; t < trials; t++ {
+			start := time.Now()
+			run()
+			times = append(times, time.Since(start))
+		}
+		sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+		return times[len(times)/2].Nanoseconds()
+	}
+
+	staticNs := median(func() {
+		_ = scan.SharedStatic(data, preds, 0, workers)
+	})
+
+	pool := rt.NewPool(workers, nil)
+	defer pool.Close()
+	arena := rt.NewArena(0, nil)
+	batch := func() {
+		res, err := scan.SharedPool(pool, arena, data, preds, 0, hints)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res.Release()
+	}
+	// Warm until the arena's buffer rotation converges: every pooled
+	// buffer must have grown to the batch's peak demand before the
+	// steady state is allocation-free.
+	for i := 0; i < 16; i++ {
+		batch()
+	}
+	morselNs := median(batch)
+	allocs := testing.AllocsPerRun(20, batch)
+
+	return skewResult{
+		Q: len(preds), HeavySel: heavySel, LightSel: lightSel, Workers: workers,
+		StaticNs: staticNs, MorselNs: morselNs,
+		Speedup:      float64(staticNs) / float64(morselNs),
+		SteadyAllocs: allocs,
+	}
+}
+
+// skewResult is the tentpole experiment in the JSON output: static
+// query partition vs morsel dispatch on the skewed batch, plus the
+// pooled path's steady-state allocation count.
+type skewResult struct {
+	Q            int     `json:"q"`
+	HeavySel     float64 `json:"heavy_selectivity"`
+	LightSel     float64 `json:"light_selectivity"`
+	Workers      int     `json:"workers"`
+	StaticNs     int64   `json:"static_ns"`
+	MorselNs     int64   `json:"morsel_ns"`
+	Speedup      float64 `json:"speedup"`
+	SteadyAllocs float64 `json:"steady_state_allocs_per_batch"`
+}
+
 // benchCell is one workload cell of the Figure 18 grid in the JSON
-// output (schema fastcolumns/bench_aps/v1; documented in EXPERIMENTS.md).
+// output (schema fastcolumns/bench_aps/v2; documented in EXPERIMENTS.md).
 type benchCell struct {
 	Workload    string  `json:"workload"`
 	Q           int     `json:"q"`
@@ -179,4 +269,5 @@ type benchOutput struct {
 	Cells       []benchCell    `json:"cells"`
 	MatchedBest int            `json:"matched_best"`
 	TotalCells  int            `json:"total_cells"`
+	Skew        skewResult     `json:"skew"`
 }

@@ -40,6 +40,7 @@ import (
 	"fastcolumns/internal/model"
 	"fastcolumns/internal/obs"
 	"fastcolumns/internal/optimizer"
+	rt "fastcolumns/internal/runtime"
 	"fastcolumns/internal/scan"
 	"fastcolumns/internal/stats"
 	"fastcolumns/internal/storage"
@@ -88,22 +89,31 @@ type Config struct {
 	// Hardware is the machine profile the optimizer models. Zero value
 	// selects the paper's HW1; use CalibrateHardware for the host.
 	Hardware Hardware
-	// Workers bounds hardware threads for execution (<= 0: GOMAXPROCS).
+	// Workers sizes the engine's morsel worker pool (<= 0: GOMAXPROCS).
 	Workers int
 	// Fanout sets the B+-tree branching factor (<= 0: the memory-tuned 21).
 	Fanout int
 	// TraceCap bounds the decision trace ring buffer (<= 0: 1024 entries).
 	TraceCap int
+	// BlockTuples is the shared-scan block size in tuples (<= 0:
+	// scan.DefaultBlockTuples, 16Ki — 64 KiB blocks).
+	BlockTuples int
+	// ArenaRetain caps the rowID capacity (entries) of buffers the
+	// result arena keeps across batches (<= 0: the default 4M).
+	ArenaRetain int
 }
 
 // Engine is a FastColumns instance: a set of tables plus the APS
 // optimizer configured for one machine profile.
 type Engine struct {
-	hw       Hardware
-	opt      *optimizer.Optimizer
-	workers  int
-	fanout   int
-	observer *obs.Observer
+	hw          Hardware
+	opt         *optimizer.Optimizer
+	workers     int
+	fanout      int
+	blockTuples int
+	observer    *obs.Observer
+	pool        *rt.Pool
+	arena       *rt.Arena
 
 	mu     sync.RWMutex
 	tables map[string]*Table
@@ -119,16 +129,28 @@ func New(cfg Config) *Engine {
 	if fanout <= 0 {
 		fanout = index.DefaultFanout
 	}
+	observer := obs.NewObserver(cfg.TraceCap)
 	e := &Engine{
-		hw:       hw,
-		opt:      optimizer.New(hw),
-		workers:  cfg.Workers,
-		fanout:   fanout,
-		observer: obs.NewObserver(cfg.TraceCap),
-		tables:   make(map[string]*Table),
+		hw:          hw,
+		opt:         optimizer.New(hw),
+		workers:     cfg.Workers,
+		fanout:      fanout,
+		blockTuples: cfg.BlockTuples,
+		observer:    observer,
+		pool:        rt.NewPool(cfg.Workers, observer.Metrics),
+		arena:       rt.NewArena(cfg.ArenaRetain, observer.Metrics),
+		tables:      make(map[string]*Table),
 	}
 	e.opt.SetMetrics(e.observer.Metrics)
 	return e
+}
+
+// Close shuts the engine's worker pool down: queued morsels drain and
+// the workers exit. Close the engine after any Server built on it.
+// Idempotent; queries issued after Close still answer correctly (morsel
+// dispatch degrades to inline execution).
+func (e *Engine) Close() {
+	e.pool.Close()
 }
 
 // Observer exposes the engine's observability layer: the metrics
@@ -351,6 +373,20 @@ type BatchResult struct {
 	Decision Decision
 	// Elapsed is the execution time (excluding optimization).
 	Elapsed time.Duration
+
+	pooled *rt.Results
+}
+
+// Release hands the result buffers back to the engine's arena for the
+// next batch to reuse; RowIDs must not be used afterwards. Optional —
+// results simply become garbage if never released — but the engine's
+// steady-state zero-allocation path needs it. Callers that share result
+// slices (the serve path aliases duplicate predicates' results across
+// submitters) must not release.
+func (r *BatchResult) Release() {
+	r.pooled.Release()
+	r.pooled = nil
+	r.RowIDs = nil
 }
 
 // SelectBatch answers q concurrent range queries over one attribute,
@@ -373,12 +409,28 @@ func (t *Table) SelectBatchContext(ctx context.Context, attr string, preds []Pre
 		return BatchResult{}, err
 	}
 	d := t.engine.opt.Decide(rel, t.hists[attr], preds)
-	res, err := exec.Run(ctx, rel, d.Path, preds, t.execOptions(rel))
+	opt := t.execOptions(rel)
+	opt.Hints = cardinalityHints(d.Selectivities, rel.Column.Len())
+	res, err := exec.Run(ctx, rel, d.Path, preds, opt)
 	if err != nil {
 		return BatchResult{}, err
 	}
 	t.observeBatch(attr, d, res.Elapsed)
-	return BatchResult{RowIDs: res.RowIDs, Decision: d, Elapsed: res.Elapsed}, nil
+	return BatchResult{RowIDs: res.RowIDs, Decision: d, Elapsed: res.Elapsed, pooled: res.Pooled}, nil
+}
+
+// cardinalityHints turns the optimizer's per-query selectivity
+// estimates into expected result cardinalities, which size the arena's
+// buffer checkouts so scan kernels stop re-growing mid-scan.
+func cardinalityHints(sels []float64, n int) []int {
+	if len(sels) == 0 {
+		return nil
+	}
+	hints := make([]int, len(sels))
+	for i, s := range sels {
+		hints[i] = int(s*float64(n)) + 1
+	}
+	return hints
 }
 
 // observeBatch folds one executed batch into the engine's observability
@@ -426,7 +478,7 @@ func (t *Table) CountContext(ctx context.Context, attr string, preds []Predicate
 		return nil, Decision{}, err
 	}
 	d := t.engine.opt.Decide(rel, t.hists[attr], preds)
-	counts, err := exec.RunCount(ctx, rel, d.Path, preds)
+	counts, err := exec.RunCount(ctx, rel, d.Path, preds, t.execOptions(rel))
 	if err != nil {
 		return nil, Decision{}, err
 	}
@@ -477,16 +529,20 @@ func (t *Table) SelectViaContext(ctx context.Context, path Path, attr string, pr
 		RowIDs:   res.RowIDs,
 		Decision: Decision{Path: path, Forced: true},
 		Elapsed:  res.Elapsed,
+		pooled:   res.Pooled,
 	}, nil
 }
 
 func (t *Table) execOptions(rel *exec.Relation) exec.Options {
 	return exec.Options{
 		Workers:          t.engine.workers,
+		BlockTuples:      t.engine.blockTuples,
 		PreferCompressed: rel.Compressed != nil,
 		UseZonemap:       rel.Zonemap != nil,
 		UseImprints:      rel.Imprints != nil,
 		Metrics:          t.engine.observer.Metrics,
+		Pool:             t.engine.pool,
+		Arena:            t.engine.arena,
 	}
 }
 

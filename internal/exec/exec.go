@@ -17,6 +17,7 @@ import (
 	"fastcolumns/internal/index"
 	"fastcolumns/internal/model"
 	"fastcolumns/internal/obs"
+	rt "fastcolumns/internal/runtime"
 	"fastcolumns/internal/scan"
 	"fastcolumns/internal/storage"
 )
@@ -84,6 +85,26 @@ type Options struct {
 	// batch and query counters plus a latency histogram per access path.
 	// Instrument names are constants, so recording is allocation-free.
 	Metrics *obs.Registry
+	// Pool is the engine's morsel worker pool; nil selects the
+	// process-wide default pool.
+	Pool *rt.Pool
+	// Arena recycles result buffers across batches; nil allocates
+	// plainly (and Result.Release becomes a no-op for those buffers).
+	Arena *rt.Arena
+	// Hints is the expected result cardinality per query (the
+	// optimizer's selectivity estimate times N), used to size arena
+	// checkouts so the kernels stop re-growing buffers mid-scan. May be
+	// nil or shorter than the batch.
+	Hints []int
+}
+
+// pool resolves the dispatch pool: the engine's, or the process-wide
+// default so direct callers (benchmarks, tools) still parallelize.
+func (o Options) pool() *rt.Pool {
+	if o.Pool != nil {
+		return o.Pool
+	}
+	return rt.Default()
 }
 
 // record tallies one executed batch under a path's instruments. The
@@ -103,6 +124,19 @@ type Result struct {
 	Path    model.Path
 	RowIDs  [][]storage.RowID // one per query, in rowID order
 	Elapsed time.Duration
+	// Pooled is set when RowIDs alias arena-owned buffers; Release hands
+	// them back. Paths that allocate plainly leave it nil.
+	Pooled *rt.Results
+}
+
+// Release returns arena-owned result buffers for reuse. The RowIDs must
+// not be used afterwards. Optional: unreleased results are simply
+// garbage collected. Callers that share or retain result slices (the
+// serve path's duplicate-predicate aliasing) must not call it.
+func (r *Result) Release() {
+	r.Pooled.Release()
+	r.Pooled = nil
+	r.RowIDs = nil
 }
 
 // TotalRows returns the summed result cardinality across the batch.
@@ -114,9 +148,10 @@ func (r Result) TotalRows() int {
 	return t
 }
 
-// RunScan answers the batch with a shared sequential scan. Cancellation
-// is cooperative at batch granularity: the context is checked before the
-// kernel starts, not inside it.
+// RunScan answers the batch with a shared sequential scan. The raw and
+// strided paths run as morsels on the pool, so cancellation is observed
+// between morsels (a cancelled batch stops mid-relation); the skipping
+// kernels (compressed, imprints, zonemap) remain batch-granular.
 func RunScan(ctx context.Context, rel *Relation, preds []scan.Predicate, opt Options) (Result, error) {
 	if err := rel.Validate(); err != nil {
 		return Result{}, err
@@ -129,6 +164,7 @@ func RunScan(ctx context.Context, rel *Relation, preds []scan.Predicate, opt Opt
 	}
 	start := time.Now()
 	var rowIDs [][]storage.RowID
+	var pooled *rt.Results
 	// A strided column-group member has no raw view (rawErr != nil); every
 	// kernel that needs one falls through to the strided path.
 	switch raw, rawErr := rel.Column.Raw(); {
@@ -143,14 +179,22 @@ func RunScan(ctx context.Context, rel *Relation, preds []scan.Predicate, opt Opt
 	case opt.UseZonemap && rel.Zonemap != nil && rawErr == nil:
 		rowIDs = scan.SharedWithZonemap(raw, rel.Zonemap, preds)
 	case rawErr == nil:
-		rowIDs = scan.SharedParallel(raw, preds, opt.BlockTuples, opt.Workers)
+		res, err := scan.SharedPoolContext(ctx, opt.pool(), opt.Arena, raw, preds, opt.BlockTuples, opt.Hints)
+		if err != nil {
+			return Result{}, err
+		}
+		rowIDs, pooled = res.RowIDs, res
 	default:
-		// Column-group member: blocked strided shared scan across workers.
-		rowIDs = scan.SharedStrided(rel.Column, preds, opt.BlockTuples, opt.Workers)
+		// Column-group member: blocked strided shared scan as morsels.
+		res, err := scan.SharedStridedPoolContext(ctx, opt.pool(), opt.Arena, rel.Column, preds, opt.BlockTuples, opt.Hints)
+		if err != nil {
+			return Result{}, err
+		}
+		rowIDs, pooled = res.RowIDs, res
 	}
 	elapsed := time.Since(start)
 	opt.record("exec.scan.batches", "exec.scan.queries", "exec.scan.ns", len(preds), elapsed)
-	return Result{Path: model.PathScan, RowIDs: rowIDs, Elapsed: elapsed}, nil
+	return Result{Path: model.PathScan, RowIDs: rowIDs, Elapsed: elapsed, Pooled: pooled}, nil
 }
 
 // RunIndex answers the batch with a concurrent secondary-index scan,
@@ -173,10 +217,13 @@ func RunIndex(ctx context.Context, rel *Relation, preds []scan.Predicate, opt Op
 		ranges[i] = [2]storage.Value{p.Lo, p.Hi}
 	}
 	start := time.Now()
-	rowIDs := rel.Index.SharedSelect(ranges, opt.Workers)
+	res, err := rel.Index.SharedSelectContext(ctx, opt.pool(), opt.Arena, ranges, opt.Hints)
+	if err != nil {
+		return Result{}, err
+	}
 	elapsed := time.Since(start)
 	opt.record("exec.index.batches", "exec.index.queries", "exec.index.ns", len(preds), elapsed)
-	return Result{Path: model.PathIndex, RowIDs: rowIDs, Elapsed: elapsed}, nil
+	return Result{Path: model.PathIndex, RowIDs: res.RowIDs, Elapsed: elapsed, Pooled: res}, nil
 }
 
 // RunBitmap answers the batch with the bitmap index; results emerge in
@@ -229,8 +276,9 @@ func Run(ctx context.Context, rel *Relation, path model.Path, preds []scan.Predi
 // RunCount answers COUNT(*) for the batch without materializing rowIDs:
 // the tree and bitmap count in their own structures, the scan counts in
 // a write-free pass. Returns one count per query. Cancellation is
-// cooperative at per-query granularity.
-func RunCount(ctx context.Context, rel *Relation, path model.Path, preds []scan.Predicate) ([]int, error) {
+// cooperative at per-query granularity. Executions record under the
+// exec.count.* instruments, like the materializing paths.
+func RunCount(ctx context.Context, rel *Relation, path model.Path, preds []scan.Predicate, opt Options) ([]int, error) {
 	if err := rel.Validate(); err != nil {
 		return nil, err
 	}
@@ -240,6 +288,7 @@ func RunCount(ctx context.Context, rel *Relation, path model.Path, preds []scan.
 	if err := faultinject.Fire("exec.count"); err != nil {
 		return nil, err
 	}
+	start := time.Now()
 	counts := make([]int, len(preds))
 	switch path {
 	case model.PathIndex:
@@ -286,5 +335,6 @@ func RunCount(ctx context.Context, rel *Relation, path model.Path, preds []scan.
 			}
 		}
 	}
+	opt.record("exec.count.batches", "exec.count.queries", "exec.count.ns", len(preds), time.Since(start))
 	return counts, nil
 }

@@ -163,7 +163,7 @@ func TestRunCountMatchesMaterialized(t *testing.T) {
 		want[i] = len(refSelect(data, p))
 	}
 	for _, path := range []model.Path{model.PathScan, model.PathIndex} {
-		counts, err := RunCount(context.Background(), rel, path, preds)
+		counts, err := RunCount(context.Background(), rel, path, preds, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -180,7 +180,7 @@ func TestRunCountMatchesMaterialized(t *testing.T) {
 		t.Fatal(err)
 	}
 	counts, err := RunCount(context.Background(), &Relation{Column: g.Column("b")}, model.PathScan,
-		[]scan.Predicate{{Lo: 6, Hi: 7}})
+		[]scan.Predicate{{Lo: 6, Hi: 7}}, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -189,10 +189,10 @@ func TestRunCountMatchesMaterialized(t *testing.T) {
 	}
 	// Missing structures error cleanly.
 	bare := &Relation{Column: storage.NewColumn("v", data)}
-	if _, err := RunCount(context.Background(), bare, model.PathIndex, preds); err == nil {
+	if _, err := RunCount(context.Background(), bare, model.PathIndex, preds, Options{}); err == nil {
 		t.Fatal("count via missing index accepted")
 	}
-	if _, err := RunCount(context.Background(), bare, model.PathBitmap, preds); err == nil {
+	if _, err := RunCount(context.Background(), bare, model.PathBitmap, preds, Options{}); err == nil {
 		t.Fatal("count via missing bitmap accepted")
 	}
 }

@@ -1,12 +1,14 @@
 package index
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"sort"
 	"testing"
 	"testing/quick"
 
+	rt "fastcolumns/internal/runtime"
 	"fastcolumns/internal/storage"
 )
 
@@ -211,6 +213,44 @@ func TestSharedSelect(t *testing.T) {
 				t.Fatalf("workers=%d query %d disagrees", workers, qi)
 			}
 		}
+	}
+}
+
+// TestSharedSelectContextPooled pins the morsel probe path to the
+// reference, with one pool and arena shared across rounds and results
+// released between them — a double-owned buffer would corrupt a later
+// round.
+func TestSharedSelectContextPooled(t *testing.T) {
+	c := randomColumn(11, 30000, 10000)
+	tr := Build(c, 21)
+	ranges := [][2]storage.Value{
+		{0, 100}, {5000, 5200}, {9999, 9999}, {20000, 30000}, {0, 9999}, {7, 3},
+	}
+	pool := rt.NewPool(3, nil)
+	defer pool.Close()
+	arena := rt.NewArena(0, nil)
+	hints := []int{10, 10, 10, 0, 30000, 0}
+	for round := 0; round < 5; round++ {
+		res, err := tr.SharedSelectContext(context.Background(), pool, arena, ranges, hints)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.RowIDs) != len(ranges) {
+			t.Fatalf("got %d result sets", len(res.RowIDs))
+		}
+		for qi, r := range ranges {
+			if !equalIDs(res.RowIDs[qi], refRange(c, r[0], r[1])) {
+				t.Fatalf("round %d query %d disagrees", round, qi)
+			}
+		}
+		res.Release()
+	}
+
+	// Cancellation before dispatch answers nothing.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := tr.SharedSelectContext(ctx, pool, arena, ranges, nil); err == nil {
+		t.Fatal("pre-cancelled context did not error")
 	}
 }
 

@@ -1,10 +1,11 @@
 package index
 
 import (
-	"runtime"
+	"context"
 	"sort"
 	"sync"
 
+	rt "fastcolumns/internal/runtime"
 	"fastcolumns/internal/storage"
 )
 
@@ -162,37 +163,105 @@ func (t *Tree) RangeWithStats(lo, hi storage.Value, out []storage.RowID) ([]stor
 	return out, st
 }
 
-// SharedSelect answers a batch of q range queries over the index, the
-// shared index scan of Figure 2(c)/3(b): queries are spread across
-// workers (hardware threads), each probing the tree independently, with
-// natural sharing of the top levels left to the CPU caches. Results are
-// per query, sorted by rowID. workers <= 0 selects GOMAXPROCS.
-func (t *Tree) SharedSelect(ranges [][2]storage.Value, workers int) [][]storage.RowID {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+// probeJob is one pooled shared-index-scan dispatch: one morsel per
+// range query. It implements runtime.Job. Probe cost is proportional
+// to a query's result cardinality, so a skewed batch makes the old
+// static query partition straggle; with one morsel per query, idle
+// workers steal the cheap probes away from whoever is walking the long
+// leaf chain.
+type probeJob struct {
+	t      *Tree
+	ranges [][2]storage.Value
+	hints  []int
+	arena  *rt.Arena
+	cells  []*rt.Buf
+}
+
+var probeJobPool = sync.Pool{New: func() any { return new(probeJob) }}
+
+// RunMorsel probes range qi and sorts its result into rowID order.
+func (j *probeJob) RunMorsel(qi int) {
+	hint := 0
+	if qi < len(j.hints) {
+		hint = j.hints[qi]
 	}
-	results := make([][]storage.RowID, len(ranges))
+	b := j.arena.GetBuf(hint)
+	b.IDs = j.t.Select(j.ranges[qi][0], j.ranges[qi][1], b.IDs)
+	j.cells[qi] = b
+}
+
+// SharedSelectContext answers a batch of q range queries over the
+// index, the shared index scan of Figure 2(c)/3(b): each query is one
+// morsel on the pool, each probing the tree independently, with
+// natural sharing of the top levels left to the CPU caches. Results
+// are per query, sorted by rowID, in buffers checked out of the arena
+// (sized by hints — expected result rows per query). pool and arena
+// may be nil; cancellation is observed between probes.
+func (t *Tree) SharedSelectContext(ctx context.Context, pool *rt.Pool, arena *rt.Arena,
+	ranges [][2]storage.Value, hints []int) (*rt.Results, error) {
+	j := probeJobPool.Get().(*probeJob)
+	j.t, j.ranges, j.hints, j.arena = t, ranges, hints, arena
+	if cap(j.cells) < len(ranges) {
+		j.cells = make([]*rt.Buf, len(ranges))
+	} else {
+		j.cells = j.cells[:len(ranges)]
+		for i := range j.cells {
+			j.cells[i] = nil
+		}
+	}
+	err := pool.Dispatch(ctx, len(ranges), j)
+	var res *rt.Results
+	if err == nil {
+		res = arena.GetResults(len(ranges))
+		for qi, cell := range j.cells {
+			if cell != nil {
+				res.Attach(qi, cell)
+				j.cells[qi] = nil
+			}
+		}
+	} else {
+		for qi, cell := range j.cells {
+			if cell != nil {
+				arena.PutBuf(cell)
+				j.cells[qi] = nil
+			}
+		}
+	}
+	j.cells = j.cells[:0]
+	j.t, j.ranges, j.hints, j.arena = nil, nil, nil, nil
+	probeJobPool.Put(j)
+	return res, err
+}
+
+// SharedSelect is the compatibility wrapper over SharedSelectContext:
+// morsels dispatch on the process-wide default pool with plainly
+// allocated buffers. workers is advisory: 1 selects the serial probe
+// loop.
+func (t *Tree) SharedSelect(ranges [][2]storage.Value, workers int) [][]storage.RowID {
 	if len(ranges) == 0 {
+		return make([][]storage.RowID, 0)
+	}
+	if workers == 1 || len(ranges) == 1 {
+		results := make([][]storage.RowID, len(ranges))
+		for qi, r := range ranges {
+			results[qi] = t.Select(r[0], r[1], nil)
+		}
 		return results
 	}
-	if workers > len(ranges) {
-		workers = len(ranges)
-	}
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		qlo := len(ranges) * w / workers
-		qhi := len(ranges) * (w + 1) / workers
-		if qlo == qhi {
-			continue
+	res, err := t.sharedSelectPool(rt.Default(), ranges)
+	if err != nil {
+		// Only injected morsel faults can fail a background-context
+		// dispatch; answer the batch serially rather than dropping it.
+		results := make([][]storage.RowID, len(ranges))
+		for qi, r := range ranges {
+			results[qi] = t.Select(r[0], r[1], nil)
 		}
-		wg.Add(1)
-		go func(qlo, qhi int) {
-			defer wg.Done()
-			for qi := qlo; qi < qhi; qi++ {
-				results[qi] = t.Select(ranges[qi][0], ranges[qi][1], nil)
-			}
-		}(qlo, qhi)
+		return results
 	}
-	wg.Wait()
-	return results
+	return res.RowIDs
+}
+
+// sharedSelectPool is SharedSelectContext without cancellation.
+func (t *Tree) sharedSelectPool(pool *rt.Pool, ranges [][2]storage.Value) (*rt.Results, error) {
+	return t.SharedSelectContext(context.Background(), pool, nil, ranges, nil)
 }

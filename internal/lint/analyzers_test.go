@@ -19,6 +19,20 @@ func TestFloatcmpFixture(t *testing.T) {
 
 func TestErrdropFixture(t *testing.T) { runFixture(t, NewErrdrop(), "errdrop") }
 
+func TestGospawnFixture(t *testing.T) { runFixture(t, NewGospawn(), "gospawn") }
+
+// TestGospawnAllowlist proves the runtime-package allowance: the same
+// spawning fixture is quiet when its path is allowed (as
+// internal/runtime, the pool itself, is by default).
+func TestGospawnAllowlist(t *testing.T) {
+	l, pkg := loadFixture(t, "gospawn")
+	a := &Gospawn{Allowed: []string{"gospawn"}}
+	diags := Run(l.Fset(), []*Package{pkg}, []Analyzer{a})
+	if len(diags) != 0 {
+		t.Fatalf("expected no diagnostics for allowed package, got %d: %v", len(diags), diags)
+	}
+}
+
 // TestFloatcmpOffTarget proves the analyzer is scoped: the same fixture
 // produces nothing when its package is not targeted.
 func TestFloatcmpOffTarget(t *testing.T) {

@@ -1,0 +1,46 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// Gospawn locks in internal/runtime as the module's only goroutine
+// spawn site: library packages may not use raw go statements. The
+// worker pool exists so the steady-state query path spawns nothing,
+// shuts down with the engine, and stays observable (busy/steal
+// gauges); a raw go statement bypasses all three and reintroduces the
+// per-batch spawn cost the pool removed. Data-parallel work dispatches
+// morsels on the pool; genuinely detached work (batch runners,
+// cancellation watchers) goes through runtime.Go, which names the
+// exemption explicitly. Package main keeps raw spawns (commands own
+// their process), and test files are never loaded.
+type Gospawn struct {
+	// Allowed holds import-path suffixes whose packages may spawn.
+	Allowed []string
+}
+
+// NewGospawn returns the analyzer with the repo's default allowance.
+func NewGospawn() *Gospawn {
+	return &Gospawn{Allowed: []string{"internal/runtime"}}
+}
+
+func (*Gospawn) Name() string { return "gospawn" }
+func (*Gospawn) Doc() string {
+	return "library packages must not use raw go statements; dispatch morsels on the internal/runtime pool or spawn via runtime.Go"
+}
+
+func (a *Gospawn) Package(pkg *Package, report Reporter) {
+	if pkg.IsMain() || pathAllowed(pkg.Path, a.Allowed) {
+		return
+	}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				report(g.Pos(), "raw go statement in library package %s: dispatch morsels on the internal/runtime pool or spawn via runtime.Go", pkg.Path)
+			}
+			return true
+		})
+	}
+}
+
+func (*Gospawn) Finish(Reporter) {}

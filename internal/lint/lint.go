@@ -20,6 +20,9 @@
 //     package; the epsilon helpers make tolerance explicit.
 //   - errdrop: a call statement may not silently discard an error
 //     result; discards must be written as explicit blank assignments.
+//   - gospawn: no raw go statements in library packages; goroutines come
+//     from the internal/runtime worker pool (morsel dispatch) or its Go
+//     escape hatch, so the process has exactly one spawn site.
 //
 // Test files are exempt from every analyzer and are not loaded at all.
 package lint
@@ -66,6 +69,7 @@ func Analyzers() []Analyzer {
 		NewAtomicfield(),
 		NewFloatcmp(),
 		NewErrdrop(),
+		NewGospawn(),
 	}
 }
 

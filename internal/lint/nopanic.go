@@ -11,7 +11,10 @@ import (
 // not to serve as a control-flow channel, so library packages must report
 // failure through error returns. panic() stays legal in package main
 // (commands own their process) and in the packages listed in Allowed —
-// by default internal/faultinject, whose entire job is injecting panics.
+// by default internal/faultinject, whose entire job is injecting panics,
+// and internal/runtime, whose Dispatch re-raises a morsel's captured
+// panic on the dispatching goroutine so recover discipline keeps
+// working across the pool boundary.
 type Nopanic struct {
 	// Allowed holds import-path suffixes whose packages may panic.
 	Allowed []string
@@ -19,7 +22,7 @@ type Nopanic struct {
 
 // NewNopanic returns the analyzer with the repo's default allowance.
 func NewNopanic() *Nopanic {
-	return &Nopanic{Allowed: []string{"internal/faultinject"}}
+	return &Nopanic{Allowed: []string{"internal/faultinject", "internal/runtime"}}
 }
 
 func (*Nopanic) Name() string { return "nopanic" }

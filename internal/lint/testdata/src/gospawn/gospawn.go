@@ -1,0 +1,45 @@
+// Package gospawnfix is the gospawn analyzer fixture: raw go statements
+// in library code must be flagged whatever they spawn; everything that
+// merely mentions goroutine-adjacent machinery (closures, defers,
+// channel sends) must stay quiet.
+package gospawnfix
+
+import "sync"
+
+type server struct{ wg sync.WaitGroup }
+
+func (s *server) run() {}
+
+// BadFuncLit spawns an anonymous function — the pattern the pool exists
+// to replace.
+func BadFuncLit(work func()) {
+	go work() // want "raw go statement in library package"
+}
+
+// BadClosure spawns a closure over local state.
+func BadClosure(n int) {
+	results := make([]int, n)
+	for i := 0; i < n; i++ {
+		go func() { // want "raw go statement in library package"
+			results[i] = i * i
+		}()
+	}
+}
+
+// BadMethod spawns a method value.
+func (s *server) BadMethod() {
+	s.wg.Add(1)
+	go s.run() // want "raw go statement in library package"
+}
+
+// Good runs the same work synchronously: no spawn, no finding.
+func Good(work func()) {
+	work()
+}
+
+// GoodDefer proves deferred calls and closures alone are not flagged.
+func GoodDefer(mu *sync.Mutex) func() {
+	mu.Lock()
+	defer mu.Unlock()
+	return func() {}
+}

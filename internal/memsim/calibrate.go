@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"fastcolumns/internal/model"
+	rt "fastcolumns/internal/runtime"
 )
 
 // Calibrate measures the host's memory characteristics the way the paper
@@ -69,7 +70,7 @@ func measureEvalRate(clockPeriod float64) float64 {
 			continue
 		}
 		wg.Add(1)
-		go func(w, qlo, qhi int) {
+		rt.Go(func() {
 			defer wg.Done()
 			var count int64
 			for p := 0; p < passes; p++ {
@@ -84,7 +85,7 @@ func measureEvalRate(clockPeriod float64) float64 {
 				}
 			}
 			sink[w*8] = count
-		}(w, qlo, qhi)
+		})
 	}
 	wg.Wait()
 	el := time.Since(start).Seconds()

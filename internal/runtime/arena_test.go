@@ -1,0 +1,169 @@
+package runtime
+
+import (
+	"testing"
+
+	"fastcolumns/internal/obs"
+	"fastcolumns/internal/race"
+	"fastcolumns/internal/storage"
+)
+
+func TestArenaRoundTripReusesCapacity(t *testing.T) {
+	if race.Enabled {
+		t.Skip("the race runtime randomizes sync.Pool reuse; reuse guarantees hold without -race")
+	}
+	reg := obs.NewRegistry()
+	a := NewArena(0, reg)
+	b := a.GetBuf(1024)
+	if cap(b.IDs) < 1024 || len(b.IDs) != 0 {
+		t.Fatalf("GetBuf(1024): len=%d cap=%d", len(b.IDs), cap(b.IDs))
+	}
+	b.IDs = append(b.IDs, 1, 2, 3)
+	a.PutBuf(b)
+	// A same-class checkout gets the buffer back, reset and still big
+	// enough.
+	b2 := a.GetBuf(1000)
+	if b2 != b {
+		t.Fatal("same-class checkout did not recycle the pooled buffer")
+	}
+	if cap(b2.IDs) < 1000 || len(b2.IDs) != 0 {
+		t.Fatalf("recycled buffer: len=%d cap=%d", len(b2.IDs), cap(b2.IDs))
+	}
+	if reg.Counter("runtime.arena.hits").Load() == 0 {
+		t.Fatal("reuse did not count as an arena hit")
+	}
+}
+
+// TestArenaSizeClassesServeWithoutGrowing pins the class invariant: a
+// pooled buffer is classified by the capacity it can serve, so a small
+// buffer can never answer a large checkout and force a re-grow.
+func TestArenaSizeClassesServeWithoutGrowing(t *testing.T) {
+	if race.Enabled {
+		t.Skip("the race runtime randomizes sync.Pool reuse; reuse guarantees hold without -race")
+	}
+	a := NewArena(0, nil)
+	small := a.GetBuf(100)
+	a.PutBuf(small)
+	big := a.GetBuf(100_000)
+	if big == small {
+		t.Fatal("a small pooled buffer answered a large checkout")
+	}
+	if cap(big.IDs) < 100_000 {
+		t.Fatalf("large checkout undersized: cap=%d", cap(big.IDs))
+	}
+	// A buffer grown past its class re-files under the larger class.
+	small2 := a.GetBuf(100)
+	small2.IDs = append(small2.IDs[:0], make([]storage.RowID, 5000)...)
+	a.PutBuf(small2)
+	mid := a.GetBuf(3000)
+	if cap(mid.IDs) < 3000 {
+		t.Fatalf("grown buffer not reusable at its new class: cap=%d", cap(mid.IDs))
+	}
+}
+
+func TestArenaClassMath(t *testing.T) {
+	for _, tc := range []struct{ n, up, down int }{
+		{0, 0, -1},
+		{1, 0, -1},
+		{arenaMinCap, 0, 0},
+		{arenaMinCap + 1, 1, 0},
+		{2 * arenaMinCap, 1, 1},
+		{1024, 4, 4},
+		{1025, 5, 4},
+		{1 << 40, arenaClasses - 1, arenaClasses - 1},
+	} {
+		if got := classFor(tc.n); got != tc.up {
+			t.Errorf("classFor(%d) = %d, want %d", tc.n, got, tc.up)
+		}
+		if got := classDown(tc.n); got != tc.down {
+			t.Errorf("classDown(%d) = %d, want %d", tc.n, got, tc.down)
+		}
+	}
+	// The round-trip invariant behind the zero-alloc contract: any
+	// capacity a class hands out files back into at least that class.
+	for c := 0; c < arenaClasses; c++ {
+		if got := classDown(arenaMinCap << c); got < c {
+			t.Errorf("classDown(classCap(%d)) = %d, want >= %d", c, got, c)
+		}
+	}
+}
+
+func TestArenaDropsOversizedBuffers(t *testing.T) {
+	a := NewArena(100, nil)
+	b := a.GetBuf(1000) // over the retain cap
+	a.PutBuf(b)
+	if b.IDs != nil {
+		t.Fatalf("oversized backing array retained: cap=%d, retain cap 100", cap(b.IDs))
+	}
+}
+
+func TestNilArenaAllocatesPlainly(t *testing.T) {
+	var a *Arena
+	b := a.GetBuf(64)
+	if b == nil || cap(b.IDs) < 64 {
+		t.Fatal("nil arena GetBuf failed")
+	}
+	a.PutBuf(b) // no-op, must not crash
+	r := a.GetResults(3)
+	if len(r.RowIDs) != 3 || len(r.bufs) != 3 {
+		t.Fatal("nil arena GetResults wrong shape")
+	}
+	r.Attach(1, b)
+	r.Release() // no-op recycling, must not crash
+}
+
+func TestResultsAttachAndRelease(t *testing.T) {
+	a := NewArena(0, nil)
+	r := a.GetResults(2)
+	b0, b1 := a.GetBuf(8), a.GetBuf(8)
+	b0.IDs = append(b0.IDs, 10, 20)
+	b1.IDs = append(b1.IDs, 30)
+	r.Attach(0, b0)
+	r.Attach(1, b1)
+	if len(r.RowIDs[0]) != 2 || r.RowIDs[0][1] != storage.RowID(20) {
+		t.Fatalf("RowIDs[0] = %v", r.RowIDs[0])
+	}
+	r.Release()
+	r.Release() // idempotent on the emptied set
+	var nilR *Results
+	nilR.Release() // nil-safe
+
+	// The released buffers must come back around.
+	again := a.GetBuf(4)
+	if again != b0 && again != b1 {
+		t.Log("released buffer not immediately recycled (sync.Pool may drop); tolerated")
+	}
+	r2 := a.GetResults(5)
+	if len(r2.RowIDs) != 5 {
+		t.Fatalf("GetResults(5) shape: %d", len(r2.RowIDs))
+	}
+	for i, ids := range r2.RowIDs {
+		if ids != nil {
+			t.Fatalf("recycled Results slot %d not cleared", i)
+		}
+	}
+}
+
+// TestArenaCheckoutZeroAlloc pins the steady-state contract: a warm
+// checkout/attach/release cycle allocates nothing.
+func TestArenaCheckoutZeroAlloc(t *testing.T) {
+	if race.Enabled {
+		t.Skip("race instrumentation allocates; alloc guards run without -race")
+	}
+	a := NewArena(0, nil)
+	cycle := func() {
+		r := a.GetResults(4)
+		for i := 0; i < 4; i++ {
+			b := a.GetBuf(256)
+			b.IDs = append(b.IDs, storage.RowID(i))
+			r.Attach(i, b)
+		}
+		r.Release()
+	}
+	for i := 0; i < 8; i++ {
+		cycle()
+	}
+	if n := testing.AllocsPerRun(100, cycle); n != 0 {
+		t.Errorf("arena cycle allocates %.1f per run, want 0", n)
+	}
+}

@@ -1,0 +1,286 @@
+package runtime
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	stdruntime "runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fastcolumns/internal/faultinject"
+	"fastcolumns/internal/obs"
+	"fastcolumns/internal/race"
+)
+
+// countJob marks each morsel it runs; runs[i] counts executions of
+// morsel i so tests can assert exactly-once delivery.
+type countJob struct {
+	runs []atomic.Int32
+}
+
+func (j *countJob) RunMorsel(i int) { j.runs[i].Add(1) }
+
+func TestDispatchRunsEveryMorselExactlyOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 4} {
+		p := NewPool(workers, nil)
+		for trial := 0; trial < 10; trial++ {
+			j := &countJob{runs: make([]atomic.Int32, 257)}
+			if err := p.Dispatch(context.Background(), len(j.runs), j); err != nil {
+				t.Fatalf("workers=%d: Dispatch: %v", workers, err)
+			}
+			for i := range j.runs {
+				if n := j.runs[i].Load(); n != 1 {
+					t.Fatalf("workers=%d: morsel %d ran %d times, want 1", workers, i, n)
+				}
+			}
+		}
+		p.Close()
+	}
+}
+
+func TestDispatchNilPoolRunsInline(t *testing.T) {
+	var p *Pool
+	j := &countJob{runs: make([]atomic.Int32, 16)}
+	if err := p.Dispatch(context.Background(), len(j.runs), j); err != nil {
+		t.Fatalf("Dispatch on nil pool: %v", err)
+	}
+	for i := range j.runs {
+		if j.runs[i].Load() != 1 {
+			t.Fatalf("morsel %d did not run inline", i)
+		}
+	}
+	if got := p.Workers(); got != 1 {
+		t.Fatalf("nil pool Workers() = %d, want 1", got)
+	}
+}
+
+func TestDispatchAfterCloseRunsInline(t *testing.T) {
+	p := NewPool(2, nil)
+	p.Close()
+	p.Close() // idempotent
+	j := &countJob{runs: make([]atomic.Int32, 32)}
+	if err := p.Dispatch(context.Background(), len(j.runs), j); err != nil {
+		t.Fatalf("Dispatch after Close: %v", err)
+	}
+	for i := range j.runs {
+		if j.runs[i].Load() != 1 {
+			t.Fatalf("morsel %d lost after Close", i)
+		}
+	}
+}
+
+// gateJob forces work stealing: morsel 0 blocks until every other
+// morsel has finished, so whatever executor holds it must have its
+// remaining queued tasks drained by the other workers (or the caller).
+type gateJob struct {
+	others sync.WaitGroup
+	ran    atomic.Int32
+}
+
+func (j *gateJob) RunMorsel(i int) {
+	if i == 0 {
+		j.others.Wait()
+	} else {
+		j.others.Done()
+	}
+	j.ran.Add(1)
+}
+
+func TestDispatchStealsFromBlockedWorker(t *testing.T) {
+	reg := obs.NewRegistry()
+	p := NewPool(2, reg)
+	defer p.Close()
+	const n = 64
+	j := &gateJob{}
+	j.others.Add(n - 1)
+	if err := p.Dispatch(context.Background(), n, j); err != nil {
+		t.Fatalf("Dispatch: %v", err)
+	}
+	if got := j.ran.Load(); got != n {
+		t.Fatalf("ran %d morsels, want %d", got, n)
+	}
+	if got := reg.Counter("runtime.pool.morsels").Load(); got != n {
+		t.Fatalf("runtime.pool.morsels = %d, want %d", got, n)
+	}
+	if reg.Counter("runtime.pool.dispatches").Load() != 1 {
+		t.Fatalf("runtime.pool.dispatches != 1")
+	}
+	if reg.Gauge("runtime.pool.workers").Load() != 2 {
+		t.Fatalf("runtime.pool.workers gauge not set")
+	}
+}
+
+// cancelJob cancels its own context from morsel index `at`; with the
+// inline (nil-pool) path morsels run in order, so everything after
+// `at` must be skipped.
+type cancelJob struct {
+	cancel context.CancelFunc
+	at     int
+	ran    atomic.Int32
+}
+
+func (j *cancelJob) RunMorsel(i int) {
+	j.ran.Add(1)
+	if i == j.at {
+		j.cancel()
+	}
+}
+
+func TestDispatchObservesCancellationBetweenMorsels(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	j := &cancelJob{cancel: cancel, at: 2}
+	var p *Pool
+	err := p.Dispatch(ctx, 100, j)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Dispatch err = %v, want context.Canceled", err)
+	}
+	if got := j.ran.Load(); got != 3 {
+		t.Fatalf("ran %d morsels before cancellation took effect, want 3", got)
+	}
+}
+
+func TestDispatchPreCancelledContextRunsNothing(t *testing.T) {
+	p := NewPool(2, nil)
+	defer p.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	j := &countJob{runs: make([]atomic.Int32, 8)}
+	if err := p.Dispatch(ctx, len(j.runs), j); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	for i := range j.runs {
+		if j.runs[i].Load() != 0 {
+			t.Fatalf("morsel %d ran under a pre-cancelled context", i)
+		}
+	}
+}
+
+type panicJob struct{ at int }
+
+func (j *panicJob) RunMorsel(i int) {
+	if i == j.at {
+		panic(fmt.Sprintf("morsel %d boom", i))
+	}
+}
+
+func TestDispatchRelaysPanicToCaller(t *testing.T) {
+	p := NewPool(2, nil)
+	defer p.Close()
+	var recovered any
+	func() {
+		defer func() { recovered = recover() }()
+		_ = p.Dispatch(context.Background(), 16, &panicJob{at: 5})
+	}()
+	if recovered != "morsel 5 boom" {
+		t.Fatalf("recovered %v, want the morsel's panic value", recovered)
+	}
+	// The pool must survive a panicking job.
+	j := &countJob{runs: make([]atomic.Int32, 8)}
+	if err := p.Dispatch(context.Background(), len(j.runs), j); err != nil {
+		t.Fatalf("Dispatch after panic: %v", err)
+	}
+	for i := range j.runs {
+		if j.runs[i].Load() != 1 {
+			t.Fatalf("pool unusable after a panicking job")
+		}
+	}
+}
+
+func TestDispatchSurfacesInjectedMorselFault(t *testing.T) {
+	boom := errors.New("injected")
+	deactivate := faultinject.Activate(faultinject.New(1, faultinject.Rule{
+		Site: FaultSiteMorsel, Kind: faultinject.Error, Every: 3, Err: boom,
+	}))
+	defer deactivate()
+	p := NewPool(2, nil)
+	defer p.Close()
+	j := &countJob{runs: make([]atomic.Int32, 64)}
+	err := p.Dispatch(context.Background(), len(j.runs), j)
+	if !errors.Is(err, boom) {
+		t.Fatalf("Dispatch err = %v, want the injected fault", err)
+	}
+}
+
+// TestDispatchRelaysInjectedMorselPanic pins a regression: an injected
+// panic fires before the morsel body runs, so the panic capture must be
+// armed before the injector — otherwise the panic escapes the worker
+// goroutine and kills the process instead of relaying to the caller.
+func TestDispatchRelaysInjectedMorselPanic(t *testing.T) {
+	deactivate := faultinject.Activate(faultinject.New(1, faultinject.Rule{
+		Site: FaultSiteMorsel, Kind: faultinject.Panic, Count: 1,
+	}))
+	defer deactivate()
+	p := NewPool(2, nil)
+	defer p.Close()
+	j := &countJob{runs: make([]atomic.Int32, 64)}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("injected morsel panic was not re-raised on the caller")
+			}
+		}()
+		_ = p.Dispatch(context.Background(), len(j.runs), j)
+	}()
+	// The pool survives: the next dispatch runs clean.
+	j2 := &countJob{runs: make([]atomic.Int32, 16)}
+	if err := p.Dispatch(context.Background(), len(j2.runs), j2); err != nil {
+		t.Fatalf("dispatch after injected panic: %v", err)
+	}
+}
+
+func TestPoolCloseStopsWorkers(t *testing.T) {
+	base := stdruntime.NumGoroutine()
+	p := NewPool(4, nil)
+	j := &countJob{runs: make([]atomic.Int32, 128)}
+	if err := p.Dispatch(context.Background(), len(j.runs), j); err != nil {
+		t.Fatal(err)
+	}
+	p.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for stdruntime.NumGoroutine() > base && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if n := stdruntime.NumGoroutine(); n > base {
+		t.Fatalf("%d goroutines after Close, want <= %d", n, base)
+	}
+}
+
+func TestGoRunsFunction(t *testing.T) {
+	done := make(chan struct{})
+	Go(func() { close(done) })
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Go did not run the function")
+	}
+}
+
+func TestDefaultPoolIsSingleton(t *testing.T) {
+	if Default() != Default() {
+		t.Fatal("Default() returned distinct pools")
+	}
+}
+
+// TestDispatchZeroAlloc pins the tentpole contract: dispatching a warm
+// job over a warm pool allocates nothing on the caller.
+func TestDispatchZeroAlloc(t *testing.T) {
+	if race.Enabled {
+		t.Skip("race instrumentation allocates; alloc guards run without -race")
+	}
+	p := NewPool(2, nil)
+	defer p.Close()
+	ctx := context.Background()
+	j := &countJob{runs: make([]atomic.Int32, 32)}
+	for i := 0; i < 8; i++ { // warm deques and the job pool
+		_ = p.Dispatch(ctx, len(j.runs), j)
+	}
+	n := testing.AllocsPerRun(100, func() {
+		_ = p.Dispatch(ctx, len(j.runs), j)
+	})
+	if n != 0 {
+		t.Errorf("Dispatch allocates %.1f per call, want 0", n)
+	}
+}

@@ -1,0 +1,21 @@
+// Package runtime is the engine's parallel runtime: a persistent
+// work-stealing worker pool that executes (block-range × query-subset)
+// morsels, and a sync.Pool-backed arena recycling result buffers, so
+// the steady-state query path spawns no goroutines and allocates
+// nothing.
+//
+// Before this package, every batch spawned fresh goroutines and carved
+// the q queries into static len(preds)*w/workers slices: one
+// high-selectivity predicate straggled while the other workers sat
+// idle, and every batch grew its result slices from nil. The morsel
+// model (Leis et al., "Morsel-Driven Parallelism") fixes both: work is
+// cut into many small units dispatched dynamically, so whichever worker
+// finishes early steals the straggler's remaining morsels, and buffers
+// are checked out of a pool already grown to a prior batch's size.
+//
+// This package is also the module's only sanctioned spawn site: the
+// fclint gospawn analyzer rejects raw go statements in every other
+// library package. Code that genuinely needs a detached goroutine
+// (batch runners, cancellation watchers) uses Go; data-parallel work
+// uses Pool.Dispatch.
+package runtime

@@ -1,0 +1,228 @@
+package scan
+
+import (
+	"context"
+	"sync"
+
+	rt "fastcolumns/internal/runtime"
+	"fastcolumns/internal/storage"
+)
+
+// morselsPerWorker controls morsel granularity: the relation is cut
+// into about 8 block-ranges per worker, so the work-stealing pool has
+// enough units to rebalance a straggling high-selectivity predicate
+// without paying per-block dispatch overhead. Each morsel still walks
+// its range block-by-block (DefaultBlockTuples), so cache residency of
+// the shared scan is untouched — morsel size only sets the stealing
+// granularity and the cancellation latency.
+const morselsPerWorker = 8
+
+// sharedJob is one pooled shared-scan dispatch: the (block-range ×
+// query-subset) morsel grid over one batch. Cell (r, qi) accumulates
+// query qi's matches over block-range r; ranges concatenate in order
+// during assembly, so per-query results stay in rowID order. It
+// implements runtime.Job.
+type sharedJob struct {
+	data  []storage.Value // raw path (col == nil)
+	col   *storage.Column // strided path
+	preds []Predicate
+	hints []int
+	arena *rt.Arena
+
+	n, q        int
+	blockTuples int
+	rangeTuples int
+	nr, nc      int // block-range count × query-chunk count
+	chunk       int // queries per chunk
+	cells       []*rt.Buf
+}
+
+var sharedJobPool = sync.Pool{New: func() any { return new(sharedJob) }}
+
+// getSharedJob checks out a job and sizes its morsel grid for the
+// pool's worker count.
+func getSharedJob(pool *rt.Pool, arena *rt.Arena, data []storage.Value, col *storage.Column,
+	preds []Predicate, blockTuples int, hints []int) *sharedJob {
+	j := sharedJobPool.Get().(*sharedJob)
+	j.data, j.col, j.preds, j.hints, j.arena = data, col, preds, hints, arena
+	if col != nil {
+		j.n = col.Len()
+	} else {
+		j.n = len(data)
+	}
+	j.q = len(preds)
+	j.blockTuples = blockTuples
+	if j.blockTuples <= 0 {
+		j.blockTuples = DefaultBlockTuples
+	}
+
+	workers := pool.Workers()
+	blocks := (j.n + j.blockTuples - 1) / j.blockTuples
+	if blocks == 0 {
+		j.nr, j.nc, j.chunk = 0, 1, j.q
+		j.cells = j.cells[:0]
+		return j
+	}
+	mb := blocks / (morselsPerWorker * workers)
+	if mb < 1 {
+		mb = 1
+	}
+	j.rangeTuples = mb * j.blockTuples
+	j.nr = (j.n + j.rangeTuples - 1) / j.rangeTuples
+	// With too few block-ranges to keep the workers busy (small
+	// relation, many queries), split the query batch as well.
+	j.nc, j.chunk = 1, j.q
+	if j.q > 1 && j.nr < 2*workers {
+		want := (2*workers + j.nr - 1) / j.nr
+		if want > j.q {
+			want = j.q
+		}
+		j.chunk = (j.q + want - 1) / want
+		j.nc = (j.q + j.chunk - 1) / j.chunk
+	}
+
+	need := j.nr * j.q
+	if cap(j.cells) < need {
+		j.cells = make([]*rt.Buf, need)
+	} else {
+		j.cells = j.cells[:need]
+		for i := range j.cells {
+			j.cells[i] = nil
+		}
+	}
+	return j
+}
+
+// putSharedJob releases untransferred cells and recycles the job.
+func putSharedJob(j *sharedJob) {
+	for i, c := range j.cells {
+		if c != nil {
+			j.arena.PutBuf(c)
+			j.cells[i] = nil
+		}
+	}
+	j.cells = j.cells[:0]
+	j.data, j.col, j.preds, j.hints, j.arena = nil, nil, nil, nil, nil
+	sharedJobPool.Put(j)
+}
+
+// cellHint sizes a block-range's cell: the optimizer's expected result
+// cardinality for the query split evenly across ranges, plus one block
+// of predication slack. The slack term is load-bearing for the arena's
+// zero-allocation contract: the predicated kernels write the whole
+// block unconditionally at the cursor (growFor demands len+block+1),
+// so without it the first block always grows the cell past its
+// checkout size class and the class pools never see a hit.
+func (j *sharedJob) cellHint(qi int) int {
+	slack := j.blockTuples + 1
+	if qi < len(j.hints) {
+		if h := j.hints[qi]; h > 0 {
+			return h/j.nr + slack
+		}
+	}
+	return slack
+}
+
+// RunMorsel evaluates morsel i: query chunk (i mod nc) over block-range
+// (i div nc), block by block so every predicate of the chunk visits a
+// cache-resident block before it is evicted. Distinct morsels write
+// disjoint cells, so no locking is needed; the dispatch WaitGroup
+// publishes the writes to the assembling goroutine.
+func (j *sharedJob) RunMorsel(i int) {
+	r, c := i/j.nc, i%j.nc
+	qlo := c * j.chunk
+	qhi := min(qlo+j.chunk, j.q)
+	lo0 := r * j.rangeTuples
+	hi0 := min(lo0+j.rangeTuples, j.n)
+	for lo := lo0; lo < hi0; lo += j.blockTuples {
+		hi := min(lo+j.blockTuples, hi0)
+		for qi := qlo; qi < qhi; qi++ {
+			cell := j.cells[r*j.q+qi]
+			if cell == nil {
+				cell = j.arena.GetBuf(j.cellHint(qi))
+				j.cells[r*j.q+qi] = cell
+			}
+			if j.col != nil {
+				cell.IDs = scanStridedRange(j.col, j.preds[qi], lo, hi, cell.IDs)
+			} else {
+				cell.IDs = scanUnrolledBase(j.data[lo:hi], j.preds[qi], lo, cell.IDs)
+			}
+		}
+	}
+}
+
+// SharedPoolContext is the morsel-driven shared scan: the batch is cut
+// into (block-range × query-subset) morsels dispatched on the pool,
+// result buffers come from the arena (sized by hints — expected result
+// rows per query, normally the optimizer's selectivity estimate times
+// N), and cancellation is observed between morsels rather than between
+// batches. pool and arena may be nil (inline execution, plain
+// allocation); hints may be nil or shorter than preds. The returned
+// Results' buffers belong to the caller; Release them to keep the
+// steady-state path allocation-free.
+func SharedPoolContext(ctx context.Context, pool *rt.Pool, arena *rt.Arena,
+	data []storage.Value, preds []Predicate, blockTuples int, hints []int) (*rt.Results, error) {
+	j := getSharedJob(pool, arena, data, nil, preds, blockTuples, hints)
+	return runSharedJob(ctx, pool, j)
+}
+
+// SharedPool is SharedPoolContext without cancellation.
+func SharedPool(pool *rt.Pool, arena *rt.Arena, data []storage.Value,
+	preds []Predicate, blockTuples int, hints []int) (*rt.Results, error) {
+	return SharedPoolContext(context.Background(), pool, arena, data, preds, blockTuples, hints)
+}
+
+// SharedStridedPoolContext is the morsel-driven strided shared scan
+// over a column-group member. Columns with a raw view take the
+// contiguous kernel instead.
+func SharedStridedPoolContext(ctx context.Context, pool *rt.Pool, arena *rt.Arena,
+	c *storage.Column, preds []Predicate, blockTuples int, hints []int) (*rt.Results, error) {
+	if raw, err := c.Raw(); err == nil {
+		return SharedPoolContext(ctx, pool, arena, raw, preds, blockTuples, hints)
+	}
+	j := getSharedJob(pool, arena, nil, c, preds, blockTuples, hints)
+	return runSharedJob(ctx, pool, j)
+}
+
+// SharedStridedPool is SharedStridedPoolContext without cancellation.
+func SharedStridedPool(pool *rt.Pool, arena *rt.Arena, c *storage.Column,
+	preds []Predicate, blockTuples int, hints []int) (*rt.Results, error) {
+	return SharedStridedPoolContext(context.Background(), pool, arena, c, preds, blockTuples, hints)
+}
+
+// runSharedJob dispatches the job's morsels and assembles per-query
+// results: block-ranges concatenate in order, so rowID order is
+// preserved. With nr == 1 the single range's cells transfer directly
+// into the result set with no copy.
+func runSharedJob(ctx context.Context, pool *rt.Pool, j *sharedJob) (*rt.Results, error) {
+	if err := pool.Dispatch(ctx, j.nr*j.nc, j); err != nil {
+		putSharedJob(j)
+		return nil, err
+	}
+	arena := j.arena
+	res := arena.GetResults(j.q)
+	for qi := 0; qi < j.q; qi++ {
+		if j.nr == 1 {
+			if cell := j.cells[qi]; cell != nil {
+				res.Attach(qi, cell)
+				j.cells[qi] = nil
+			}
+			continue
+		}
+		total := 0
+		for r := 0; r < j.nr; r++ {
+			if c := j.cells[r*j.q+qi]; c != nil {
+				total += len(c.IDs)
+			}
+		}
+		out := arena.GetBuf(total)
+		for r := 0; r < j.nr; r++ {
+			if c := j.cells[r*j.q+qi]; c != nil {
+				out.IDs = append(out.IDs, c.IDs...)
+			}
+		}
+		res.Attach(qi, out)
+	}
+	putSharedJob(j)
+	return res, nil
+}

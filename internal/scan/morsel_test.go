@@ -1,0 +1,188 @@
+package scan
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"fastcolumns/internal/race"
+	rt "fastcolumns/internal/runtime"
+	"fastcolumns/internal/storage"
+)
+
+// TestDifferentialPooledSharedScan pins the morsel engine to the naive
+// reference over the whole corpus, with one pool and one arena shared
+// across every case and batches released between cases — so a cell
+// transferred to a result while also returned to the arena (a double
+// ownership bug) would corrupt a later case and fail the comparison.
+func TestDifferentialPooledSharedScan(t *testing.T) {
+	pool := rt.NewPool(3, nil)
+	defer pool.Close()
+	arena := rt.NewArena(0, nil)
+	for _, c := range corpus() {
+		want := make([][]storage.RowID, len(c.preds))
+		for i, p := range c.preds {
+			want[i] = refFilter(c.data, p)
+		}
+		for _, block := range []int{0, 7, 64} {
+			res, err := SharedPool(pool, arena, c.data, c.preds, block, nil)
+			if err != nil {
+				t.Fatalf("%s/block%d: %v", c.name, block, err)
+			}
+			for i := range c.preds {
+				sameIDs(t, fmt.Sprintf("%s/SharedPool/block%d/pred%d", c.name, block, i),
+					res.RowIDs[i], want[i])
+			}
+			res.Release()
+		}
+	}
+}
+
+// TestDifferentialPooledResultsSurviveLaterBatches is the aliasing
+// guard: results of a live (unreleased) batch must not change when the
+// arena serves later batches. If a buffer were handed out twice, the
+// second batch would overwrite the first's rowIDs.
+func TestDifferentialPooledResultsSurviveLaterBatches(t *testing.T) {
+	pool := rt.NewPool(2, nil)
+	defer pool.Close()
+	arena := rt.NewArena(0, nil)
+	data := make([]storage.Value, 50_000)
+	for i := range data {
+		data[i] = storage.Value(i % 1024)
+	}
+	preds := []Predicate{{Lo: 0, Hi: 99}, {Lo: 500, Hi: 1023}, {Lo: 7, Hi: 7}}
+
+	live, err := SharedPool(pool, arena, data, preds, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapshot := make([][]storage.RowID, len(live.RowIDs))
+	for i, ids := range live.RowIDs {
+		snapshot[i] = append([]storage.RowID(nil), ids...)
+	}
+	// Hammer the arena with different batches, releasing each.
+	other := []Predicate{{Lo: 0, Hi: 1023}, {Lo: 200, Hi: 300}}
+	for round := 0; round < 10; round++ {
+		res, err := SharedPool(pool, arena, data, other, 0, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.Release()
+	}
+	for i := range live.RowIDs {
+		sameIDs(t, fmt.Sprintf("live_batch/pred%d", i), live.RowIDs[i], snapshot[i])
+	}
+	live.Release()
+}
+
+// TestDifferentialSharedStatic pins the ablation baseline (the
+// pre-morsel static query partition) to the reference too: a benchmark
+// baseline that drifted from correctness would make the morsel
+// comparison meaningless.
+func TestDifferentialSharedStatic(t *testing.T) {
+	for _, c := range corpus() {
+		for _, workers := range []int{1, 2, 8} {
+			got := SharedStatic(c.data, c.preds, 0, workers)
+			for i, p := range c.preds {
+				sameIDs(t, fmt.Sprintf("%s/SharedStatic/w%d/pred%d", c.name, workers, i),
+					got[i], refFilter(c.data, p))
+			}
+		}
+	}
+}
+
+// TestDifferentialPooledStrided pins the strided morsel path against
+// the reference on a column-group member (no raw view).
+func TestDifferentialPooledStrided(t *testing.T) {
+	pool := rt.NewPool(2, nil)
+	defer pool.Close()
+	arena := rt.NewArena(0, nil)
+	for _, n := range []int{0, 1, 100, 3000} {
+		a := make([]storage.Value, n)
+		b := make([]storage.Value, n)
+		for i := 0; i < n; i++ {
+			a[i] = storage.Value(i % 97)
+			b[i] = storage.Value((i * 31) % 512)
+		}
+		g, err := storage.NewColumnGroup([]string{"a", "b"}, [][]storage.Value{a, b})
+		if err != nil {
+			t.Fatalf("group(n=%d): %v", n, err)
+		}
+		col := g.Column("b")
+		preds := corpusPreds(512)
+		for _, block := range []int{0, 7} {
+			res, err := SharedStridedPool(pool, arena, col, preds, block, nil)
+			if err != nil {
+				t.Fatalf("n%d/block%d: %v", n, block, err)
+			}
+			for i, p := range preds {
+				sameIDs(t, fmt.Sprintf("n%d/SharedStridedPool/block%d/pred%d", n, block, i),
+					res.RowIDs[i], refFilter(b, p))
+			}
+			res.Release()
+		}
+	}
+}
+
+func TestSharedPoolCancellation(t *testing.T) {
+	pool := rt.NewPool(2, nil)
+	defer pool.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	data := make([]storage.Value, 100_000)
+	_, err := SharedPoolContext(ctx, pool, nil, data, []Predicate{{Lo: 0, Hi: 1}}, 0, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestSharedPoolZeroAlloc pins the tentpole's allocation contract: the
+// steady-state batch path — job checkout, morsel dispatch over the
+// pool, arena buffer checkout sized by honest hints, assembly, release
+// — allocates nothing per batch.
+func TestSharedPoolZeroAlloc(t *testing.T) {
+	if race.Enabled {
+		t.Skip("race instrumentation allocates; alloc guards run without -race")
+	}
+	pool := rt.NewPool(2, nil)
+	defer pool.Close()
+	arena := rt.NewArena(0, nil)
+	const n = 64 * 1024
+	data := make([]storage.Value, n)
+	for i := range data {
+		data[i] = storage.Value(i % 1000)
+	}
+	preds := []Predicate{
+		{Lo: 0, Hi: 199}, {Lo: 100, Hi: 149}, {Lo: 500, Hi: 999}, {Lo: 42, Hi: 42},
+	}
+	hints := make([]int, len(preds))
+	for i, p := range preds {
+		hints[i] = refCount(data, p)
+	}
+	ctx := context.Background()
+	batch := func() {
+		res, err := SharedPoolContext(ctx, pool, arena, data, preds, 0, hints)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.Release()
+	}
+	for i := 0; i < 8; i++ { // warm the pool deques, job pool and arena
+		batch()
+	}
+	if allocs := testing.AllocsPerRun(100, batch); allocs != 0 {
+		t.Errorf("pooled shared-scan batch allocates %.1f per run, want 0", allocs)
+	}
+}
+
+// refCount is the naive counting reference used to build honest hints.
+func refCount(data []storage.Value, p Predicate) int {
+	c := 0
+	for _, v := range data {
+		if v >= p.Lo && v <= p.Hi {
+			c++
+		}
+	}
+	return c
+}

@@ -103,6 +103,60 @@ func ScanUnrolled(data []storage.Value, p Predicate, out []storage.RowID) []stor
 	return buf[:n]
 }
 
+// scanUnrolledBase is ScanUnrolled with rowIDs offset by base — the
+// morsel kernel: each (block-range × query) cell scans its blocks with
+// the unrolled predicated loop while emitting relation-absolute rowIDs.
+func scanUnrolledBase(data []storage.Value, p Predicate, base int, out []storage.RowID) []storage.RowID {
+	out = growFor(out, len(data))
+	n := len(out)
+	buf := out[:cap(out)]
+	lo, hi := p.Lo, p.Hi
+	i := 0
+	for ; i+8 <= len(data); i += 8 {
+		v0, v1, v2, v3 := data[i], data[i+1], data[i+2], data[i+3]
+		v4, v5, v6, v7 := data[i+4], data[i+5], data[i+6], data[i+7]
+		buf[n] = storage.RowID(base + i)
+		if v0 >= lo && v0 <= hi {
+			n++
+		}
+		buf[n] = storage.RowID(base + i + 1)
+		if v1 >= lo && v1 <= hi {
+			n++
+		}
+		buf[n] = storage.RowID(base + i + 2)
+		if v2 >= lo && v2 <= hi {
+			n++
+		}
+		buf[n] = storage.RowID(base + i + 3)
+		if v3 >= lo && v3 <= hi {
+			n++
+		}
+		buf[n] = storage.RowID(base + i + 4)
+		if v4 >= lo && v4 <= hi {
+			n++
+		}
+		buf[n] = storage.RowID(base + i + 5)
+		if v5 >= lo && v5 <= hi {
+			n++
+		}
+		buf[n] = storage.RowID(base + i + 6)
+		if v6 >= lo && v6 <= hi {
+			n++
+		}
+		buf[n] = storage.RowID(base + i + 7)
+		if v7 >= lo && v7 <= hi {
+			n++
+		}
+	}
+	for ; i < len(data); i++ {
+		buf[n] = storage.RowID(base + i)
+		if v := data[i]; v >= lo && v <= hi {
+			n++
+		}
+	}
+	return buf[:n]
+}
+
 // ScanColumn scans any column view, dispatching to the tight contiguous
 // kernel or the strided column-group path. base offsets the produced
 // rowIDs (used by partitioned execution).

@@ -1,9 +1,9 @@
 package scan
 
 import (
-	"runtime"
 	"sync"
 
+	rt "fastcolumns/internal/runtime"
 	"fastcolumns/internal/storage"
 )
 
@@ -44,13 +44,38 @@ func scanWithBase(data []storage.Value, p Predicate, base int, out []storage.Row
 	return buf[:n]
 }
 
-// SharedParallel runs a shared scan with the q queries of each block
-// spread across workers, the way FastColumns assigns each select operator
-// its own hardware thread (Section 2.2). Blocks are processed in order;
-// per-query results stay in rowID order. workers <= 0 selects GOMAXPROCS.
+// SharedParallel runs the parallel shared scan. It is the compatibility
+// entry point over the morsel runtime (SharedPoolContext): morsels
+// dispatch on the process-wide default pool and buffers are plainly
+// allocated, so callers keep the familiar [][]RowID contract. Engine
+// code paths use SharedPoolContext directly with the engine's own pool,
+// arena and cardinality hints. workers is advisory: 1 (or a
+// single-query batch) selects the serial scan, anything else the pool.
 func SharedParallel(data []storage.Value, preds []Predicate, blockTuples, workers int) [][]storage.RowID {
+	if workers == 1 || len(preds) == 1 {
+		return Shared(data, preds, blockTuples)
+	}
+	res, err := SharedPool(rt.Default(), nil, data, preds, blockTuples, nil)
+	if err != nil {
+		// Only injected morsel faults can fail a background-context
+		// dispatch; answer the batch serially rather than dropping it.
+		return Shared(data, preds, blockTuples)
+	}
+	return res.RowIDs
+}
+
+// SharedStatic is the pre-morsel parallel shared scan kept as the
+// ablation baseline: the q queries are statically partitioned into
+// len(preds)*w/workers slices, one goroutine each, so a skewed batch
+// (one high-selectivity predicate among cheap ones) straggles on a
+// single worker while the others sit idle — exactly the behaviour the
+// skewed-batch benchmark measures against the morsel scheduler. Spawns
+// fresh goroutines per call (via runtime.Go), which is part of the
+// baseline's honest cost. workers <= 0 selects the pool's default
+// width.
+func SharedStatic(data []storage.Value, preds []Predicate, blockTuples, workers int) [][]storage.RowID {
 	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+		workers = rt.Default().Workers()
 	}
 	if workers == 1 || len(preds) == 1 {
 		return Shared(data, preds, blockTuples)
@@ -69,7 +94,7 @@ func SharedParallel(data []storage.Value, preds []Predicate, blockTuples, worker
 			continue
 		}
 		wg.Add(1)
-		go func(qlo, qhi int) {
+		rt.Go(func() {
 			defer wg.Done()
 			for lo := 0; lo < len(data); lo += blockTuples {
 				hi := min(lo+blockTuples, len(data))
@@ -78,48 +103,24 @@ func SharedParallel(data []storage.Value, preds []Predicate, blockTuples, worker
 					results[qi] = scanWithBase(block, preds[qi], lo, results[qi])
 				}
 			}
-		}(qlo, qhi)
+		})
 	}
 	wg.Wait()
 	return results
 }
 
 // Parallel scans one predicate with the relation partitioned across
-// workers — the multi-core single-query scan. Partitions concatenate in
-// order, so the result is already in rowID order.
+// workers — the multi-core single-query scan, now morsel-dispatched on
+// the default pool (block-range morsels subsume the old static data
+// partition, and concatenate in order, so the result stays in rowID
+// order).
 func Parallel(data []storage.Value, p Predicate, workers int) []storage.RowID {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
 	if workers == 1 || len(data) < 2*DefaultBlockTuples {
 		return ScanUnrolled(data, p, nil)
 	}
-	parts := make([][]storage.RowID, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo := len(data) * w / workers
-		hi := len(data) * (w + 1) / workers
-		if lo == hi {
-			continue
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			part := ScanUnrolled(data[lo:hi], p, nil)
-			for i := range part {
-				part[i] += storage.RowID(lo)
-			}
-			parts[w] = part
-		}(w, lo, hi)
+	res, err := SharedPool(rt.Default(), nil, data, []Predicate{p}, 0, nil)
+	if err != nil {
+		return ScanUnrolled(data, p, nil)
 	}
-	wg.Wait()
-	var total int
-	for _, p := range parts {
-		total += len(p)
-	}
-	out := make([]storage.RowID, 0, total)
-	for _, p := range parts {
-		out = append(out, p...)
-	}
-	return out
+	return res.RowIDs[0]
 }

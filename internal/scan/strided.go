@@ -1,9 +1,7 @@
 package scan
 
 import (
-	"runtime"
-	"sync"
-
+	rt "fastcolumns/internal/runtime"
 	"fastcolumns/internal/storage"
 )
 
@@ -11,47 +9,36 @@ import (
 // the group's rows are walked in blocks and every query evaluates each
 // block before moving on (the same sharing discipline as Shared, paying
 // the strided-access penalty once per block instead of once per query).
-// Queries spread across workers. workers <= 0 selects GOMAXPROCS.
+// The compatibility wrapper over SharedStridedPoolContext: morsels
+// dispatch on the default pool. workers is advisory: 1 (or a
+// single-query batch) selects the serial walk.
 func SharedStrided(c *storage.Column, preds []Predicate, blockTuples, workers int) [][]storage.RowID {
 	if raw, err := c.Raw(); err == nil {
 		return SharedParallel(raw, preds, blockTuples, workers)
 	}
+	if workers == 1 || len(preds) == 1 {
+		return sharedStridedSerial(c, preds, blockTuples)
+	}
+	res, err := SharedStridedPool(rt.Default(), nil, c, preds, blockTuples, nil)
+	if err != nil {
+		return sharedStridedSerial(c, preds, blockTuples)
+	}
+	return res.RowIDs
+}
+
+// sharedStridedSerial is the single-goroutine strided shared scan.
+func sharedStridedSerial(c *storage.Column, preds []Predicate, blockTuples int) [][]storage.RowID {
 	if blockTuples <= 0 {
 		blockTuples = DefaultBlockTuples
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
 	n := c.Len()
 	results := make([][]storage.RowID, len(preds))
-	if workers == 1 || len(preds) == 1 {
-		for lo := 0; lo < n; lo += blockTuples {
-			hi := min(lo+blockTuples, n)
-			for qi, p := range preds {
-				results[qi] = scanStridedRange(c, p, lo, hi, results[qi])
-			}
+	for lo := 0; lo < n; lo += blockTuples {
+		hi := min(lo+blockTuples, n)
+		for qi, p := range preds {
+			results[qi] = scanStridedRange(c, p, lo, hi, results[qi])
 		}
-		return results
 	}
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		qlo := len(preds) * w / workers
-		qhi := len(preds) * (w + 1) / workers
-		if qlo == qhi {
-			continue
-		}
-		wg.Add(1)
-		go func(qlo, qhi int) {
-			defer wg.Done()
-			for lo := 0; lo < n; lo += blockTuples {
-				hi := min(lo+blockTuples, n)
-				for qi := qlo; qi < qhi; qi++ {
-					results[qi] = scanStridedRange(c, preds[qi], lo, hi, results[qi])
-				}
-			}
-		}(qlo, qhi)
-	}
-	wg.Wait()
 	return results
 }
 

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"fastcolumns/internal/obs"
+	rt "fastcolumns/internal/runtime"
 	"fastcolumns/internal/scan"
 	"fastcolumns/internal/storage"
 )
@@ -242,7 +243,7 @@ func (s *Scheduler) SubmitContext(ctx context.Context, attr string, pred scan.Pr
 	s.mu.Unlock()
 	s.submitted.Add(1)
 	if ctx.Done() != nil {
-		go s.watchCancel(q)
+		rt.Go(func() { s.watchCancel(q) })
 	}
 	return q.reply, nil
 }
@@ -308,7 +309,7 @@ func (s *Scheduler) dispatchLocked(attr string, batch []*Query) {
 	}
 	s.wg.Add(1)
 	s.inFlight.Add(1)
-	go s.run(attr, batch)
+	rt.Go(func() { s.run(attr, batch) })
 }
 
 // run executes a batch and delivers replies. Cancelled queries are

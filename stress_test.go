@@ -20,6 +20,7 @@ import (
 // snapshots and nothing tears".
 func TestConcurrentQueriesAndMerges(t *testing.T) {
 	eng := New(Config{})
+	defer eng.Close()
 	tbl, err := eng.CreateTable("hot")
 	if err != nil {
 		t.Fatal(err)
@@ -153,9 +154,13 @@ func TestConcurrentQueriesAndMerges(t *testing.T) {
 }
 
 // chaosEngine builds a small indexed table for the fault-injection suite.
+// The engine (and its worker pool) is closed when the test ends; Close is
+// idempotent, so tests that shut it down earlier to audit goroutines are
+// fine.
 func chaosEngine(t *testing.T) (*Engine, *Table) {
 	t.Helper()
 	eng := New(Config{})
+	t.Cleanup(eng.Close)
 	tbl, err := eng.CreateTable("t")
 	if err != nil {
 		t.Fatal(err)
@@ -282,6 +287,104 @@ func TestFaultInjectionFallbackScanAnswersBatch(t *testing.T) {
 	}
 }
 
+// TestFaultInjectionMorselPanicIsolated pushes the panic one layer deeper
+// than TestFaultInjectionPanicIsolatedPerBatch: the fault fires inside a
+// pool worker's morsel, so it must relay through Dispatch back to the
+// scheduler's recovery machinery. With every morsel poisoned, both the
+// chosen-path attempt and the scan-fallback retry panic exactly once from
+// the scheduler's point of view, whatever the morsel grid looks like.
+func TestFaultInjectionMorselPanicIsolated(t *testing.T) {
+	eng, _ := chaosEngine(t)
+	srv := eng.Serve(ServeOptions{Window: time.Hour})
+	defer srv.Close()
+
+	deactivate := faultinject.Activate(faultinject.New(1,
+		faultinject.Rule{Site: "runtime.morsel", Kind: faultinject.Panic, Prob: 1}))
+
+	ch, err := srv.Submit("t", "a", Predicate{Lo: 0, Hi: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Flush("t", "a")
+	if r := <-ch; !errors.Is(r.Err, ErrBatchPanic) {
+		t.Fatalf("morsel-poisoned batch reply: %v, want ErrBatchPanic", r.Err)
+	}
+	st := srv.ServerStats()
+	if st.RecoveredPanics != 2 {
+		t.Fatalf("RecoveredPanics = %d, want 2 (chosen path + fallback)", st.RecoveredPanics)
+	}
+	if st.FallbackRetries != 1 || st.FallbackSuccesses != 0 {
+		t.Fatalf("fallback retries/successes = %d/%d, want 1/0", st.FallbackRetries, st.FallbackSuccesses)
+	}
+
+	// The pool survives its workers panicking: once the injector is gone,
+	// the same attribute answers normally.
+	deactivate()
+	ch, _ = srv.Submit("t", "a", Predicate{Lo: 0, Hi: 10})
+	srv.Flush("t", "a")
+	if r := <-ch; r.Err != nil {
+		t.Fatalf("attribute did not recover after morsel panics: %v", r.Err)
+	}
+}
+
+// TestFaultInjectionMorselErrorSurfaces: an error injected inside every
+// morsel fails both execution attempts and reaches the submitter as an
+// error reply — not a panic, not a hang, not a lost reply.
+func TestFaultInjectionMorselErrorSurfaces(t *testing.T) {
+	eng, _ := chaosEngine(t)
+	srv := eng.Serve(ServeOptions{Window: time.Hour})
+	defer srv.Close()
+
+	deactivate := faultinject.Activate(faultinject.New(1,
+		faultinject.Rule{Site: "runtime.morsel", Kind: faultinject.Error, Prob: 1}))
+
+	ch, err := srv.Submit("t", "b", Predicate{Lo: 0, Hi: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Flush("t", "b")
+	r := <-ch
+	if r.Err == nil || !errors.Is(r.Err, faultinject.ErrInjected) {
+		t.Fatalf("morsel-error batch reply: %v, want ErrInjected", r.Err)
+	}
+	if st := srv.ServerStats(); st.FallbackRetries != 1 || st.FallbackSuccesses != 0 {
+		t.Fatalf("fallback retries/successes = %d/%d, want 1/0", st.FallbackRetries, st.FallbackSuccesses)
+	}
+
+	deactivate()
+	ch, _ = srv.Submit("t", "b", Predicate{Lo: 0, Hi: 100})
+	srv.Flush("t", "b")
+	if r := <-ch; r.Err != nil {
+		t.Fatalf("attribute did not recover after morsel errors: %v", r.Err)
+	}
+}
+
+// TestEngineCloseReleasesPoolWorkers is the shutdown contract: Close
+// drains the engine-owned worker pool (no goroutines outlive it), and the
+// engine keeps answering afterwards — dispatch degrades to inline
+// execution on a closed pool.
+func TestEngineCloseReleasesPoolWorkers(t *testing.T) {
+	base := runtime.NumGoroutine()
+	eng, tbl := chaosEngine(t)
+	preds := []Predicate{{Lo: 0, Hi: 99}, {Lo: 100, Hi: 199}, {Lo: 4000, Hi: 4999}}
+	want, err := tbl.SelectBatch("b", preds) // unindexed: scans through the pool
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Close()
+	waitGoroutines(t, base)
+
+	got, err := tbl.SelectBatch("b", preds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range preds {
+		if !equalIDs(got.RowIDs[i], want.RowIDs[i]) {
+			t.Fatalf("post-Close answer differs for pred %d", i)
+		}
+	}
+}
+
 // TestCancelledSubmissionReturnsPromptly is the acceptance scenario for
 // cancellation: with execution artificially delayed, a cancelled context
 // answers the submitter with context.Canceled long before the batch
@@ -354,6 +457,7 @@ func TestOverloadedSubmissionsRejectedWithoutLeaks(t *testing.T) {
 		t.Fatalf("Stats.Rejected = %d, want %d", st.Rejected, rejected)
 	}
 	srv.Close()
+	eng.Close()
 	waitGoroutines(t, base)
 }
 
@@ -378,6 +482,12 @@ func TestServerSurvivesChaos(t *testing.T) {
 		faultinject.Rule{Site: "exec.run", Kind: faultinject.Delay, Prob: 0.20, Delay: 2 * time.Millisecond},
 		faultinject.Rule{Site: "exec.scan", Kind: faultinject.Error, Prob: 0.05},
 		faultinject.Rule{Site: "exec.index", Kind: faultinject.Error, Prob: 0.10},
+		// Morsel-granular faults fire inside the worker pool: errors and
+		// panics must relay through Dispatch to the scheduler's recovery
+		// machinery, and delays must not wedge the drain.
+		faultinject.Rule{Site: "runtime.morsel", Kind: faultinject.Error, Prob: 0.002},
+		faultinject.Rule{Site: "runtime.morsel", Kind: faultinject.Panic, Prob: 0.001},
+		faultinject.Rule{Site: "runtime.morsel", Kind: faultinject.Delay, Prob: 0.01, Delay: 200 * time.Microsecond},
 	))
 
 	attrs := []string{"a", "b"}
@@ -458,6 +568,7 @@ func TestServerSurvivesChaos(t *testing.T) {
 		t.Error("chaos never exercised the scan fallback")
 	}
 	srv.Close()
+	eng.Close()
 	waitGoroutines(t, base)
 }
 
@@ -483,6 +594,9 @@ func TestChaosReplyConservationAndObservability(t *testing.T) {
 		faultinject.Rule{Site: "exec.run", Kind: faultinject.Error, Prob: 0.08},
 		faultinject.Rule{Site: "exec.index", Kind: faultinject.Error, Prob: 0.10},
 		faultinject.Rule{Site: "exec.run", Kind: faultinject.Delay, Prob: 0.15, Delay: time.Millisecond},
+		// Ledger conservation must hold when faults fire inside morsels too.
+		faultinject.Rule{Site: "runtime.morsel", Kind: faultinject.Error, Prob: 0.002},
+		faultinject.Rule{Site: "runtime.morsel", Kind: faultinject.Panic, Prob: 0.001},
 	))
 
 	attrs := []string{"a", "b"}
@@ -577,5 +691,6 @@ func TestChaosReplyConservationAndObservability(t *testing.T) {
 		snap.Metrics.Counters["exec.bitmap.batches"]; c == 0 {
 		t.Error("Observe: no executed batches counted on any access path")
 	}
+	eng.Close()
 	waitGoroutines(t, base)
 }
