@@ -2,11 +2,13 @@ GO ?= go
 GOFMT ?= gofmt
 
 # bench knobs: BENCH_N sizes the relation (smaller is faster; CI uses
-# 200000), BENCH_STAMP names the output document.
+# 200000), BENCH_STAMP names the output document, BENCH_BASELINE is the
+# committed run benchgate compares against.
 BENCH_N ?= 2000000
 BENCH_STAMP ?= $(shell date -u +%Y%m%d)
+BENCH_BASELINE ?= $(lastword $(sort $(wildcard BENCH_*.json)))
 
-.PHONY: check build fmt vet lint test race fuzz-seeds diffalloc bench
+.PHONY: check build fmt vet lint test race fuzz-seeds diffalloc bench benchgate
 
 # check is the tier-1 gate CI runs: static checks (formatting, go vet,
 # the repo's own fclint invariant suite), build, plain and race-enabled
@@ -45,11 +47,11 @@ race:
 # too; this target names them so CI reports them as their own gate and
 # developers can run just these quickly.
 diffalloc:
-	$(GO) test -run 'Differential|ZeroAlloc' ./internal/scan ./internal/obs
+	$(GO) test -run 'Differential|ZeroAlloc' ./internal/scan ./internal/obs ./internal/runtime
 
 # Runs each fuzz target's seed corpus as regular tests (no fuzzing engine).
 fuzz-seeds:
-	$(GO) test -run Fuzz ./internal/dsl ./internal/persist
+	$(GO) test -run Fuzz ./internal/dsl ./internal/persist ./internal/scan
 
 # bench runs the Go micro-benchmarks with allocation reporting, then the
 # Figure 18 + skewed-batch experiment driver, writing the machine-readable
@@ -60,3 +62,11 @@ fuzz-seeds:
 bench:
 	$(GO) test -run XXX -bench 'SkewedBatch|Fig13|AblationSharing' -benchmem -benchtime 20x .
 	$(GO) run ./cmd/bench -hw1 -n $(BENCH_N) -trials 3 -json BENCH_$(BENCH_STAMP).json
+
+# benchgate re-runs the shared-scan experiments (morsel skew + packed
+# SWAR kernels) and fails when any speedup ratio fell more than 10%
+# below the committed baseline document. Ratios, not absolute times, are
+# compared, so the gate holds across machines.
+benchgate:
+	@test -n "$(BENCH_BASELINE)" || { echo "no BENCH_*.json baseline committed"; exit 1; }
+	$(GO) run ./cmd/bench -hw1 -n $(BENCH_N) -trials 3 -compare $(BENCH_BASELINE)

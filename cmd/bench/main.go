@@ -23,6 +23,7 @@ import (
 	"fastcolumns/internal/index"
 	"fastcolumns/internal/memsim"
 	"fastcolumns/internal/model"
+	"fastcolumns/internal/obs"
 	"fastcolumns/internal/optimizer"
 	rt "fastcolumns/internal/runtime"
 	"fastcolumns/internal/scan"
@@ -39,6 +40,7 @@ func main() {
 	hw1 := flag.Bool("hw1", false, "model the paper's HW1 instead of calibrating the host")
 	hwfile := flag.String("hwfile", "", "load a saved host profile instead of calibrating")
 	jsonOut := flag.String("json", "", "also write the grid to this file as JSON (see EXPERIMENTS.md)")
+	compare := flag.String("compare", "", "compare this run's shared-scan experiments against a committed baseline JSON; exit nonzero on a >10% speedup regression")
 	flag.Parse()
 
 	const domain = int32(1 << 24)
@@ -144,14 +146,56 @@ func main() {
 		time.Duration(skew.MorselNs).Round(time.Microsecond),
 		skew.Speedup, skew.SteadyAllocs)
 
-	if *jsonOut != "" {
-		out := benchOutput{
-			Schema: "fastcolumns/bench_aps/v2",
-			N:      *n, Trials: *trials,
-			Hardware: hw, Design: design,
-			Cells: cells, MatchedBest: matched, TotalCells: len(specs),
-			Skew: skew,
+	// The compressed fixture for the packed SWAR experiments: a dictionary-
+	// friendly domain on the same relation size.
+	const domainC = int32(1 << 15)
+	dataC := workload.Uniform(3, *n, domainC)
+	colC := storage.NewColumn("vc", dataC)
+	ccC, err := storage.Compress(colC)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !*hw1 && *hwfile == "" {
+		// Calibrate the packed-scan constants (Appendix D's W and the
+		// packed alpha) on the host, the same way the scan and index
+		// constants were fitted above.
+		relC := &exec.Relation{Column: colC, Compressed: ccC, Index: index.Build(colC, index.DefaultFanout)}
+		obsC, err := fit.MeasureObservations(context.Background(), relC, 4, domainC,
+			[]int{1, 8, 64}, []float64{0.002, 0.02, 0.1}, 2)
+		if err != nil {
+			log.Fatal(err)
 		}
+		frC, err := fit.Fit(obsC, hw, model.DefaultDesign())
+		if err != nil {
+			log.Fatal(err)
+		}
+		if frC.ScanWidth > 0 {
+			design.ScanSIMDWidth = frC.ScanWidth
+			design.PackedAlpha = frC.PackedAlpha
+			fmt.Printf("packed fit: W=%.2f packed alpha=%.2f (packed err %.3f)\n",
+				frC.ScanWidth, frC.PackedAlpha, frC.PackedErr)
+		}
+	}
+	comp := measureCompressed(ccC, domainC, *trials, hw, design)
+	for _, e := range comp.Experiments {
+		fmt.Printf("compressed %s (q=%d): scalar codes %v, SWAR packed %v (%.2fx), steady-state allocs/batch %.0f\n",
+			e.Name, e.Q,
+			time.Duration(e.ScalarNs).Round(time.Microsecond),
+			time.Duration(e.SWARNs).Round(time.Microsecond),
+			e.Speedup, e.SteadyAllocs)
+	}
+	fmt.Printf("packed-scan drift: global ratio %.2f, max drift %.3f (threshold %.3f), stale=%v\n",
+		comp.Drift.GlobalRatio, comp.Drift.MaxDrift, comp.Drift.Threshold, comp.Drift.Stale)
+
+	out := benchOutput{
+		Schema: "fastcolumns/bench_aps/v3",
+		N:      *n, Trials: *trials,
+		Hardware: hw, Design: design,
+		Cells: cells, MatchedBest: matched, TotalCells: len(specs),
+		Skew:       skew,
+		Compressed: comp,
+	}
+	if *jsonOut != "" {
 		data, err := json.MarshalIndent(out, "", "  ")
 		if err != nil {
 			log.Fatal(err)
@@ -161,6 +205,140 @@ func main() {
 		}
 		fmt.Printf("wrote %s\n", *jsonOut)
 	}
+	if *compare != "" {
+		if err := compareBaseline(*compare, out); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("no regression against %s\n", *compare)
+	}
+}
+
+// measureCompressed runs the packed SWAR scan experiments over the
+// dictionary-compressed column: a Figure 17-style uniform batch and the
+// skewed batch, each answered by the scalar code kernel (the pre-SWAR
+// baseline) and the pooled SWAR morsel path. Each measured SWAR batch
+// also feeds the drift accumulator with the packed cost model's
+// prediction, so the run's JSON carries a staleness verdict for the
+// newly fitted Appendix D constants.
+func measureCompressed(cc *storage.CompressedColumn, domain int32, trials int,
+	hw model.Hardware, design model.Design) compressedResult {
+	n := cc.Len()
+	d := int64(domain)
+
+	fig17 := workload.Batch(17, 16, 0.002, domain)
+	const heavySel, lightSel = 0.2, 0.001
+	skewPreds := make([]scan.Predicate, 0, 16)
+	skewPreds = append(skewPreds, scan.Predicate{Lo: 0, Hi: storage.Value(int64(heavySel*float64(d)) - 1)})
+	w := int64(lightSel * float64(d))
+	for i := 0; i < 15; i++ {
+		lo := int64(i) * (d / 16)
+		skewPreds = append(skewPreds, scan.Predicate{Lo: storage.Value(lo), Hi: storage.Value(lo + w - 1)})
+	}
+
+	pool := rt.NewPool(rt.Default().Workers(), nil)
+	defer pool.Close()
+	arena := rt.NewArena(0, nil)
+	drift := obs.NewDrift(0)
+
+	res := compressedResult{Domain: domain}
+	for _, ex := range []struct {
+		name  string
+		preds []scan.Predicate
+	}{
+		{"fig17_uniform", fig17},
+		{"skewed", skewPreds},
+	} {
+		preds := ex.preds
+		// Selectivity of each range under the uniform value distribution;
+		// sized hints keep the pooled path from growing buffers mid-scan.
+		sels := make([]float64, len(preds))
+		hints := make([]int, len(preds))
+		var meanSel float64
+		for i, p := range preds {
+			sels[i] = float64(int64(p.Hi)-int64(p.Lo)+1) / float64(d)
+			hints[i] = int(sels[i]*float64(n)) + 1
+			meanSel += sels[i]
+		}
+		meanSel /= float64(len(preds))
+		predicted := model.SharedScanPacked(model.Params{
+			Workload: model.Workload{Selectivities: sels},
+			Dataset:  model.Dataset{N: float64(n), TupleSize: model.PackedTupleBytes},
+			Hardware: hw,
+			Design:   design,
+		})
+
+		median := func(run func()) int64 {
+			times := make([]time.Duration, 0, trials)
+			for t := 0; t < trials; t++ {
+				start := time.Now()
+				run()
+				times = append(times, time.Since(start))
+			}
+			sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+			return times[len(times)/2].Nanoseconds()
+		}
+
+		scalarNs := median(func() {
+			_ = scan.SharedCompressedScalar(cc, preds, 0)
+		})
+		batch := func() {
+			start := time.Now()
+			r, err := scan.SharedCompressedPool(pool, arena, cc, preds, 0, hints)
+			if err != nil {
+				log.Fatal(err)
+			}
+			r.Release()
+			drift.Record("scan(swar)", meanSel, predicted, time.Since(start).Seconds())
+		}
+		for i := 0; i < 16; i++ {
+			batch() // warm the pools to the batch's peak demand
+		}
+		swarNs := median(batch)
+		allocs := testing.AllocsPerRun(20, batch)
+
+		res.Experiments = append(res.Experiments, compressedExperiment{
+			Name: ex.name, Q: len(preds),
+			ScalarNs: scalarNs, SWARNs: swarNs,
+			Speedup:      float64(scalarNs) / float64(swarNs),
+			SteadyAllocs: allocs,
+		})
+	}
+	res.Drift = drift.Report()
+	return res
+}
+
+// compareBaseline fails when any shared-scan experiment's speedup fell
+// more than 10% below the committed baseline's. Speedup ratios — not
+// absolute times — are compared, so the gate is portable across hosts.
+func compareBaseline(path string, cur benchOutput) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base benchOutput
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("parse baseline %s: %w", path, err)
+	}
+	const tol = 0.9
+	if base.Skew.Speedup > 0 && cur.Skew.Speedup < tol*base.Skew.Speedup {
+		return fmt.Errorf("skewed-batch morsel speedup regressed: %.2fx vs baseline %.2fx",
+			cur.Skew.Speedup, base.Skew.Speedup)
+	}
+	baseByName := make(map[string]compressedExperiment, len(base.Compressed.Experiments))
+	for _, e := range base.Compressed.Experiments {
+		baseByName[e.Name] = e
+	}
+	for _, e := range cur.Compressed.Experiments {
+		b, ok := baseByName[e.Name]
+		if !ok || b.Speedup <= 0 {
+			continue // baseline predates the experiment (schema v2)
+		}
+		if e.Speedup < tol*b.Speedup {
+			return fmt.Errorf("compressed %s SWAR speedup regressed: %.2fx vs baseline %.2fx",
+				e.Name, e.Speedup, b.Speedup)
+		}
+	}
+	return nil
 }
 
 // measureSkew runs the morsel-runtime tentpole experiment: a batch of
@@ -257,17 +435,38 @@ type benchCell struct {
 	MatchedBest bool    `json:"matched_best"`
 }
 
+// compressedExperiment is one packed-scan comparison: the scalar code
+// kernel vs the pooled SWAR path on the same batch.
+type compressedExperiment struct {
+	Name         string  `json:"name"`
+	Q            int     `json:"q"`
+	ScalarNs     int64   `json:"scalar_ns"`
+	SWARNs       int64   `json:"swar_ns"`
+	Speedup      float64 `json:"speedup"`
+	SteadyAllocs float64 `json:"steady_state_allocs_per_batch"`
+}
+
+// compressedResult is the schema-v3 compressed section: the experiment
+// rows plus the drift report the packed cost model accumulated over the
+// measured batches.
+type compressedResult struct {
+	Domain      int32                  `json:"domain"`
+	Experiments []compressedExperiment `json:"experiments"`
+	Drift       obs.DriftReport        `json:"drift"`
+}
+
 // benchOutput is the -json document: the full grid plus the hardware
 // profile and design constants the optimizer ran with, so a stored run
 // is reproducible and comparable across machines.
 type benchOutput struct {
-	Schema      string         `json:"schema"`
-	N           int            `json:"n"`
-	Trials      int            `json:"trials"`
-	Hardware    model.Hardware `json:"hardware"`
-	Design      model.Design   `json:"design"`
-	Cells       []benchCell    `json:"cells"`
-	MatchedBest int            `json:"matched_best"`
-	TotalCells  int            `json:"total_cells"`
-	Skew        skewResult     `json:"skew"`
+	Schema      string           `json:"schema"`
+	N           int              `json:"n"`
+	Trials      int              `json:"trials"`
+	Hardware    model.Hardware   `json:"hardware"`
+	Design      model.Design     `json:"design"`
+	Cells       []benchCell      `json:"cells"`
+	MatchedBest int              `json:"matched_best"`
+	TotalCells  int              `json:"total_cells"`
+	Skew        skewResult       `json:"skew"`
+	Compressed  compressedResult `json:"compressed"`
 }

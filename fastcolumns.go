@@ -454,7 +454,9 @@ func (t *Table) observeBatch(attr string, d Decision, elapsed time.Duration) {
 	}
 	e.SetSelectivities(d.Selectivities)
 	o.Trace.Append(e)
-	o.Drift.Record(d.Path.String(), d.MeanSelectivity(), d.ChosenCost, elapsed.Seconds())
+	// Drift cells key on the kernel-aware path name (e.g. "scan(swar)"
+	// over a compressed twin), so a stale packed fit flags separately.
+	o.Drift.Record(d.DriftPath(), d.MeanSelectivity(), d.ChosenCost, elapsed.Seconds())
 	o.Metrics.Histogram("engine.batch_ns").Record(elapsed.Nanoseconds())
 }
 

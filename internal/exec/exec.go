@@ -148,10 +148,23 @@ func (r Result) TotalRows() int {
 	return t
 }
 
-// RunScan answers the batch with a shared sequential scan. The raw and
-// strided paths run as morsels on the pool, so cancellation is observed
-// between morsels (a cancelled batch stops mid-relation); the skipping
-// kernels (compressed, imprints, zonemap) remain batch-granular.
+// recordKernelBps records the scan kernel's achieved streaming rate
+// (bytes of column data per second) under its own instrument, so the
+// drift accounting's view of the fitted bandwidth constants can be
+// cross-checked per kernel. Instrument names arrive as constants from
+// RunScan's branches; recording is allocation-free.
+func (o Options) recordKernelBps(name string, bytes int64, elapsed time.Duration) {
+	if o.Metrics == nil || elapsed <= 0 {
+		return
+	}
+	o.Metrics.Histogram(name).Record(bytes * int64(time.Second) / int64(elapsed))
+}
+
+// RunScan answers the batch with a shared sequential scan. The raw,
+// strided and compressed (packed SWAR) paths run as morsels on the
+// pool, so cancellation is observed between morsels (a cancelled batch
+// stops mid-relation); the skipping kernels (imprints, zonemap) remain
+// batch-granular.
 func RunScan(ctx context.Context, rel *Relation, preds []scan.Predicate, opt Options) (Result, error) {
 	if err := rel.Validate(); err != nil {
 		return Result{}, err
@@ -165,19 +178,29 @@ func RunScan(ctx context.Context, rel *Relation, preds []scan.Predicate, opt Opt
 	start := time.Now()
 	var rowIDs [][]storage.RowID
 	var pooled *rt.Results
+	kernelBps := "exec.scan.kernel.shared.bps"
+	kernelBytes := int64(rel.Column.Len()) * int64(rel.Column.TupleSize())
 	// A strided column-group member has no raw view (rawErr != nil); every
 	// kernel that needs one falls through to the strided path.
 	switch raw, rawErr := rel.Column.Raw(); {
 	case opt.PreferCompressed && rel.Compressed != nil:
-		rowIDs = scan.SharedCompressed(rel.Compressed, preds, opt.BlockTuples)
+		res, err := scan.SharedCompressedPoolContext(ctx, opt.pool(), opt.Arena, rel.Compressed, preds, opt.BlockTuples, opt.Hints)
+		if err != nil {
+			return Result{}, err
+		}
+		rowIDs, pooled = res.RowIDs, res
+		kernelBps = "exec.scan.kernel.swar.bps"
+		kernelBytes = int64(rel.Compressed.Len()) * int64(rel.Compressed.TupleSize())
 	case opt.UseImprints && rel.Imprints != nil && rawErr == nil:
 		ranges := make([][2]storage.Value, len(preds))
 		for i, p := range preds {
 			ranges[i] = [2]storage.Value{p.Lo, p.Hi}
 		}
 		rowIDs = rel.Imprints.SharedSelect(raw, ranges)
+		kernelBps = "exec.scan.kernel.imprints.bps"
 	case opt.UseZonemap && rel.Zonemap != nil && rawErr == nil:
 		rowIDs = scan.SharedWithZonemap(raw, rel.Zonemap, preds)
+		kernelBps = "exec.scan.kernel.zonemap.bps"
 	case rawErr == nil:
 		res, err := scan.SharedPoolContext(ctx, opt.pool(), opt.Arena, raw, preds, opt.BlockTuples, opt.Hints)
 		if err != nil {
@@ -191,9 +214,11 @@ func RunScan(ctx context.Context, rel *Relation, preds []scan.Predicate, opt Opt
 			return Result{}, err
 		}
 		rowIDs, pooled = res.RowIDs, res
+		kernelBps = "exec.scan.kernel.strided.bps"
 	}
 	elapsed := time.Since(start)
 	opt.record("exec.scan.batches", "exec.scan.queries", "exec.scan.ns", len(preds), elapsed)
+	opt.recordKernelBps(kernelBps, kernelBytes, elapsed)
 	return Result{Path: model.PathScan, RowIDs: rowIDs, Elapsed: elapsed, Pooled: pooled}, nil
 }
 

@@ -19,6 +19,10 @@ type Observation struct {
 	// index-scan latencies in seconds. NaN marks "not measured".
 	ScanSec  float64
 	IndexSec float64
+	// PackedScanSec is the measured latency of the shared scan over the
+	// word-packed compressed twin (the SWAR kernel path). NaN or zero
+	// marks "not measured".
+	PackedScanSec float64
 }
 
 // FitResult carries the fitted machine constants of Appendix C.
@@ -32,10 +36,21 @@ type FitResult struct {
 	// correction fc(N) of Equation 24; the paper reports beta = 0.38.
 	SortFitScale float64
 	SortFitExp   float64
+	// ScanWidth is the fitted effective SWAR width of the packed scan
+	// kernel (the scan-side W of the Appendix D treatment): how many
+	// codes per operation the kernel actually delivers once flag
+	// compaction and materialization overheads are paid. Zero when no
+	// packed observations were available.
+	ScanWidth float64
+	// PackedAlpha is the packed kernel's fitted result-writing overlap
+	// factor (its Equation 22 alpha). Zero when unfitted.
+	PackedAlpha float64
 	// ScanErr and IndexErr are the sums of normalized least-square errors
-	// (the figure-title numbers in Figure 20).
-	ScanErr  float64
-	IndexErr float64
+	// (the figure-title numbers in Figure 20); PackedErr is the same for
+	// the packed-scan stage.
+	ScanErr   float64
+	IndexErr  float64
+	PackedErr float64
 }
 
 // Design folds the fitted constants into a model design based on base.
@@ -43,6 +58,12 @@ func (r FitResult) Design(base model.Design) model.Design {
 	base.Alpha = r.Alpha
 	base.SortFitScale = r.SortFitScale
 	base.SortFitExp = r.SortFitExp
+	if r.ScanWidth > 0 {
+		base.ScanSIMDWidth = r.ScanWidth
+	}
+	if r.PackedAlpha > 0 {
+		base.PackedAlpha = r.PackedAlpha
+	}
 	return base
 }
 
@@ -75,18 +96,30 @@ func params(o Observation, h model.Hardware, dg model.Design) model.Params {
 	}
 }
 
+// packedParams is params with the tuple width of the word-packed
+// compressed twin: the SWAR kernel streams 2-byte codes, not the base
+// column's tuples, so its data-scan term sees the packed layout.
+func packedParams(o Observation, h model.Hardware, dg model.Design) model.Params {
+	p := params(o, h, dg)
+	p.Dataset.TupleSize = model.PackedTupleBytes
+	return p
+}
+
 // Fit runs the Appendix C verification procedure: Nelder-Mead over
 // (alpha, fp) against the scan observations, then over (f_s, beta)
 // against the index observations. hw supplies the advertised hardware
 // characteristics which the fit augments with the constant factors.
 func Fit(obs []Observation, hw model.Hardware, base model.Design) (FitResult, error) {
-	var haveScan, haveIndex bool
+	var haveScan, haveIndex, havePacked bool
 	for _, o := range obs {
 		if !math.IsNaN(o.ScanSec) && o.ScanSec > 0 {
 			haveScan = true
 		}
 		if !math.IsNaN(o.IndexSec) && o.IndexSec > 0 {
 			haveIndex = true
+		}
+		if !math.IsNaN(o.PackedScanSec) && o.PackedScanSec > 0 {
+			havePacked = true
 		}
 	}
 	if !haveScan && !haveIndex {
@@ -123,6 +156,37 @@ func Fit(obs []Observation, hw model.Hardware, base model.Design) (FitResult, er
 		res.Alpha = r.X[0]
 		res.Pipelining = math.Exp(r.X[1])
 		res.ScanErr = r.F
+	}
+
+	if havePacked {
+		// Fit (packedAlpha, log W) on the packed-scan model with fp frozen
+		// from the scan stage. W is optimized in log space to stay
+		// positive and bounded to [1, 64]: a "width" below 1 means the
+		// SWAR kernel lost to the scalar loop (fit noise), above 64 is
+		// more codes per op than a 64-bit word holds.
+		h := hw
+		h.Pipelining = res.Pipelining
+		obj := func(x []float64) float64 {
+			pa, lw := x[0], x[1]
+			w := math.Exp(lw)
+			if pa <= 0 || w < 1 || w > 64 {
+				return math.Inf(1)
+			}
+			dg := base
+			dg.Alpha = res.Alpha
+			dg.ScanSIMDWidth = w
+			dg.PackedAlpha = pa
+			return normErr(obs,
+				func(o Observation) float64 { return model.SharedScanPacked(packedParams(o, h, dg)) },
+				func(o Observation) float64 { return o.PackedScanSec })
+		}
+		r, err := Minimize(obj, []float64{res.Alpha, math.Log(model.PackedScanWidth)}, Options{MaxIter: 4000})
+		if err != nil {
+			return FitResult{}, err
+		}
+		res.PackedAlpha = r.X[0]
+		res.ScanWidth = math.Exp(r.X[1])
+		res.PackedErr = r.F
 	}
 
 	if haveIndex {

@@ -27,30 +27,40 @@ func MeasureObservations(ctx context.Context, rel *exec.Relation, tupleSize floa
 	for _, q := range qs {
 		for _, s := range sels {
 			preds := workload.Batch(int64(q)*1000+int64(s*1e6), q, s, domain)
-			scanSec, rows, err := medianRun(ctx, rel, model.PathScan, preds, trials)
+			scanSec, rows, err := medianRun(ctx, rel, model.PathScan, preds, trials, exec.Options{})
 			if err != nil {
 				return nil, err
 			}
-			indexSec, _, err := medianRun(ctx, rel, model.PathIndex, preds, trials)
+			indexSec, _, err := medianRun(ctx, rel, model.PathIndex, preds, trials, exec.Options{})
 			if err != nil {
 				return nil, err
+			}
+			// When the relation carries a compressed twin, also time the
+			// packed SWAR scan so Fit can calibrate its Appendix D term.
+			packedSec := 0.0
+			if rel.Compressed != nil {
+				packedSec, _, err = medianRun(ctx, rel, model.PathScan, preds, trials,
+					exec.Options{PreferCompressed: true})
+				if err != nil {
+					return nil, err
+				}
 			}
 			// Record the realized mean selectivity, not the nominal target:
 			// the model is fitted against what actually qualified.
 			realized := float64(rows) / float64(q) / float64(n)
 			obs = append(obs, Observation{
 				Q: q, Selectivity: realized, N: float64(n), TupleSize: tupleSize,
-				ScanSec: scanSec, IndexSec: indexSec,
+				ScanSec: scanSec, IndexSec: indexSec, PackedScanSec: packedSec,
 			})
 		}
 	}
 	return obs, nil
 }
 
-func medianRun(ctx context.Context, rel *exec.Relation, path model.Path, preds []scan.Predicate, trials int) (sec float64, totalRows int, err error) {
+func medianRun(ctx context.Context, rel *exec.Relation, path model.Path, preds []scan.Predicate, trials int, opt exec.Options) (sec float64, totalRows int, err error) {
 	times := make([]time.Duration, 0, trials)
 	for t := 0; t < trials; t++ {
-		res, err := exec.Run(ctx, rel, path, preds, exec.Options{})
+		res, err := exec.Run(ctx, rel, path, preds, opt)
 		if err != nil {
 			return 0, 0, err
 		}

@@ -1,0 +1,78 @@
+package fit
+
+import (
+	"math"
+	"testing"
+
+	"fastcolumns/internal/model"
+)
+
+// synthPackedObservations augments the synthetic sweep with packed-scan
+// timings generated from known ground-truth packed constants.
+func synthPackedObservations(truth model.Design, fp float64) []Observation {
+	obs := synthObservations(truth, fp)
+	hw := model.HW1()
+	hw.Pipelining = fp
+	for i := range obs {
+		o := obs[i]
+		p := model.Params{
+			Workload: model.Uniform(o.Q, o.Selectivity),
+			Dataset:  model.Dataset{N: o.N, TupleSize: model.PackedTupleBytes},
+			Hardware: hw,
+			Design:   truth,
+		}
+		obs[i].PackedScanSec = model.SharedScanPacked(p)
+	}
+	return obs
+}
+
+// TestFitRecoversPackedConstants: the third fit stage must recover a
+// known (W, packedAlpha) pair from self-consistent observations, with
+// the scan-side constants fitted first and frozen.
+func TestFitRecoversPackedConstants(t *testing.T) {
+	truth := model.DefaultDesign()
+	truth.Alpha = 8
+	truth.ScanSIMDWidth = 4
+	truth.PackedAlpha = 3
+	trueFP := 0.004
+
+	obs := synthPackedObservations(truth, trueFP)
+	r, err := Fit(obs, model.HW1(), model.DefaultDesign())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.ScanWidth-4)/4 > 0.1 {
+		t.Fatalf("ScanWidth = %v, want ~4", r.ScanWidth)
+	}
+	if math.Abs(r.PackedAlpha-3)/3 > 0.1 {
+		t.Fatalf("PackedAlpha = %v, want ~3", r.PackedAlpha)
+	}
+	if r.PackedErr > 1e-4 {
+		t.Fatalf("packed residual too large: %v", r.PackedErr)
+	}
+	dg := r.Design(model.DefaultDesign())
+	if dg.ScanSIMDWidth != r.ScanWidth || dg.PackedAlpha != r.PackedAlpha {
+		t.Fatalf("Design did not fold the packed constants: %+v", dg)
+	}
+}
+
+// TestFitWithoutPackedObservationsLeavesConstantsUnfitted: a sweep with
+// no packed timings must not invent packed constants, and folding the
+// result into a base design must preserve the base's own values.
+func TestFitWithoutPackedObservationsLeavesConstantsUnfitted(t *testing.T) {
+	truth := model.DefaultDesign()
+	truth.Alpha = 8
+	obs := synthObservations(truth, 0.002)
+	r, err := Fit(obs, model.HW1(), model.DefaultDesign())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ScanWidth != 0 || r.PackedAlpha != 0 {
+		t.Fatalf("packed constants invented from nothing: W=%v alpha=%v", r.ScanWidth, r.PackedAlpha)
+	}
+	base := model.FittedDesign()
+	dg := r.Design(base)
+	if dg.ScanSIMDWidth != base.ScanSIMDWidth || dg.PackedAlpha != base.PackedAlpha {
+		t.Fatal("unfitted packed constants must not clobber the base design")
+	}
+}

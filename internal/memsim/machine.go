@@ -5,6 +5,21 @@ import "fastcolumns/internal/model"
 // DefaultLLCBytes mirrors the paper's primary server (16 MB of L3).
 const DefaultLLCBytes = 16 << 20
 
+// DefaultL1Bytes is the per-core L1 data cache of the paper's primary
+// server (32 KB, 8-way) — the budget the shared scan's block sizing and
+// the Hierarchy's first level are calibrated against.
+const DefaultL1Bytes = 32 << 10
+
+// SharedBlockBytes is the byte budget of one shared-scan block. A block
+// must stay cache resident while all q predicates of the batch visit it
+// (Figure 2(b)); two L1's worth has enough slack to survive the result
+// writes without thrashing while staying far below the LLC. The scan
+// kernels derive their block sizes (tuples per block, codes per block)
+// from this single constant, so compressed and uncompressed shared
+// scans — and the morsel runtime's range sizing on top of them — agree
+// on the cache-residency assumption.
+const SharedBlockBytes = 2 * DefaultL1Bytes
+
 // DefaultLineBytes is the usual 64-byte cache line.
 const DefaultLineBytes = 64
 
@@ -82,7 +97,7 @@ type Hierarchy struct {
 func NewHierarchy(hw model.Hardware) *Hierarchy {
 	return &Hierarchy{
 		HW:         hw,
-		L1:         NewCache(32<<10, DefaultLineBytes, 8),
+		L1:         NewCache(DefaultL1Bytes, DefaultLineBytes, 8),
 		LLC:        NewCache(DefaultLLCBytes, DefaultLineBytes, 16),
 		LLCLatency: hw.MemAccess / 3,
 	}

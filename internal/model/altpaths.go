@@ -47,7 +47,14 @@ const PathBitmap Path = 2
 // hasIndex/bitmapCard gate which contenders exist (bitmapCard <= 0 means
 // no bitmap index).
 func ChooseAmong(p Params, scanSkipFraction float64, hasIndex bool, bitmapCard float64) (Path, float64) {
-	scanCost := SharedScanWithSkipping(p, scanSkipFraction)
+	return ChooseWithScanCost(p, SharedScanWithSkipping(p, scanSkipFraction), hasIndex, bitmapCard)
+}
+
+// ChooseWithScanCost arbitrates with a precomputed scan-side cost, so a
+// caller that costs the scan with a specialized kernel model — the
+// packed SWAR scan over a compressed twin — reuses the same three-way
+// arbitration against the index and bitmap contenders.
+func ChooseWithScanCost(p Params, scanCost float64, hasIndex bool, bitmapCard float64) (Path, float64) {
 	best, bestCost := PathScan, scanCost
 	if hasIndex {
 		if c := ConcIndex(p); c < bestCost {

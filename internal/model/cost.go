@@ -102,6 +102,29 @@ func SharedScan(p Params) float64 {
 		p.Design.alphaOrOne()*stot*ResultWriteTime(p.Dataset, p.Hardware, p.Design)
 }
 
+// PredicateEvalPacked returns the packed-kernel PE term: the SWAR
+// kernel evaluates ScanSIMDWidth codes per word operation, so the
+// Equation 2 cost divides by W — the scan-side analogue of Appendix D's
+// Equation 26, with W refitted to the kernel actually shipped.
+func PredicateEvalPacked(d Dataset, h Hardware, dg Design) float64 {
+	return PredicateEval(d, h) / dg.scanWidthOrOne()
+}
+
+// SharedScanPacked returns the Equation 5 cost of q queries sharing one
+// scan over the word-packed compressed layout: the caller's Dataset
+// carries the compressed tuple size (PackedTupleBytes), predicate
+// evaluation earns the W-way SWAR discount, and result writing pays the
+// packed alpha — the late-materialization path overlaps differently
+// than the predicated store-per-tuple kernel, so its overlap constant
+// is fitted separately.
+func SharedScanPacked(p Params) float64 {
+	q := float64(p.Workload.Q())
+	stot := p.Workload.TotalSelectivity()
+	return math.Max(DataScanTime(p.Dataset, p.Hardware),
+		q*PredicateEvalPacked(p.Dataset, p.Hardware, p.Design)) +
+		p.Design.packedAlphaOrAlpha()*stot*ResultWriteTime(p.Dataset, p.Hardware, p.Design)
+}
+
 // SingleIndexProbe returns Equation 10: one query through the secondary
 // index — tree descent, leaf and leaf-data traversal proportional to s,
 // result write, and the per-query sort back into rowID order.

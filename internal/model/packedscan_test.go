@@ -1,0 +1,100 @@
+package model
+
+import "testing"
+
+// packedParams is testParams over the 2-byte packed code layout with the
+// packed design constants set.
+func packedTestParams(q int, s, w, pa float64) Params {
+	p := testParams(q, s)
+	p.Dataset.TupleSize = PackedTupleBytes
+	p.Design.ScanSIMDWidth = w
+	p.Design.PackedAlpha = pa
+	return p
+}
+
+// TestPredicateEvalPackedDividesByWidth: the packed kernel's predicate
+// term is the scalar term divided by the effective SWAR width; width 0
+// or 1 degrades to the scalar term.
+func TestPredicateEvalPackedDividesByWidth(t *testing.T) {
+	p := packedTestParams(8, 0.01, 4, 2)
+	scalar := PredicateEval(p.Dataset, p.Hardware)
+	packed := PredicateEvalPacked(p.Dataset, p.Hardware, p.Design)
+	if !approxEqual(packed, scalar/4, 1e-12) {
+		t.Fatalf("PredicateEvalPacked(W=4) = %v, want %v", packed, scalar/4)
+	}
+	p.Design.ScanSIMDWidth = 0
+	if got := PredicateEvalPacked(p.Dataset, p.Hardware, p.Design); !approxEqual(got, scalar, 1e-12) {
+		t.Fatalf("PredicateEvalPacked(W=0) = %v, want scalar %v", got, scalar)
+	}
+}
+
+// TestSharedScanPackedCheaperThanScalarSharedScan: at equal tuple size
+// and alpha, W-way predicate evaluation can only lower the predicted
+// cost — the max() with the bandwidth floor keeps it from going below
+// the data-scan time.
+func TestSharedScanPackedCheaperThanScalarSharedScan(t *testing.T) {
+	for _, q := range []int{1, 8, 64, 512} {
+		for _, s := range []float64{1e-5, 1e-3, 0.1} {
+			p := packedTestParams(q, s, 4, 0)
+			packed := SharedScanPacked(p)
+			scalar := SharedScan(p)
+			if packed > scalar+1e-15 {
+				t.Fatalf("q=%d s=%g: SharedScanPacked = %v > SharedScan = %v", q, s, packed, scalar)
+			}
+			ds := DataScanTime(p.Dataset, p.Hardware)
+			if packed < ds {
+				t.Fatalf("q=%d s=%g: SharedScanPacked = %v below the bandwidth floor %v", q, s, packed, ds)
+			}
+		}
+	}
+}
+
+// TestSharedScanPackedAlphaFallback: a zero PackedAlpha inherits the
+// shared-scan Alpha, so an unfitted design still prices result writing.
+func TestSharedScanPackedAlphaFallback(t *testing.T) {
+	p := packedTestParams(16, 0.05, 4, 0)
+	p.Design.Alpha = 8
+	viaFallback := SharedScanPacked(p)
+	p.Design.PackedAlpha = 8
+	viaExplicit := SharedScanPacked(p)
+	if !approxEqual(viaFallback, viaExplicit, 1e-12) {
+		t.Fatalf("PackedAlpha fallback: %v != explicit %v", viaFallback, viaExplicit)
+	}
+	// And a larger packed alpha strictly raises the cost at nonzero S_tot.
+	p.Design.PackedAlpha = 16
+	if higher := SharedScanPacked(p); higher <= viaExplicit {
+		t.Fatalf("PackedAlpha=16 gives %v, want > %v", higher, viaExplicit)
+	}
+}
+
+// TestValidateRejectsNegativePackedConstants: the new design knobs join
+// the existing non-negativity validation.
+func TestValidateRejectsNegativePackedConstants(t *testing.T) {
+	d := DefaultDesign()
+	d.ScanSIMDWidth = -1
+	if err := d.Validate(); err == nil {
+		t.Fatal("Validate accepted ScanSIMDWidth < 0")
+	}
+	d = DefaultDesign()
+	d.PackedAlpha = -0.5
+	if err := d.Validate(); err == nil {
+		t.Fatal("Validate accepted PackedAlpha < 0")
+	}
+}
+
+// TestFittedDesignCarriesPackedConstants: the stock fitted design must
+// give the optimizer usable packed-scan constants (nonzero width within
+// a 64-bit word, nonzero overlap factor) so relations with a compressed
+// twin are costed by the kernel exec actually runs.
+func TestFittedDesignCarriesPackedConstants(t *testing.T) {
+	d := FittedDesign()
+	if d.ScanSIMDWidth < 1 || d.ScanSIMDWidth > 64 {
+		t.Fatalf("FittedDesign().ScanSIMDWidth = %v, want within [1, 64]", d.ScanSIMDWidth)
+	}
+	if d.PackedAlpha <= 0 {
+		t.Fatalf("FittedDesign().PackedAlpha = %v, want > 0", d.PackedAlpha)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatalf("FittedDesign invalid: %v", err)
+	}
+}

@@ -77,6 +77,15 @@ func NewWithDesign(hw model.Hardware, dg model.Design) *Optimizer {
 	return &Optimizer{HW: hw, Design: dg}
 }
 
+// Scan kernel names recorded in decisions: the packed SWAR kernel over
+// the compressed twin, and the plain shared scan. They key the drift
+// accounting, so a stale packed fit is flagged separately from a stale
+// shared-scan fit.
+const (
+	KernelShared = "shared"
+	KernelSWAR   = "swar"
+)
+
 // Decision records one access path selection and what informed it.
 type Decision struct {
 	Path model.Path
@@ -86,6 +95,10 @@ type Decision struct {
 	Selectivities []float64
 	// Forced is true when only one path existed (e.g. no secondary index).
 	Forced bool
+	// ScanKernel names the scan kernel the cost model assumed:
+	// KernelSWAR when the relation carries a compressed twin (exec
+	// prefers the packed path), KernelShared otherwise.
+	ScanKernel string
 	// ScanCost and IndexCost are the model's predicted wall times in
 	// seconds for the shared scan (skip-aware when the relation supports
 	// skipping) and the concurrent index scan; IndexCost is 0 when no
@@ -99,6 +112,17 @@ type Decision struct {
 	// Elapsed is the optimization time itself — the paper stresses this
 	// stays in the microsecond range even for sub-second queries.
 	Elapsed time.Duration
+}
+
+// DriftPath returns the drift-accounting key for the decision: the
+// chosen path's name, specialized by scan kernel so the packed fit's
+// constants accumulate their own (path, selectivity-band) cells. The
+// returned strings are constants — recording stays allocation-free.
+func (d Decision) DriftPath() string {
+	if d.Path == model.PathScan && d.ScanKernel == KernelSWAR {
+		return "scan(swar)"
+	}
+	return d.Path.String()
 }
 
 // MeanSelectivity returns the batch's mean per-query selectivity
@@ -141,12 +165,26 @@ func (o *Optimizer) Choose(n int, tupleSize float64, sel []float64) Decision {
 		path, chosen = model.PathIndex, indexCost
 	}
 	d := Decision{
-		Path: path, Ratio: ratio, Selectivities: sel,
+		Path: path, Ratio: ratio, Selectivities: sel, ScanKernel: KernelShared,
 		ScanCost: scanCost, IndexCost: indexCost, ChosenCost: chosen,
 		Elapsed: time.Since(start),
 	}
 	o.observe(d)
 	return d
+}
+
+// scanSide costs the scan access path as the executor will actually run
+// it: relations with a compressed twin take the packed SWAR kernel
+// (2-byte codes, W-way predicate evaluation — exec's PreferCompressed
+// branch), everything else the plain shared scan credited with whatever
+// data skipping the relation supports.
+func scanSide(rel *exec.Relation, p model.Params, skip float64) (cost float64, kernel string) {
+	if rel.Compressed != nil {
+		pp := p
+		pp.Dataset.TupleSize = float64(rel.Compressed.TupleSize())
+		return model.SharedScanPacked(pp), KernelSWAR
+	}
+	return model.SharedScanWithSkipping(p, skip), KernelShared
 }
 
 // Decide performs the full run-time decision for a batch over a relation:
@@ -171,9 +209,10 @@ func (o *Optimizer) Decide(rel *exec.Relation, h *stats.Histogram, preds []scan.
 	if rel.Index == nil && rel.Bitmap == nil {
 		// Only the scan exists; still predict its cost so the drift
 		// accounting covers forced batches too.
-		scanCost := model.SharedScan(p)
+		scanCost, kernel := scanSide(rel, p, 0)
 		d := Decision{Path: model.PathScan, Ratio: 0, Selectivities: sel,
-			Forced: true, ScanCost: scanCost, ChosenCost: scanCost,
+			Forced: true, ScanKernel: kernel,
+			ScanCost: scanCost, ChosenCost: scanCost,
 			Elapsed: time.Since(start)}
 		o.observe(d)
 		return d
@@ -202,8 +241,8 @@ func (o *Optimizer) Decide(rel *exec.Relation, h *stats.Histogram, preds []scan.
 	if rel.Bitmap != nil {
 		card = float64(rel.Bitmap.Cardinality())
 	}
-	path, chosen := model.ChooseAmong(p, skip, rel.Index != nil, card)
-	scanCost := model.SharedScanWithSkipping(p, skip)
+	scanCost, kernel := scanSide(rel, p, skip)
+	path, chosen := model.ChooseWithScanCost(p, scanCost, rel.Index != nil, card)
 	ic := model.ConcIndex(p)
 	var indexCost float64
 	if rel.Index != nil {
@@ -213,6 +252,7 @@ func (o *Optimizer) Decide(rel *exec.Relation, h *stats.Histogram, preds []scan.
 		Path:          path,
 		Ratio:         ratioOf(ic, scanCost),
 		Selectivities: sel,
+		ScanKernel:    kernel,
 		ScanCost:      scanCost,
 		IndexCost:     indexCost,
 		ChosenCost:    chosen,

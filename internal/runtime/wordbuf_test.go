@@ -1,0 +1,69 @@
+package runtime
+
+import (
+	"testing"
+
+	"fastcolumns/internal/race"
+)
+
+// TestWordBufRoundTripReusesCapacity mirrors the RowID-buffer contract
+// for the bitmap-word pool: a same-class checkout after PutWords must
+// recycle the buffer, reset to length zero with capacity intact.
+func TestWordBufRoundTripReusesCapacity(t *testing.T) {
+	if race.Enabled {
+		t.Skip("the race runtime randomizes sync.Pool reuse; reuse guarantees hold without -race")
+	}
+	a := NewArena(0, nil)
+	b := a.GetWords(512)
+	if cap(b.W) < 512 || len(b.W) != 0 {
+		t.Fatalf("GetWords(512): len=%d cap=%d", len(b.W), cap(b.W))
+	}
+	b.W = append(b.W, 1, 2, 3)
+	a.PutWords(b)
+	b2 := a.GetWords(500)
+	if b2 != b {
+		t.Fatal("same-class checkout did not recycle the pooled word buffer")
+	}
+	if cap(b2.W) < 500 || len(b2.W) != 0 {
+		t.Fatalf("recycled word buffer: len=%d cap=%d", len(b2.W), cap(b2.W))
+	}
+}
+
+// TestWordBufDropsOversized: retention is bounded by the same maxRetain
+// knob as the rowID pool (counted in words, not bytes).
+func TestWordBufDropsOversized(t *testing.T) {
+	a := NewArena(100, nil)
+	b := a.GetWords(1000)
+	a.PutWords(b)
+	if b.W != nil {
+		t.Fatalf("oversized word backing array retained: cap=%d, retain cap 100", cap(b.W))
+	}
+}
+
+// TestNilArenaWordsAllocatePlainly: a nil arena degrades to plain
+// allocation, and PutWords is a safe no-op.
+func TestNilArenaWordsAllocatePlainly(t *testing.T) {
+	var a *Arena
+	b := a.GetWords(64)
+	if b == nil || cap(b.W) < 64 {
+		t.Fatal("nil arena GetWords failed")
+	}
+	a.PutWords(b)
+}
+
+// TestWordBufCheckoutZeroAlloc pins the steady-state contract the
+// packed morsel path relies on: once warm, GetWords/PutWords allocate
+// nothing.
+func TestWordBufCheckoutZeroAlloc(t *testing.T) {
+	if race.Enabled {
+		t.Skip("race instrumentation allocates; alloc guards run without -race")
+	}
+	a := NewArena(0, nil)
+	a.PutWords(a.GetWords(1024)) // warm the class
+	if n := testing.AllocsPerRun(100, func() {
+		b := a.GetWords(1024)
+		a.PutWords(b)
+	}); n != 0 {
+		t.Errorf("warm GetWords/PutWords allocates %.1f per cycle, want 0", n)
+	}
+}

@@ -258,8 +258,10 @@ func TestDifferentialRandomized(t *testing.T) {
 		}
 		if cc, err := storage.Compress(col); err == nil {
 			gc := SharedCompressed(cc, preds, block)
+			gs := SharedCompressedScalar(cc, preds, block)
 			for i := range preds {
 				sameIDs(t, fmt.Sprintf("round%d/SharedCompressed/pred%d", round, i), gc[i], want[i])
+				sameIDs(t, fmt.Sprintf("round%d/SharedCompressedScalar/pred%d", round, i), gs[i], want[i])
 			}
 		}
 		z := storage.BuildZonemap(col, 1+rng.Intn(200))

@@ -3,10 +3,20 @@ package scan
 import (
 	"context"
 	"sync"
+	"sync/atomic"
 
+	"fastcolumns/internal/bitmap"
+	"fastcolumns/internal/faultinject"
 	rt "fastcolumns/internal/runtime"
 	"fastcolumns/internal/storage"
 )
+
+// FaultSiteMaterialize fires at the packed morsel's bitmap-to-rowID
+// materialization boundary, once per (block, query) bitmap, inside the
+// worker. An Error-kind rule fails the batch (the first error wins and
+// surfaces from the dispatching call); a Panic-kind rule exercises the
+// pool's panic relay through the materialization path.
+const FaultSiteMaterialize = "scan.materialize"
 
 // morselsPerWorker controls morsel granularity: the relation is cut
 // into about 8 block-ranges per worker, so the work-stealing pool has
@@ -23,11 +33,14 @@ const morselsPerWorker = 8
 // during assembly, so per-query results stay in rowID order. It
 // implements runtime.Job.
 type sharedJob struct {
-	data  []storage.Value // raw path (col == nil)
-	col   *storage.Column // strided path
-	preds []Predicate
-	hints []int
-	arena *rt.Arena
+	data   []storage.Value // raw path (col == nil, packed == nil)
+	col    *storage.Column // strided path
+	packed []uint64        // SWAR path over word-packed codes
+	codes  []storage.Code  // scalar head/tail companion of packed
+	cb     []codeBounds    // per-query code bounds (packed path)
+	preds  []Predicate
+	hints  []int
+	arena  *rt.Arena
 
 	n, q        int
 	blockTuples int
@@ -35,6 +48,19 @@ type sharedJob struct {
 	nr, nc      int // block-range count × query-chunk count
 	chunk       int // queries per chunk
 	cells       []*rt.Buf
+
+	// failed/err carry the first morsel-level error (an injected
+	// materialization fault) across the dispatch barrier: the CAS winner
+	// writes err, the dispatcher reads it after Dispatch's WaitGroup.
+	failed atomic.Bool
+	err    error
+}
+
+// fail records a morsel's error; the first one wins.
+func (j *sharedJob) fail(err error) {
+	if j.failed.CompareAndSwap(false, true) {
+		j.err = err
+	}
 }
 
 var sharedJobPool = sync.Pool{New: func() any { return new(sharedJob) }}
@@ -55,13 +81,40 @@ func getSharedJob(pool *rt.Pool, arena *rt.Arena, data []storage.Value, col *sto
 	if j.blockTuples <= 0 {
 		j.blockTuples = DefaultBlockTuples
 	}
+	j.sizeGrid(pool)
+	return j
+}
 
+// getPackedJob checks out a job for the SWAR scan over a compressed
+// column: code bounds resolve once (two dictionary probes per query, on
+// the dispatching goroutine), then the morsels evaluate packed words.
+// The code-domain block size defaults to CodeBlockTuples — the same
+// memsim byte budget as the raw path, in 2-byte tuples.
+func getPackedJob(pool *rt.Pool, arena *rt.Arena, c *storage.CompressedColumn,
+	preds []Predicate, blockTuples int, hints []int) *sharedJob {
+	j := sharedJobPool.Get().(*sharedJob)
+	j.packed, j.codes = c.PackedCodes(), c.Codes()
+	j.preds, j.hints, j.arena = preds, hints, arena
+	j.cb = resolveBounds(c, preds, j.cb)
+	j.n = c.Len()
+	j.q = len(preds)
+	j.blockTuples = blockTuples
+	if j.blockTuples <= 0 {
+		j.blockTuples = CodeBlockTuples
+	}
+	j.sizeGrid(pool)
+	return j
+}
+
+// sizeGrid sizes the (block-range × query-chunk) morsel grid for the
+// pool's worker count.
+func (j *sharedJob) sizeGrid(pool *rt.Pool) {
 	workers := pool.Workers()
 	blocks := (j.n + j.blockTuples - 1) / j.blockTuples
 	if blocks == 0 {
 		j.nr, j.nc, j.chunk = 0, 1, j.q
 		j.cells = j.cells[:0]
-		return j
+		return
 	}
 	mb := blocks / (morselsPerWorker * workers)
 	if mb < 1 {
@@ -90,7 +143,6 @@ func getSharedJob(pool *rt.Pool, arena *rt.Arena, data []storage.Value, col *sto
 			j.cells[i] = nil
 		}
 	}
-	return j
 }
 
 // putSharedJob releases untransferred cells and recycles the job.
@@ -103,6 +155,10 @@ func putSharedJob(j *sharedJob) {
 	}
 	j.cells = j.cells[:0]
 	j.data, j.col, j.preds, j.hints, j.arena = nil, nil, nil, nil, nil
+	j.packed, j.codes = nil, nil
+	j.cb = j.cb[:0]
+	j.failed.Store(false)
+	j.err = nil
 	sharedJobPool.Put(j)
 }
 
@@ -123,12 +179,29 @@ func (j *sharedJob) cellHint(qi int) int {
 	return slack
 }
 
+// packedCellHint sizes a packed morsel's cell: the SWAR kernels append
+// only matches (no predication slack needed), so the hint is the
+// per-range share of the expected cardinality padded by one bitmap
+// word's worth of rows.
+func (j *sharedJob) packedCellHint(qi int) int {
+	if qi < len(j.hints) {
+		if h := j.hints[qi]; h > 0 {
+			return h/j.nr + swarWordCodes
+		}
+	}
+	return swarWordCodes
+}
+
 // RunMorsel evaluates morsel i: query chunk (i mod nc) over block-range
 // (i div nc), block by block so every predicate of the chunk visits a
 // cache-resident block before it is evicted. Distinct morsels write
 // disjoint cells, so no locking is needed; the dispatch WaitGroup
 // publishes the writes to the assembling goroutine.
 func (j *sharedJob) RunMorsel(i int) {
+	if j.packed != nil {
+		j.runPackedMorsel(i)
+		return
+	}
 	r, c := i/j.nc, i%j.nc
 	qlo := c * j.chunk
 	qhi := min(qlo+j.chunk, j.q)
@@ -149,6 +222,43 @@ func (j *sharedJob) RunMorsel(i int) {
 			}
 		}
 	}
+}
+
+// runPackedMorsel is the SWAR morsel: per cache-resident block of
+// packed codes, each query of the chunk evaluates the whole block into
+// an arena-pooled match bitmap (branch-free, four codes per word) and
+// then materializes the set positions into its cell. An injected
+// materialization fault fails the batch via the job's first-error slot.
+func (j *sharedJob) runPackedMorsel(i int) {
+	r, c := i/j.nc, i%j.nc
+	qlo := c * j.chunk
+	qhi := min(qlo+j.chunk, j.q)
+	lo0 := r * j.rangeTuples
+	hi0 := min(lo0+j.rangeTuples, j.n)
+	wb := j.arena.GetWords(bitmap.Words(j.blockTuples))
+	bm := wb.W[:cap(wb.W)]
+	for lo := lo0; lo < hi0; lo += j.blockTuples {
+		hi := min(lo+j.blockTuples, hi0)
+		for qi := qlo; qi < qhi; qi++ {
+			b := j.cb[qi]
+			if !b.ok {
+				continue
+			}
+			swarRangeBitmap(j.packed, j.codes, lo, hi, b.lo, b.hi, bm)
+			if err := faultinject.Fire(FaultSiteMaterialize); err != nil {
+				j.fail(err)
+				j.arena.PutWords(wb)
+				return
+			}
+			cell := j.cells[r*j.q+qi]
+			if cell == nil {
+				cell = j.arena.GetBuf(j.packedCellHint(qi))
+				j.cells[r*j.q+qi] = cell
+			}
+			cell.IDs = bitmap.AppendRows(bm, hi-lo, lo, cell.IDs)
+		}
+	}
+	j.arena.PutWords(wb)
 }
 
 // SharedPoolContext is the morsel-driven shared scan: the batch is cut
@@ -190,12 +300,37 @@ func SharedStridedPool(pool *rt.Pool, arena *rt.Arena, c *storage.Column,
 	return SharedStridedPoolContext(context.Background(), pool, arena, c, preds, blockTuples, hints)
 }
 
+// SharedCompressedPoolContext is the morsel-driven shared scan over the
+// word-packed compressed column: per-query code bounds resolve once,
+// (block-range × query-subset) morsels evaluate each cache-resident
+// block branch-free with the SWAR word kernels into pooled match
+// bitmaps, and rowIDs materialize late into arena cells. This is the
+// engine's compressed scan path; blockTuples counts 16-bit codes and
+// defaults to CodeBlockTuples.
+func SharedCompressedPoolContext(ctx context.Context, pool *rt.Pool, arena *rt.Arena,
+	c *storage.CompressedColumn, preds []Predicate, blockTuples int, hints []int) (*rt.Results, error) {
+	j := getPackedJob(pool, arena, c, preds, blockTuples, hints)
+	return runSharedJob(ctx, pool, j)
+}
+
+// SharedCompressedPool is SharedCompressedPoolContext without
+// cancellation.
+func SharedCompressedPool(pool *rt.Pool, arena *rt.Arena, c *storage.CompressedColumn,
+	preds []Predicate, blockTuples int, hints []int) (*rt.Results, error) {
+	return SharedCompressedPoolContext(context.Background(), pool, arena, c, preds, blockTuples, hints)
+}
+
 // runSharedJob dispatches the job's morsels and assembles per-query
 // results: block-ranges concatenate in order, so rowID order is
 // preserved. With nr == 1 the single range's cells transfer directly
 // into the result set with no copy.
 func runSharedJob(ctx context.Context, pool *rt.Pool, j *sharedJob) (*rt.Results, error) {
 	if err := pool.Dispatch(ctx, j.nr*j.nc, j); err != nil {
+		putSharedJob(j)
+		return nil, err
+	}
+	if j.failed.Load() {
+		err := j.err
 		putSharedJob(j)
 		return nil, err
 	}

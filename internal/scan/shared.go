@@ -3,14 +3,17 @@ package scan
 import (
 	"sync"
 
+	"fastcolumns/internal/memsim"
 	rt "fastcolumns/internal/runtime"
 	"fastcolumns/internal/storage"
 )
 
-// DefaultBlockTuples is the shared-scan block size in tuples: 16Ki 4-byte
+// DefaultBlockTuples is the shared-scan block size in tuples, derived
+// from the calibrated cache budget in internal/memsim: 16Ki 4-byte
 // values are 64 KiB, comfortably cache resident while all q predicates
-// visit the block (Figure 2(b)).
-const DefaultBlockTuples = 16384
+// visit the block (Figure 2(b)). The compressed twin's CodeBlockTuples
+// derives from the same byte budget.
+const DefaultBlockTuples = memsim.SharedBlockBytes / 4
 
 // Shared evaluates q predicates in one pass over the data: each block is
 // brought up the memory hierarchy once and every query filters it before

@@ -69,12 +69,34 @@ func (d *Dictionary) EncodeRange(lo, hi Value) (clo, chi Code, ok bool) {
 	return Code(i), Code(j - 1), true
 }
 
+// CodesPerWord is the lane count of the word-packed code layout: four
+// 16-bit codes per 64-bit word, evaluated together by the SWAR scan
+// kernels.
+const CodesPerWord = 4
+
+// PackCodes builds the word-packed layout over a code slice: code i
+// occupies bits [16*(i%4), 16*(i%4)+16) of word i/4, so lane order
+// matches row order and a word's four match flags compact into four
+// consecutive bitmap bits. Lanes past len(codes) in the final word are
+// zero — and zero is itself a valid code, so kernels must bound their
+// iteration by the code count rather than rely on a sentinel.
+func PackCodes(codes []Code) []uint64 {
+	packed := make([]uint64, (len(codes)+CodesPerWord-1)/CodesPerWord)
+	for i, c := range codes {
+		packed[i/CodesPerWord] |= uint64(c) << (16 * (i % CodesPerWord))
+	}
+	return packed
+}
+
 // CompressedColumn is a column stored as 16-bit codes plus its dictionary:
 // ts drops from 4 to 2 bytes, which is exactly the Figure 5/17 setting.
+// The codes are kept twice: as a flat slice for scalar access and
+// word-packed (CodesPerWord codes per uint64) for the SWAR kernels.
 type CompressedColumn struct {
-	name  string
-	codes []Code
-	dict  *Dictionary
+	name   string
+	codes  []Code
+	packed []uint64
+	dict   *Dictionary
 }
 
 // Compress dictionary-encodes a contiguous column.
@@ -95,7 +117,7 @@ func Compress(c *Column) (*CompressedColumn, error) {
 		}
 		codes[i] = code
 	}
-	return &CompressedColumn{name: c.Name(), codes: codes, dict: dict}, nil
+	return &CompressedColumn{name: c.Name(), codes: codes, packed: PackCodes(codes), dict: dict}, nil
 }
 
 // Name returns the attribute name.
@@ -106,6 +128,9 @@ func (c *CompressedColumn) Len() int { return len(c.codes) }
 
 // Codes exposes the compressed data for the scan kernels.
 func (c *CompressedColumn) Codes() []Code { return c.codes }
+
+// PackedCodes exposes the word-packed layout for the SWAR kernels.
+func (c *CompressedColumn) PackedCodes() []uint64 { return c.packed }
 
 // Dict returns the column's dictionary.
 func (c *CompressedColumn) Dict() *Dictionary { return c.dict }

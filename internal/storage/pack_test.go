@@ -1,0 +1,59 @@
+package storage
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestPackCodesLayout pins the word layout the SWAR kernels assume:
+// code i lives in lane i%4 (bits 16*(i%4)..) of word i/4, and the tail
+// word's unused lanes are zero.
+func TestPackCodesLayout(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 4, 5, 7, 8, 63, 64, 65, 1000} {
+		codes := make([]Code, n)
+		for i := range codes {
+			codes[i] = Code(i*2654435761 + 12345) // mix all 16 bits
+		}
+		packed := PackCodes(codes)
+		wantWords := (n + CodesPerWord - 1) / CodesPerWord
+		if len(packed) != wantWords {
+			t.Fatalf("n=%d: len(packed) = %d, want %d", n, len(packed), wantWords)
+		}
+		for i, c := range codes {
+			lane := uint16(packed[i/CodesPerWord] >> (16 * uint(i%CodesPerWord)))
+			if lane != c {
+				t.Fatalf("n=%d: lane %d = %#x, want %#x", n, i, lane, c)
+			}
+		}
+		// Unused tail lanes stay zero so kernels can over-read the word.
+		for i := n; i < wantWords*CodesPerWord; i++ {
+			if lane := uint16(packed[i/CodesPerWord] >> (16 * uint(i%CodesPerWord))); lane != 0 {
+				t.Fatalf("n=%d: tail lane %d = %#x, want 0", n, i, lane)
+			}
+		}
+	}
+}
+
+// TestCompressBuildsPackedTwin: Compress must produce the packed layout
+// alongside the code array, and the two must agree — the scan package
+// reads both (packed for SWAR spans, codes for ragged head/tail).
+func TestCompressBuildsPackedTwin(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	vals := make([]Value, 5000)
+	for i := range vals {
+		vals[i] = Value(rng.Intn(3000))
+	}
+	cc, err := Compress(NewColumn("v", vals))
+	if err != nil {
+		t.Fatal(err)
+	}
+	codes, packed := cc.Codes(), cc.PackedCodes()
+	if want := (len(codes) + CodesPerWord - 1) / CodesPerWord; len(packed) != want {
+		t.Fatalf("len(packed) = %d, want %d", len(packed), want)
+	}
+	for i, c := range codes {
+		if lane := Code(packed[i/CodesPerWord] >> (16 * uint(i%CodesPerWord))); lane != c {
+			t.Fatalf("packed lane %d = %#x, codes[%d] = %#x", i, lane, i, c)
+		}
+	}
+}

@@ -253,6 +253,82 @@ func TestFaultInjectionPanicIsolatedPerBatch(t *testing.T) {
 	}
 }
 
+// TestFaultInjectionMaterializeErrorFallsBackToScan injects an error at
+// the SWAR scan's bitmap-materialization boundary (the point where match
+// bitmaps become rowIDs inside a pool worker). The morsel job must
+// surface it as a batch error — not a lost result or a hang — and the
+// server's one-shot fallback, re-running the scan with the injector's
+// budget spent, must answer cleanly.
+func TestFaultInjectionMaterializeErrorFallsBackToScan(t *testing.T) {
+	eng, tbl := chaosEngine(t)
+	if err := tbl.Compress("a"); err != nil {
+		t.Fatal(err)
+	}
+	srv := eng.Serve(ServeOptions{Window: time.Hour})
+	defer srv.Close()
+
+	deactivate := faultinject.Activate(faultinject.New(1,
+		faultinject.Rule{Site: "scan.materialize", Kind: faultinject.Error, Count: 1}))
+	defer deactivate()
+
+	// A wide predicate so APS picks the (packed) scan over the index.
+	p := Predicate{Lo: 0, Hi: 5000}
+	ch, err := srv.Submit("t", "a", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Flush("t", "a")
+	r := <-ch
+	if r.Err != nil {
+		t.Fatalf("fallback did not absorb the materialize fault: %v", r.Err)
+	}
+	want, _ := tbl.SelectVia(PathScan, "a", []Predicate{p})
+	if !equalIDs(r.RowIDs, want.RowIDs[0]) {
+		t.Fatal("fallback answer differs from a clean scan")
+	}
+	st := srv.ServerStats()
+	if st.FallbackRetries != 1 || st.FallbackSuccesses != 1 {
+		t.Fatalf("fallback retries/successes = %d/%d, want 1/1", st.FallbackRetries, st.FallbackSuccesses)
+	}
+}
+
+// TestFaultInjectionMaterializePanicIsolated: a panic at the same
+// boundary rides the pool's panic relay — both the chosen-path attempt
+// and the fallback retry are poisoned, the submitter sees ErrBatchPanic,
+// and the attribute recovers once the injector is gone.
+func TestFaultInjectionMaterializePanicIsolated(t *testing.T) {
+	eng, tbl := chaosEngine(t)
+	if err := tbl.Compress("a"); err != nil {
+		t.Fatal(err)
+	}
+	srv := eng.Serve(ServeOptions{Window: time.Hour})
+	defer srv.Close()
+
+	deactivate := faultinject.Activate(faultinject.New(1,
+		faultinject.Rule{Site: "scan.materialize", Kind: faultinject.Panic, Prob: 1}))
+
+	p := Predicate{Lo: 0, Hi: 5000}
+	ch, err := srv.Submit("t", "a", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Flush("t", "a")
+	if r := <-ch; !errors.Is(r.Err, ErrBatchPanic) {
+		t.Fatalf("materialize-poisoned batch reply: %v, want ErrBatchPanic", r.Err)
+	}
+	st := srv.ServerStats()
+	if st.RecoveredPanics != 2 {
+		t.Fatalf("RecoveredPanics = %d, want 2 (chosen path + fallback)", st.RecoveredPanics)
+	}
+
+	deactivate()
+	ch, _ = srv.Submit("t", "a", p)
+	srv.Flush("t", "a")
+	if r := <-ch; r.Err != nil {
+		t.Fatalf("attribute did not recover after materialize panics: %v", r.Err)
+	}
+}
+
 // TestFaultInjectionFallbackScanAnswersBatch: an injected error on the
 // index path is absorbed by the one-shot scan fallback — the submitter
 // sees a clean answer that matches an uninjected scan.
@@ -468,7 +544,12 @@ func TestOverloadedSubmissionsRejectedWithoutLeaks(t *testing.T) {
 // removed, and no goroutines may leak.
 func TestServerSurvivesChaos(t *testing.T) {
 	base := runtime.NumGoroutine()
-	eng, _ := chaosEngine(t)
+	eng, tbl := chaosEngine(t)
+	// Compress one attribute so the soak drives the packed SWAR morsel
+	// path (and its materialize fault site) alongside the plain scan.
+	if err := tbl.Compress("a"); err != nil {
+		t.Fatal(err)
+	}
 	srv := eng.Serve(ServeOptions{
 		Window:      500 * time.Microsecond,
 		MaxBatch:    32,
@@ -488,6 +569,11 @@ func TestServerSurvivesChaos(t *testing.T) {
 		faultinject.Rule{Site: "runtime.morsel", Kind: faultinject.Error, Prob: 0.002},
 		faultinject.Rule{Site: "runtime.morsel", Kind: faultinject.Panic, Prob: 0.001},
 		faultinject.Rule{Site: "runtime.morsel", Kind: faultinject.Delay, Prob: 0.01, Delay: 200 * time.Microsecond},
+		// The bitmap-materialization boundary inside the packed SWAR scan:
+		// a worker holding a pooled bitmap buffer must fail or die without
+		// leaking it or wedging the job.
+		faultinject.Rule{Site: "scan.materialize", Kind: faultinject.Error, Prob: 0.002},
+		faultinject.Rule{Site: "scan.materialize", Kind: faultinject.Panic, Prob: 0.001},
 	))
 
 	attrs := []string{"a", "b"}
@@ -581,7 +667,10 @@ func TestServerSurvivesChaos(t *testing.T) {
 // blind under faults is worthless precisely when it is needed.
 func TestChaosReplyConservationAndObservability(t *testing.T) {
 	base := runtime.NumGoroutine()
-	eng, _ := chaosEngine(t)
+	eng, tbl := chaosEngine(t)
+	if err := tbl.Compress("a"); err != nil {
+		t.Fatal(err)
+	}
 	srv := eng.Serve(ServeOptions{
 		Window:      500 * time.Microsecond,
 		MaxBatch:    16,
@@ -594,9 +683,11 @@ func TestChaosReplyConservationAndObservability(t *testing.T) {
 		faultinject.Rule{Site: "exec.run", Kind: faultinject.Error, Prob: 0.08},
 		faultinject.Rule{Site: "exec.index", Kind: faultinject.Error, Prob: 0.10},
 		faultinject.Rule{Site: "exec.run", Kind: faultinject.Delay, Prob: 0.15, Delay: time.Millisecond},
-		// Ledger conservation must hold when faults fire inside morsels too.
+		// Ledger conservation must hold when faults fire inside morsels too,
+		// including at the packed scan's bitmap-materialization boundary.
 		faultinject.Rule{Site: "runtime.morsel", Kind: faultinject.Error, Prob: 0.002},
 		faultinject.Rule{Site: "runtime.morsel", Kind: faultinject.Panic, Prob: 0.001},
+		faultinject.Rule{Site: "scan.materialize", Kind: faultinject.Error, Prob: 0.002},
 	))
 
 	attrs := []string{"a", "b"}
