@@ -8,7 +8,7 @@ BENCH_N ?= 2000000
 BENCH_STAMP ?= $(shell date -u +%Y%m%d)
 BENCH_BASELINE ?= $(lastword $(sort $(wildcard BENCH_*.json)))
 
-.PHONY: check build fmt vet lint test race fuzz-seeds diffalloc bench benchgate
+.PHONY: check build fmt vet lint test race refitsoak fuzz-seeds diffalloc bench benchgate
 
 # check is the tier-1 gate CI runs: static checks (formatting, go vet,
 # the repo's own fclint invariant suite), build, plain and race-enabled
@@ -31,7 +31,8 @@ vet:
 
 # lint runs cmd/fclint, the stdlib-only static-analysis suite that
 # enforces the repo's concurrency and cost-model contracts (nopanic,
-# ctxflow, atomicfield, floatcmp, errdrop). Zero findings required.
+# ctxflow, atomicfield, floatcmp, errdrop, gospawn, atomicswap). Zero
+# findings required.
 lint:
 	$(GO) run ./cmd/fclint ./...
 
@@ -40,6 +41,14 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# refitsoak runs the drift-loop acceptance tests under the race
+# detector: the refit controller's unit and chaos suite, plus the
+# end-to-end soak that hot-swaps a validated re-fit while concurrent
+# queries run. They are part of `race` too; this target names them so
+# CI reports the drift loop as its own gate.
+refitsoak:
+	$(GO) test -race -run 'Refit|RobustMode|EstimateError' . ./internal/refit
 
 # diffalloc runs the differential scan-kernel suite (every kernel must
 # select the same rowIDs as the naive reference) and the zero-allocation
@@ -56,7 +65,7 @@ fuzz-seeds:
 # bench runs the Go micro-benchmarks with allocation reporting, then the
 # Figure 18 + skewed-batch experiment driver, writing the machine-readable
 # document BENCH_$(BENCH_STAMP).json at the repo root (schema
-# fastcolumns/bench_aps/v2, documented in EXPERIMENTS.md). -hw1 skips
+# fastcolumns/bench_aps/v4, documented in EXPERIMENTS.md). -hw1 skips
 # host calibration so the target is fast and deterministic enough for CI;
 # drop it (run cmd/bench by hand) for a calibrated run.
 bench:
@@ -65,8 +74,10 @@ bench:
 
 # benchgate re-runs the shared-scan experiments (morsel skew + packed
 # SWAR kernels) and fails when any speedup ratio fell more than 10%
-# below the committed baseline document. Ratios, not absolute times, are
-# compared, so the gate holds across machines.
+# below the committed baseline document, or when robust-mode decisions
+# stop beating fixed-APS by 1.15x on model regret under 4x selectivity
+# underestimates (the schema-v4 regret grid). Ratios, not absolute
+# times, are compared, so both gates hold across machines.
 benchgate:
 	@test -n "$(BENCH_BASELINE)" || { echo "no BENCH_*.json baseline committed"; exit 1; }
 	$(GO) run ./cmd/bench -hw1 -n $(BENCH_N) -trials 3 -compare $(BENCH_BASELINE)

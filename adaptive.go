@@ -30,8 +30,12 @@ func (t *Table) SelectAdaptive(attr string, lo, hi Value) (AdaptiveResult, error
 	if err != nil {
 		return AdaptiveResult{}, err
 	}
+	// One snapshot read keeps hardware and design from the same fit: a
+	// refit hot-swap between two separate accessor calls could otherwise
+	// hand the budget mismatched halves.
+	snap := t.engine.opt.Snapshot()
 	budget := adaptive.BudgetFromModel(rel.Column.Len(), float64(rel.Column.TupleSize()),
-		t.engine.hw, t.engine.opt.Design)
+		snap.HW, snap.Design)
 	res, err := adaptive.Select(rel, Predicate{Lo: lo, Hi: hi}, budget)
 	if err != nil {
 		return AdaptiveResult{}, err
@@ -68,14 +72,15 @@ func (t *Table) ExplainRobustness(attr string, preds []Predicate) (Decision, Rob
 	if err != nil {
 		return Decision{}, Robustness{}, err
 	}
+	snap := t.engine.opt.Snapshot()
 	p := model.Params{
 		Workload: model.Workload{Selectivities: d.Selectivities},
 		Dataset: model.Dataset{
 			N:         float64(rel.Column.Len()),
 			TupleSize: float64(rel.Column.TupleSize()),
 		},
-		Hardware: t.engine.hw,
-		Design:   t.engine.opt.Design,
+		Hardware: snap.HW,
+		Design:   snap.Design,
 	}
 	return d, Robustness{
 		ErrorMargin:        model.ErrorMargin(p),

@@ -187,13 +187,23 @@ func main() {
 	fmt.Printf("packed-scan drift: global ratio %.2f, max drift %.3f (threshold %.3f), stale=%v\n",
 		comp.Drift.GlobalRatio, comp.Drift.MaxDrift, comp.Drift.Threshold, comp.Drift.Stale)
 
+	// The schema-v4 estimate-error ablation: score each decision mode's
+	// choices under injected misestimation against the grid's measured
+	// oracle.
+	regret := measureRegretGrid(rel, hist, hw, design, cells, domain, *trials)
+	for _, s := range regret.Summary {
+		fmt.Printf("regret %-10s err=%-4g measured mean %.2fx max %.2fx, model mean %.2fx max %.2fx\n",
+			s.Mode, s.ErrFactor, s.MeanRegret, s.MaxRegret, s.MeanModelRegret, s.MaxModelRegret)
+	}
+
 	out := benchOutput{
-		Schema: "fastcolumns/bench_aps/v3",
+		Schema: "fastcolumns/bench_aps/v4",
 		N:      *n, Trials: *trials,
 		Hardware: hw, Design: design,
 		Cells: cells, MatchedBest: matched, TotalCells: len(specs),
 		Skew:       skew,
 		Compressed: comp,
+		Regret:     regret,
 	}
 	if *jsonOut != "" {
 		data, err := json.MarshalIndent(out, "", "  ")
@@ -209,7 +219,10 @@ func main() {
 		if err := compareBaseline(*compare, out); err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("no regression against %s\n", *compare)
+		if err := regretGate(out.Regret); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("no regression against %s; robust mode beats fixed-APS under 4x misestimates\n", *compare)
 	}
 }
 
@@ -469,4 +482,8 @@ type benchOutput struct {
 	TotalCells  int              `json:"total_cells"`
 	Skew        skewResult       `json:"skew"`
 	Compressed  compressedResult `json:"compressed"`
+	// Regret is the schema-v4 addition: the estimate-error ablation grid
+	// (aps-fixed vs aps-refit vs aps-robust vs adaptive against the
+	// measured oracle).
+	Regret regretResult `json:"regret"`
 }

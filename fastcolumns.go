@@ -32,6 +32,7 @@ import (
 	"sync"
 	"time"
 
+	"fastcolumns/internal/adaptive"
 	"fastcolumns/internal/bitmap"
 	"fastcolumns/internal/exec"
 	"fastcolumns/internal/imprints"
@@ -40,6 +41,7 @@ import (
 	"fastcolumns/internal/model"
 	"fastcolumns/internal/obs"
 	"fastcolumns/internal/optimizer"
+	"fastcolumns/internal/refit"
 	rt "fastcolumns/internal/runtime"
 	"fastcolumns/internal/scan"
 	"fastcolumns/internal/stats"
@@ -67,6 +69,15 @@ type Path = model.Path
 // selectivity estimates behind it, and the (microsecond-scale) time the
 // decision itself took.
 type Decision = optimizer.Decision
+
+// Design is the cost model's design-constant block (Table 1 plus the
+// Appendix C fitting constants); Config.Design overrides the optimizer's
+// starting point with one.
+type Design = model.Design
+
+// RobustPolicy configures the estimate-error-robust decision mode: see
+// Config.Robust.
+type RobustPolicy = optimizer.RobustPolicy
 
 // Re-exported path constants.
 const (
@@ -101,6 +112,25 @@ type Config struct {
 	// ArenaRetain caps the rowID capacity (entries) of buffers the
 	// result arena keeps across batches (<= 0: the default 4M).
 	ArenaRetain int
+	// Design overrides the optimizer's starting cost-model constants
+	// (nil: the paper's fitted design). Useful for replaying a saved fit,
+	// or for experiments that start from deliberately stale constants to
+	// exercise the drift/refit loop.
+	Design *Design
+	// Robust enables the estimate-error-robust decision mode: batches
+	// whose flip margin falls below Robust.MarginThreshold are hedged by
+	// minimax regret or routed to the adaptive path. Zero value disables.
+	Robust RobustPolicy
+	// EnableRefit starts a background controller that watches the drift
+	// accounting and, when the fitted constants go stale on this host,
+	// re-fits them from live traces and hot-swaps the optimizer's design.
+	EnableRefit bool
+	// RefitInterval and RefitCooldown tune the controller's poll cadence
+	// and post-attempt hysteresis (<= 0: 2s and 30s). RefitMinObs is the
+	// harvested-observation floor below which no fit runs (<= 0: 16).
+	RefitInterval time.Duration
+	RefitCooldown time.Duration
+	RefitMinObs   int
 }
 
 // Engine is a FastColumns instance: a set of tables plus the APS
@@ -114,6 +144,7 @@ type Engine struct {
 	observer    *obs.Observer
 	pool        *rt.Pool
 	arena       *rt.Arena
+	refitc      *refit.Controller
 
 	mu     sync.RWMutex
 	tables map[string]*Table
@@ -130,9 +161,16 @@ func New(cfg Config) *Engine {
 		fanout = index.DefaultFanout
 	}
 	observer := obs.NewObserver(cfg.TraceCap)
+	opt := optimizer.New(hw)
+	if cfg.Design != nil {
+		opt = optimizer.NewWithDesign(hw, *cfg.Design)
+	}
+	if cfg.Robust.Enabled() || cfg.Robust.EstimateError > 0 {
+		opt.SetRobust(cfg.Robust)
+	}
 	e := &Engine{
 		hw:          hw,
-		opt:         optimizer.New(hw),
+		opt:         opt,
 		workers:     cfg.Workers,
 		fanout:      fanout,
 		blockTuples: cfg.BlockTuples,
@@ -142,14 +180,26 @@ func New(cfg Config) *Engine {
 		tables:      make(map[string]*Table),
 	}
 	e.opt.SetMetrics(e.observer.Metrics)
+	if cfg.EnableRefit {
+		e.refitc = refit.New(e.opt, e.observer, refit.Options{
+			Interval:        cfg.RefitInterval,
+			Cooldown:        cfg.RefitCooldown,
+			MinObservations: cfg.RefitMinObs,
+		})
+		e.refitc.Start()
+	}
 	return e
 }
 
-// Close shuts the engine's worker pool down: queued morsels drain and
-// the workers exit. Close the engine after any Server built on it.
-// Idempotent; queries issued after Close still answer correctly (morsel
-// dispatch degrades to inline execution).
+// Close shuts the engine down: the refit controller (if any) stops, then
+// the worker pool's queued morsels drain and the workers exit. Close the
+// engine after any Server built on it. Idempotent; queries issued after
+// Close still answer correctly (morsel dispatch degrades to inline
+// execution).
 func (e *Engine) Close() {
+	if e.refitc != nil {
+		e.refitc.Close()
+	}
 	e.pool.Close()
 }
 
@@ -164,8 +214,16 @@ func (e *Engine) Observer() *obs.Observer { return e.observer }
 // still describe this host.
 func (e *Engine) Observe() obs.Snapshot { return e.observer.Snapshot() }
 
-// Hardware returns the profile the optimizer models.
-func (e *Engine) Hardware() Hardware { return e.hw }
+// Hardware returns the profile the optimizer currently models — after an
+// online refit this can differ from the configured profile (the fit
+// adjusts the pipelining factor).
+func (e *Engine) Hardware() Hardware { return e.opt.HW() }
+
+// RefitStatus returns the refit controller's state; ok is false when the
+// engine was built without EnableRefit.
+func (e *Engine) RefitStatus() (st obs.RefitStatus, ok bool) {
+	return e.observer.RefitStatus()
+}
 
 // CreateTable registers a new empty table.
 func (e *Engine) CreateTable(name string) (*Table, error) {
@@ -409,14 +467,44 @@ func (t *Table) SelectBatchContext(ctx context.Context, attr string, preds []Pre
 		return BatchResult{}, err
 	}
 	d := t.engine.opt.Decide(rel, t.hists[attr], preds)
+	if d.RouteAdaptive {
+		// The robust policy judged the batch's flip margin too thin to
+		// commit to either static path: answer it on the Smooth-Scan
+		// adaptive path, which starts probing and morphs into a scan if
+		// the result outgrows the break-even budget — bounded regret
+		// whichever way the estimates were wrong.
+		return t.selectBatchAdaptive(ctx, attr, rel, d, preds)
+	}
 	opt := t.execOptions(rel)
 	opt.Hints = cardinalityHints(d.Selectivities, rel.Column.Len())
 	res, err := exec.Run(ctx, rel, d.Path, preds, opt)
 	if err != nil {
 		return BatchResult{}, err
 	}
-	t.observeBatch(attr, d, res.Elapsed)
+	t.observeBatch(attr, rel, d, res.Elapsed)
 	return BatchResult{RowIDs: res.RowIDs, Decision: d, Elapsed: res.Elapsed, pooled: res.Pooled}, nil
+}
+
+// selectBatchAdaptive answers a batch query-by-query on the adaptive
+// path. Caller holds t.mu for reading.
+func (t *Table) selectBatchAdaptive(ctx context.Context, attr string, rel *exec.Relation, d Decision, preds []Predicate) (BatchResult, error) {
+	snap := t.engine.opt.Snapshot()
+	budget := adaptive.BudgetFromModel(rel.Column.Len(), float64(rel.Column.TupleSize()), snap.HW, snap.Design)
+	start := time.Now()
+	rows := make([][]RowID, len(preds))
+	for i, p := range preds {
+		if err := ctx.Err(); err != nil {
+			return BatchResult{}, err
+		}
+		res, err := adaptive.Select(rel, p, budget)
+		if err != nil {
+			return BatchResult{}, err
+		}
+		rows[i] = res.RowIDs
+	}
+	elapsed := time.Since(start)
+	t.observeBatch(attr, rel, d, elapsed)
+	return BatchResult{RowIDs: rows, Decision: d, Elapsed: elapsed}, nil
 }
 
 // cardinalityHints turns the optimizer's per-query selectivity
@@ -437,14 +525,17 @@ func cardinalityHints(sels []float64, n int) []int {
 // layer: a decision-trace entry, the drift accumulator (predicted cost of
 // the chosen path vs measured wall time), and the batch latency
 // histogram. Everything here is allocation-free on the warm path.
-func (t *Table) observeBatch(attr string, d Decision, elapsed time.Duration) {
+func (t *Table) observeBatch(attr string, rel *exec.Relation, d Decision, elapsed time.Duration) {
 	o := t.engine.observer
 	e := obs.TraceEntry{
 		At:             time.Now(),
 		Table:          t.st.Name(),
 		Attr:           attr,
 		Q:              len(d.Selectivities),
+		N:              rel.Column.Len(),
+		TupleSize:      float64(rel.Column.TupleSize()),
 		Path:           d.Path.String(),
+		Kernel:         d.ScanKernel,
 		Forced:         d.Forced,
 		Ratio:          d.Ratio,
 		PredScanCost:   d.ScanCost,
@@ -453,6 +544,18 @@ func (t *Table) observeBatch(attr string, d Decision, elapsed time.Duration) {
 		Elapsed:        elapsed,
 	}
 	e.SetSelectivities(d.Selectivities)
+	if d.RouteAdaptive {
+		// The batch ran on the adaptive path, not the one the static
+		// model predicted for: trace it under its own name and keep it
+		// out of the drift cells, whose measured-vs-predicted ratios are
+		// only meaningful when prediction and execution name the same
+		// path.
+		e.Path = "adaptive"
+		o.Trace.Append(e)
+		o.Metrics.Counter("engine.adaptive_batches").Add(1)
+		o.Metrics.Histogram("engine.batch_ns").Record(elapsed.Nanoseconds())
+		return
+	}
 	o.Trace.Append(e)
 	// Drift cells key on the kernel-aware path name (e.g. "scan(swar)"
 	// over a compressed twin), so a stale packed fit flags separately.

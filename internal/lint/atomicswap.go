@@ -1,0 +1,165 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// AtomicswapDirective is the doc-comment marker that puts a struct under
+// this analyzer's protection. It is a directive comment (no space after
+// //), so go/ast keeps it out of the rendered documentation.
+const AtomicswapDirective = "//fclint:atomicswap"
+
+// Atomicswap guards the hot-swap discipline introduced with the refit
+// controller: a struct marked with the fclint:atomicswap directive holds
+// state that is republished wholesale through an atomic pointer (the
+// optimizer's Snapshot), and the only sound way to touch it is through
+// the struct's own methods, which load one snapshot and read everything
+// from it. A direct field access anywhere else — another package, or
+// even a free function in the same package — can interleave with a
+// concurrent swap and observe half-old, half-new state (e.g. a budget
+// computed from the old hardware profile and the new design). The
+// compiler cannot see this: the fields may be perfectly exported or the
+// access may sit next door, so the invariant lives here, checked across
+// every package of the module.
+type Atomicswap struct {
+	marked   map[*types.TypeName]bool
+	accesses map[*types.TypeName][]swapAccess
+}
+
+type swapAccess struct {
+	field string
+	pos   token.Pos
+}
+
+// NewAtomicswap returns the analyzer with empty cross-package state.
+func NewAtomicswap() *Atomicswap {
+	return &Atomicswap{
+		marked:   make(map[*types.TypeName]bool),
+		accesses: make(map[*types.TypeName][]swapAccess),
+	}
+}
+
+func (*Atomicswap) Name() string { return "atomicswap" }
+func (*Atomicswap) Doc() string {
+	return "fields of a struct marked " + AtomicswapDirective + " may be accessed only from its own methods; everyone else goes through the snapshot accessors"
+}
+
+func (a *Atomicswap) Package(pkg *Package, report Reporter) {
+	for _, f := range pkg.Files {
+		// Pass 1: collect the marked struct types declared in this file.
+		// Directive comments are excluded from CommentGroup.Text(), so the
+		// raw list is scanned.
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				if !hasDirective(gd.Doc, AtomicswapDirective) && !hasDirective(ts.Doc, AtomicswapDirective) {
+					continue
+				}
+				if tn, ok := pkg.Info.Defs[ts.Name].(*types.TypeName); ok {
+					a.marked[tn] = true
+				}
+			}
+		}
+		// Pass 2: record every field selection on a named struct type that
+		// happens outside that type's own methods. Whether the selected
+		// type is marked may only become known when its defining package
+		// loads, so the verdict is deferred to Finish.
+		for _, decl := range f.Decls {
+			var recvTN *types.TypeName
+			if fd, ok := decl.(*ast.FuncDecl); ok {
+				recvTN = receiverTypeName(pkg.Info, fd)
+			}
+			ast.Inspect(decl, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				s, ok := pkg.Info.Selections[sel]
+				if !ok || s.Kind() != types.FieldVal {
+					return true
+				}
+				tn := namedTypeName(s.Recv())
+				if tn == nil || tn == recvTN {
+					return true
+				}
+				a.accesses[tn] = append(a.accesses[tn], swapAccess{
+					field: sel.Sel.Name, pos: sel.Sel.Pos(),
+				})
+				return true
+			})
+		}
+	}
+}
+
+// Finish reports every recorded outside access to a marked struct.
+func (a *Atomicswap) Finish(report Reporter) {
+	names := make([]*types.TypeName, 0, len(a.marked))
+	for tn := range a.marked {
+		if len(a.accesses[tn]) > 0 {
+			names = append(names, tn)
+		}
+	}
+	sort.Slice(names, func(i, j int) bool { return names[i].Pos() < names[j].Pos() })
+	for _, tn := range names {
+		accs := a.accesses[tn]
+		sort.Slice(accs, func(i, j int) bool { return accs[i].pos < accs[j].pos })
+		for _, acc := range accs {
+			report(acc.pos, "field %s of snapshot-protected type %s is accessed outside its methods; a concurrent hot-swap can tear this read — go through the type's accessor methods", acc.field, tn.Name())
+		}
+	}
+}
+
+// hasDirective reports whether the comment group carries the directive
+// as a standalone comment line.
+func hasDirective(cg *ast.CommentGroup, directive string) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		if strings.TrimSpace(c.Text) == directive {
+			return true
+		}
+	}
+	return false
+}
+
+// receiverTypeName resolves a method declaration to the named type of
+// its receiver (through a pointer if any); nil for free functions.
+func receiverTypeName(info *types.Info, fd *ast.FuncDecl) *types.TypeName {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return nil
+	}
+	tv, ok := info.Types[fd.Recv.List[0].Type]
+	if !ok {
+		return nil
+	}
+	return namedTypeName(tv.Type)
+}
+
+// namedTypeName unwraps pointers and returns the *types.TypeName of a
+// named type, or nil.
+func namedTypeName(t types.Type) *types.TypeName {
+	for {
+		p, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	return named.Obj()
+}

@@ -1,5 +1,5 @@
 // Package lint is the repo's own static-analysis suite: a stdlib-only
-// (go/ast, go/parser, go/token, go/types) driver plus five analyzers that
+// (go/ast, go/parser, go/token, go/types) driver plus seven analyzers that
 // turn this codebase's concurrency and cost-model conventions into
 // machine-checked invariants. The serve path's resilience guarantees
 // (errors-not-panics, context threading, atomic counters) and the cost
@@ -23,6 +23,11 @@
 //   - gospawn: no raw go statements in library packages; goroutines come
 //     from the internal/runtime worker pool (morsel dispatch) or its Go
 //     escape hatch, so the process has exactly one spawn site.
+//   - atomicswap: fields of structs marked //fclint:atomicswap (state
+//     republished wholesale through an atomic snapshot pointer, like the
+//     optimizer's) are accessed only from the struct's own methods;
+//     everyone else uses the snapshot accessors, so a concurrent
+//     hot-swap can never tear a read.
 //
 // Test files are exempt from every analyzer and are not loaded at all.
 package lint
@@ -70,6 +75,7 @@ func Analyzers() []Analyzer {
 		NewFloatcmp(),
 		NewErrdrop(),
 		NewGospawn(),
+		NewAtomicswap(),
 	}
 }
 

@@ -1,0 +1,64 @@
+// Package atomicswap is the atomicswap analyzer fixture: fields of a
+// struct marked fclint:atomicswap may be touched only from the struct's
+// own methods; free functions and other types' methods must go through
+// the accessors, or a concurrent snapshot hot-swap can tear their reads.
+package atomicswap
+
+import "sync/atomic"
+
+// Snap is the swappable state the box republishes wholesale. It is not
+// itself marked: value copies obtained through the accessor are safe.
+type Snap struct {
+	Design  float64
+	Version uint64
+}
+
+// Box owns the snapshot pointer; every read and write of its fields must
+// stay inside its methods.
+//
+//fclint:atomicswap
+type Box struct {
+	snap atomic.Pointer[Snap]
+	hits int64
+}
+
+// Install publishes the first snapshot.
+func (b *Box) Install(s *Snap) { b.snap.Store(s) }
+
+// Design is the accessor: field reads inside methods are allowed.
+func (b *Box) Design() float64 { return b.snap.Load().Design }
+
+// Touch may combine fields freely from inside.
+func (b *Box) Touch() {
+	b.hits++
+}
+
+// Leak reads the protected pointer from a free function in the very same
+// package: flagged — the compiler would have allowed it.
+func Leak(b *Box) *Snap {
+	return b.snap.Load() // want "snapshot-protected"
+}
+
+// Poke writes through it from outside: flagged.
+func Poke(b *Box, s *Snap) {
+	b.snap.Store(s) // want "snapshot-protected"
+}
+
+// Wrapper holds a box; its methods are NOT the box's methods.
+type Wrapper struct {
+	b *Box
+}
+
+// Sneak reaches through two selectors; the inner one is the violation.
+func (w *Wrapper) Sneak() float64 {
+	return w.b.snap.Load().Design // want "snapshot-protected"
+}
+
+// Safe goes through the accessor: quiet.
+func (w *Wrapper) Safe() float64 { return w.b.Design() }
+
+// Plain is unmarked: direct field access anywhere is nobody's business.
+type Plain struct{ n int }
+
+// Use touches Plain from a free function: quiet.
+func Use(p *Plain) int { return p.n }

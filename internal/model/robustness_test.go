@@ -78,3 +78,114 @@ func TestErrorMarginHandlesExtremes(t *testing.T) {
 		t.Fatalf("margin = %v", m)
 	}
 }
+
+func TestErrorMarginUnflippableIsInf(t *testing.T) {
+	// An estimate nine-plus orders of magnitude from the break-even point
+	// exhausts the [1e-9, 1e9] search range before flipping: the margin
+	// must report +Inf, not a garbage finite factor. (Histograms really do
+	// produce such estimates for point gets on huge domains.)
+	p := testParams(1, 1e-14)
+	if Choose(p) != PathIndex {
+		t.Fatal("fixture is supposed to pick the index")
+	}
+	if m := ErrorMargin(p); !math.IsInf(m, 1) {
+		t.Fatalf("1e-14 point-get margin = %v, want +Inf", m)
+	}
+}
+
+func TestErrorMarginZeroSelectivityBatch(t *testing.T) {
+	// Zero-selectivity estimates are a fixed point of multiplicative
+	// scaling (0 * m == 0): no error factor changes the workload, so the
+	// decision can never flip and the margin must be +Inf rather than
+	// looping or returning a bogus finite factor.
+	p := testParams(8, 0)
+	if m := ErrorMargin(p); !math.IsInf(m, 1) {
+		t.Fatalf("zero-selectivity margin = %v, want +Inf", m)
+	}
+}
+
+func TestWrongChoicePenaltyZeroSelectivity(t *testing.T) {
+	// With all-zero selectivities both costs are finite (data scan vs
+	// tree traversals) and the penalty is well-defined and >= 1.
+	p := testParams(8, 0)
+	got := WrongChoicePenalty(p)
+	if math.IsNaN(got) || got < 1 {
+		t.Fatalf("zero-selectivity penalty = %v, want finite >= 1", got)
+	}
+}
+
+func TestWrongChoicePenaltyNearBreakEven(t *testing.T) {
+	// Exactly at the crossover the two paths cost the same: the penalty
+	// collapses to ~1 (mistakes are free at the boundary).
+	d := Dataset{N: 1e8, TupleSize: 4}
+	s, ok := Crossover(4, d, HW1(), DefaultDesign())
+	if !ok {
+		t.Fatal("no crossover")
+	}
+	p := Params{Workload: Uniform(4, s), Dataset: d, Hardware: HW1(), Design: DefaultDesign()}
+	if got := WrongChoicePenalty(p); got < 1-1e-6 || got > 1.05 {
+		t.Fatalf("break-even penalty = %v, want ~1", got)
+	}
+}
+
+func TestWithEstimateError(t *testing.T) {
+	w := Workload{Selectivities: []float64{0.1, 0.4, 0}}
+	over := w.WithEstimateError(4)
+	want := []float64{0.4, 1, 0} // 0.4*4 clamps to 1, zero stays zero
+	for i, s := range over.Selectivities {
+		if !ApproxEq(s, want[i]) {
+			t.Fatalf("overestimate sel[%d] = %v, want %v", i, s, want[i])
+		}
+	}
+	under := w.WithEstimateError(0.25)
+	if !ApproxEq(under.Selectivities[0], 0.025) {
+		t.Fatalf("underestimate sel[0] = %v, want 0.025", under.Selectivities[0])
+	}
+	// The identity and disabled knobs return the workload unchanged.
+	if got := w.WithEstimateError(1); &got.Selectivities[0] != &w.Selectivities[0] {
+		t.Fatal("factor 1 should not copy the workload")
+	}
+	if got := w.WithEstimateError(0); &got.Selectivities[0] != &w.Selectivities[0] {
+		t.Fatal("factor 0 should disable the knob")
+	}
+}
+
+func TestMinimaxRegretPrefersScanUnderUncertainty(t *testing.T) {
+	// The point estimate sits just on the index side of the 4-query
+	// break-even, but a 4x underestimate would make the index
+	// catastrophic while the scan's cost barely moves. The minimax rule
+	// must hedge to the scan even though the point decision says index.
+	d := Dataset{N: 1e8, TupleSize: 4}
+	s, ok := Crossover(4, d, HW1(), DefaultDesign())
+	if !ok {
+		t.Fatal("no crossover")
+	}
+	p := Params{Workload: Uniform(4, s*0.8), Dataset: d, Hardware: HW1(), Design: DefaultDesign()}
+	if Choose(p) != PathIndex {
+		t.Fatal("fixture is supposed to sit on the index side of the boundary")
+	}
+	path, regret := MinimaxRegret(p, 4)
+	if path != PathScan {
+		t.Fatalf("minimax chose %v, want scan hedge", path)
+	}
+	if regret < 0 {
+		t.Fatalf("negative worst-case regret %v", regret)
+	}
+}
+
+func TestMinimaxRegretKeepsConfidentChoices(t *testing.T) {
+	// Deep in either territory the plain decision survives the hedge.
+	deep := testParams(1, 1e-7) // point get: index by a mile
+	if path, _ := MinimaxRegret(deep, 4); path != PathIndex {
+		t.Fatalf("deep-index minimax chose %v", path)
+	}
+	wide := testParams(64, 0.2) // wide batch: scan by a mile
+	if path, _ := MinimaxRegret(wide, 4); path != PathScan {
+		t.Fatalf("deep-scan minimax chose %v", path)
+	}
+	// errFactor <= 1 degenerates to the point decision with zero regret.
+	path, regret := MinimaxRegret(deep, 1)
+	if path != Choose(deep) || !EqZero(regret) {
+		t.Fatalf("degenerate minimax = (%v, %v)", path, regret)
+	}
+}

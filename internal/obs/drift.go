@@ -120,6 +120,16 @@ func (d *Drift) Record(path string, meanSel, predicted, measured float64) {
 	d.mu.Unlock()
 }
 
+// Reset discards all accumulated evidence. The refit controller calls it
+// after hot-swapping a new design: the retained ratios were measured
+// against the old constants, and judging the fresh fit by them would
+// either hide new drift or re-trigger a refit immediately.
+func (d *Drift) Reset() {
+	d.mu.Lock()
+	d.cells = make(map[cellKey]*driftCell)
+	d.mu.Unlock()
+}
+
 // DriftCell is one (path, selectivity-band) row of the report.
 type DriftCell struct {
 	// Path is the access path the cell's batches executed through.

@@ -26,8 +26,17 @@ type TraceEntry struct {
 	Attr  string `json:"attr"`
 	// Q is the batch width — the concurrency the APS model exploited.
 	Q int `json:"q"`
+	// N and TupleSize are the relation's tuple count and width in bytes as
+	// the model saw them — together with Q and the selectivity summary they
+	// make the entry replayable as a fit.Observation, which is how the
+	// refit controller harvests live training data from this ring.
+	N         int     `json:"n"`
+	TupleSize float64 `json:"tuple_size"`
 	// Path is the chosen access path ("scan", "index", "bitmap").
 	Path string `json:"path"`
+	// Kernel names the scan kernel the model costed ("shared" or "swar");
+	// empty for non-scan paths on old entries.
+	Kernel string `json:"kernel,omitempty"`
 	// Forced is true when only one path existed.
 	Forced bool `json:"forced"`
 	// Ratio is the APS value (ConcIndex/SharedScan); >= 1 selects the scan.

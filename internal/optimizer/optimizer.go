@@ -9,6 +9,7 @@ package optimizer
 
 import (
 	"math"
+	"sync/atomic"
 	"time"
 
 	"fastcolumns/internal/exec"
@@ -18,13 +19,134 @@ import (
 	"fastcolumns/internal/stats"
 )
 
-// Optimizer is the APS module: hardware and design are captured once at
-// initialization; everything else arrives per batch.
-type Optimizer struct {
+// Snapshot is the optimizer's swappable state: everything a decision
+// depends on that an online re-fit may replace. Readers obtain a
+// consistent copy through Optimizer.Snapshot (or the HW/Design
+// convenience accessors) — never by caching field references across a
+// potential swap.
+type Snapshot struct {
 	HW     model.Hardware
 	Design model.Design
+	// Robust is the estimate-error policy applied by Decide/Choose.
+	Robust RobustPolicy
+	// Version counts swaps: 1 at construction, +1 per SwapDesign or
+	// SetRobust. Observability surfaces it so a hot-swap is visible.
+	Version uint64
+}
+
+// RobustPolicy configures the estimate-error-robust decision mode: when a
+// batch's flip margin (model.ErrorMargin) is thinner than MarginThreshold,
+// the point estimate is not trusted and the batch is either routed to the
+// adaptive Smooth-Scan path or decided by minimax regret over an assumed
+// error bound. The zero value disables robust mode entirely.
+type RobustPolicy struct {
+	// MarginThreshold is the ErrorMargin below which the point decision is
+	// distrusted. Margins are >= 1, so a threshold <= 1 never triggers and
+	// disables robust mode.
+	MarginThreshold float64
+	// ErrorBound is the multiplicative selectivity-error factor assumed by
+	// the minimax-regret hedge (e.g. 4 means "estimates may be 4x off in
+	// either direction"). Values <= 1 fall back to the point decision.
+	ErrorBound float64
+	// RouteAdaptive routes thin-margin batches to the adaptive path
+	// (Decision.RouteAdaptive) instead of picking the minimax choice.
+	RouteAdaptive bool
+	// EstimateError injects controlled selectivity misestimation: the
+	// model costs every batch as if each selectivity were scaled by this
+	// factor (clamped to [0,1]) while execution answers the true
+	// predicates. 0 or 1 disables the knob. This is the ablation control
+	// for the estimate-robustness experiments, not a production setting.
+	EstimateError float64
+}
+
+// Enabled reports whether the policy can ever change a decision.
+func (p RobustPolicy) Enabled() bool { return p.MarginThreshold > 1 }
+
+// Optimizer is the APS module: hardware and design are captured in an
+// atomically swappable snapshot at initialization; everything else
+// arrives per batch. The indirection is what lets the refit controller
+// hot-swap a freshly fitted Design while batches keep deciding — readers
+// always see either the old or the new snapshot, never a torn mix.
+//
+//fclint:atomicswap
+type Optimizer struct {
+	snap atomic.Pointer[Snapshot]
 
 	m *optMetrics
+}
+
+// Snapshot returns a consistent copy of the optimizer's current state.
+// Multi-field readers (budget derivation, robustness explanations) must
+// use this rather than separate HW()/Design() calls, so a concurrent swap
+// cannot hand them mismatched halves.
+func (o *Optimizer) Snapshot() Snapshot { return *o.snap.Load() }
+
+// HW returns the current hardware profile.
+func (o *Optimizer) HW() model.Hardware { return o.snap.Load().HW }
+
+// Design returns the current design constants.
+func (o *Optimizer) Design() model.Design { return o.snap.Load().Design }
+
+// Robust returns the current robust-decision policy.
+func (o *Optimizer) Robust() RobustPolicy { return o.snap.Load().Robust }
+
+// Version returns the snapshot version (1 at construction, +1 per swap).
+func (o *Optimizer) Version() uint64 { return o.snap.Load().Version }
+
+// install publishes the first snapshot; constructors delegate here so
+// every store to the atomic pointer lives in a method of Optimizer.
+func (o *Optimizer) install(s *Snapshot) {
+	s.Version = 1
+	o.snap.Store(s)
+}
+
+// SwapDesign atomically replaces the design constants, preserving the
+// hardware profile and robust policy, and returns the design it
+// displaced. In-flight decisions that already loaded the old snapshot
+// finish on it; the next decision sees the new constants. This is the
+// refit controller's publication point.
+func (o *Optimizer) SwapDesign(dg model.Design) model.Design {
+	for {
+		cur := o.snap.Load()
+		next := *cur
+		next.Design = dg
+		next.Version = cur.Version + 1
+		if o.snap.CompareAndSwap(cur, &next) {
+			return cur.Design
+		}
+	}
+}
+
+// SwapModel atomically replaces hardware profile and design constants
+// together, preserving the robust policy. A refit adjusts both (the fit's
+// pipelining factor lives in the hardware profile, the rest in the
+// design), and publishing them as one snapshot is what keeps concurrent
+// readers from costing with a new design against an old fp.
+func (o *Optimizer) SwapModel(hw model.Hardware, dg model.Design) {
+	for {
+		cur := o.snap.Load()
+		next := *cur
+		next.HW = hw
+		next.Design = dg
+		next.Version = cur.Version + 1
+		if o.snap.CompareAndSwap(cur, &next) {
+			return
+		}
+	}
+}
+
+// SetRobust atomically replaces the robust-decision policy, preserving
+// hardware and design.
+func (o *Optimizer) SetRobust(p RobustPolicy) {
+	for {
+		cur := o.snap.Load()
+		next := *cur
+		next.Robust = p
+		next.Version = cur.Version + 1
+		if o.snap.CompareAndSwap(cur, &next) {
+			return
+		}
+	}
 }
 
 // optMetrics holds the optimizer's pre-resolved instruments so the
@@ -67,14 +189,16 @@ func (o *Optimizer) observe(d Decision) {
 // New returns an optimizer for the given machine profile using the
 // paper's fitted design constants.
 func New(hw model.Hardware) *Optimizer {
-	return &Optimizer{HW: hw, Design: model.FittedDesign()}
+	return NewWithDesign(hw, model.FittedDesign())
 }
 
 // NewWithDesign returns an optimizer with explicit design constants —
 // typically the output of fitting the model to the running machine
 // (Appendix C).
 func NewWithDesign(hw model.Hardware, dg model.Design) *Optimizer {
-	return &Optimizer{HW: hw, Design: dg}
+	o := &Optimizer{}
+	o.install(&Snapshot{HW: hw, Design: dg})
+	return o
 }
 
 // Scan kernel names recorded in decisions: the packed SWAR kernel over
@@ -112,6 +236,18 @@ type Decision struct {
 	// Elapsed is the optimization time itself — the paper stresses this
 	// stays in the microsecond range even for sub-second queries.
 	Elapsed time.Duration
+
+	// Margin is the flip margin (model.ErrorMargin) computed when robust
+	// mode is enabled: the selectivity-error factor that would change the
+	// decision. 0 when robust mode is off or the batch was forced.
+	Margin float64
+	// Hedged is true when the minimax-regret rule overrode the point
+	// decision because Margin fell below the policy threshold.
+	Hedged bool
+	// RouteAdaptive is true when the policy asks the executor to answer
+	// this thin-margin batch on the adaptive Smooth-Scan path instead of
+	// committing to either static path.
+	RouteAdaptive bool
 }
 
 // DriftPath returns the drift-accounting key for the decision: the
@@ -147,15 +283,46 @@ func ratioOf(indexCost, scanCost float64) float64 {
 	return indexCost / scanCost
 }
 
+// applyRobust implements the thin-margin policy on a provisional
+// decision: compute how far the batch sits from the flip boundary, and
+// when it is closer than the policy tolerates, either hand the batch to
+// the adaptive path or replace the point choice with the minimax-regret
+// hedge. Batches with only one real path (forced, bitmap-answered, or no
+// index cost) are left alone — there is nothing to hedge between.
+func applyRobust(rb RobustPolicy, p model.Params, d *Decision) {
+	if !rb.Enabled() || d.Forced || d.Path == model.PathBitmap || model.EqZero(d.IndexCost) {
+		return
+	}
+	d.Margin = model.ErrorMargin(p)
+	if math.IsInf(d.Margin, 1) || d.Margin >= rb.MarginThreshold {
+		return
+	}
+	if rb.RouteAdaptive {
+		d.RouteAdaptive = true
+		return
+	}
+	path, _ := model.MinimaxRegret(p, rb.ErrorBound)
+	if path == d.Path {
+		return
+	}
+	d.Hedged = true
+	d.Path = path
+	d.ChosenCost = d.ScanCost
+	if path == model.PathIndex {
+		d.ChosenCost = d.IndexCost
+	}
+}
+
 // Choose runs access path selection from raw model inputs: the relation
 // size, tuple width in bytes, and per-query selectivity estimates.
 func (o *Optimizer) Choose(n int, tupleSize float64, sel []float64) Decision {
 	start := time.Now()
+	s := o.snap.Load()
 	p := model.Params{
-		Workload: model.Workload{Selectivities: sel},
+		Workload: model.Workload{Selectivities: sel}.WithEstimateError(s.Robust.EstimateError),
 		Dataset:  model.Dataset{N: float64(n), TupleSize: tupleSize},
-		Hardware: o.HW,
-		Design:   o.Design,
+		Hardware: s.HW,
+		Design:   s.Design,
 	}
 	scanCost := model.SharedScan(p)
 	indexCost := model.ConcIndex(p)
@@ -165,10 +332,11 @@ func (o *Optimizer) Choose(n int, tupleSize float64, sel []float64) Decision {
 		path, chosen = model.PathIndex, indexCost
 	}
 	d := Decision{
-		Path: path, Ratio: ratio, Selectivities: sel, ScanKernel: KernelShared,
+		Path: path, Ratio: ratio, Selectivities: p.Workload.Selectivities, ScanKernel: KernelShared,
 		ScanCost: scanCost, IndexCost: indexCost, ChosenCost: chosen,
-		Elapsed: time.Since(start),
 	}
+	applyRobust(s.Robust, p, &d)
+	d.Elapsed = time.Since(start)
 	o.observe(d)
 	return d
 }
@@ -194,6 +362,7 @@ func scanSide(rel *exec.Relation, p model.Params, skip float64) (cost float64, k
 // secondary index force a scan.
 func (o *Optimizer) Decide(rel *exec.Relation, h *stats.Histogram, preds []scan.Predicate) Decision {
 	start := time.Now()
+	snap := o.snap.Load()
 	sel := make([]float64, len(preds))
 	if h != nil {
 		for i, p := range preds {
@@ -201,11 +370,12 @@ func (o *Optimizer) Decide(rel *exec.Relation, h *stats.Histogram, preds []scan.
 		}
 	}
 	p := model.Params{
-		Workload: model.Workload{Selectivities: sel},
+		Workload: model.Workload{Selectivities: sel}.WithEstimateError(snap.Robust.EstimateError),
 		Dataset:  model.Dataset{N: float64(rel.Column.Len()), TupleSize: float64(rel.Column.TupleSize())},
-		Hardware: o.HW,
-		Design:   o.Design,
+		Hardware: snap.HW,
+		Design:   snap.Design,
 	}
+	sel = p.Workload.Selectivities
 	if rel.Index == nil && rel.Bitmap == nil {
 		// Only the scan exists; still predict its cost so the drift
 		// accounting covers forced batches too.
@@ -256,8 +426,9 @@ func (o *Optimizer) Decide(rel *exec.Relation, h *stats.Histogram, preds []scan.
 		ScanCost:      scanCost,
 		IndexCost:     indexCost,
 		ChosenCost:    chosen,
-		Elapsed:       time.Since(start),
 	}
+	applyRobust(snap.Robust, p, &d)
+	d.Elapsed = time.Since(start)
 	o.observe(d)
 	return d
 }

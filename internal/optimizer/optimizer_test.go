@@ -51,7 +51,7 @@ func TestConcurrencyFlipsDecision(t *testing.T) {
 	// index alone and the scan in a wide batch.
 	o := New(model.HW1())
 	n := 100_000_000
-	s, ok := model.Crossover(1, model.Dataset{N: float64(n), TupleSize: 4}, o.HW, o.Design)
+	s, ok := model.Crossover(1, model.Dataset{N: float64(n), TupleSize: 4}, o.HW(), o.Design())
 	if !ok {
 		t.Fatal("no single-query crossover")
 	}
@@ -158,8 +158,8 @@ func TestColumnGroupShiftsDecision(t *testing.T) {
 	// on a narrow column can probe on a wide column-group.
 	o := New(model.HW1())
 	n := 100_000_000
-	sNarrow, _ := model.Crossover(4, model.Dataset{N: float64(n), TupleSize: 4}, o.HW, o.Design)
-	sWide, _ := model.Crossover(4, model.Dataset{N: float64(n), TupleSize: 40}, o.HW, o.Design)
+	sNarrow, _ := model.Crossover(4, model.Dataset{N: float64(n), TupleSize: 4}, o.HW(), o.Design())
+	sWide, _ := model.Crossover(4, model.Dataset{N: float64(n), TupleSize: 40}, o.HW(), o.Design())
 	if sWide <= sNarrow {
 		t.Fatalf("wide crossover %v not above narrow %v", sWide, sNarrow)
 	}

@@ -1,0 +1,388 @@
+// Package refit closes the drift loop: a background controller watches
+// the drift accounting in internal/obs, and when the fitted cost-model
+// constants go stale on this host — a (path, selectivity-band) cell's
+// measured/predicted ratio deviating from the global one past the
+// threshold — it re-runs the Appendix C Nelder–Mead fit (internal/fit)
+// over live observations harvested from the decision-trace ring and
+// hot-swaps the optimizer's design via its atomic snapshot. Serving
+// never pauses: in-flight decisions finish on the snapshot they loaded,
+// the next decision sees the new constants.
+//
+// The loop is hardened against itself. Candidate fits are validated on a
+// deterministic holdout of the harvested observations and rejected when
+// their residuals are no better than the incumbent's — a fit over noisy
+// or unrepresentative traces must not replace constants that still work.
+// Attempts are rate-limited by a cooldown after any verdict and by
+// exponential backoff across consecutive failures, and the whole attempt
+// runs under a recover with a fault-injection site ("fit.refit"), so a
+// panicking or wedged fitter degrades to the last good design instead of
+// taking down the engine.
+package refit
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"fastcolumns/internal/faultinject"
+	"fastcolumns/internal/fit"
+	"fastcolumns/internal/model"
+	"fastcolumns/internal/obs"
+	"fastcolumns/internal/optimizer"
+	rt "fastcolumns/internal/runtime"
+)
+
+// Outcome is the verdict of one controller poll cycle.
+type Outcome string
+
+const (
+	// OutcomeIdle: the drift report is healthy; nothing to do.
+	OutcomeIdle Outcome = "idle"
+	// OutcomeCooldown: drift is stale but a recent attempt's cooldown or
+	// backoff window has not expired yet.
+	OutcomeCooldown Outcome = "cooldown"
+	// OutcomeSkipped: drift is stale but the trace ring does not yet hold
+	// enough usable observations to fit from.
+	OutcomeSkipped Outcome = "skipped"
+	// OutcomeSwapped: a candidate fit beat the incumbent on the holdout
+	// and was hot-swapped into the optimizer.
+	OutcomeSwapped Outcome = "swapped"
+	// OutcomeRejected: the candidate's holdout residuals were no better
+	// than the incumbent's; the last good design stays.
+	OutcomeRejected Outcome = "rejected"
+	// OutcomeFailed: the fitter errored or panicked; the last good design
+	// stays and the next attempt waits out the backoff.
+	OutcomeFailed Outcome = "failed"
+)
+
+// Options tunes the controller. The zero value is production-ready.
+type Options struct {
+	// Interval is the drift-report poll cadence (default 2s).
+	Interval time.Duration
+	// Cooldown is the minimum gap after a swap or a rejection before the
+	// controller attempts again (default 30s): hysteresis, so one noisy
+	// stale verdict cannot thrash the design back and forth.
+	Cooldown time.Duration
+	// Backoff is the initial retry delay after a failed attempt, doubling
+	// per consecutive failure (default Interval); after MaxRetries
+	// consecutive failures the controller falls back to Cooldown.
+	Backoff time.Duration
+	// MaxRetries bounds consecutive failure retries (default 3).
+	MaxRetries int
+	// MinObservations is how many usable harvested observations a fit
+	// needs before it runs (default 16).
+	MinObservations int
+	// HoldoutEvery diverts every k-th harvested observation into the
+	// validation holdout instead of the training set (default 4).
+	HoldoutEvery int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Interval <= 0 {
+		o.Interval = 2 * time.Second
+	}
+	if o.Cooldown <= 0 {
+		o.Cooldown = 30 * time.Second
+	}
+	if o.Backoff <= 0 {
+		o.Backoff = o.Interval
+	}
+	if o.MaxRetries <= 0 {
+		o.MaxRetries = 3
+	}
+	if o.MinObservations <= 0 {
+		o.MinObservations = 16
+	}
+	if o.HoldoutEvery <= 1 {
+		o.HoldoutEvery = 4
+	}
+	return o
+}
+
+// Controller watches one optimizer/observer pair. Build with New, start
+// the background loop with Start (or drive it synchronously with Tick in
+// tests), stop with Close.
+type Controller struct {
+	opt *optimizer.Optimizer
+	ob  *obs.Observer
+	o   Options
+
+	count    *obs.Counter
+	rejected *obs.Counter
+	failures *obs.Counter
+	duration *obs.Histogram
+	lastUnix *obs.Gauge
+
+	mu        sync.Mutex
+	st        obs.RefitStatus
+	retries   int
+	notBefore time.Time
+
+	startOnce sync.Once
+	stop      chan struct{}
+	done      chan struct{}
+}
+
+// New builds a controller over the optimizer whose snapshot it will swap
+// and the observer whose drift report, trace ring, and metrics registry
+// it reads and writes.
+func New(opt *optimizer.Optimizer, ob *obs.Observer, o Options) *Controller {
+	c := &Controller{
+		opt:      opt,
+		ob:       ob,
+		o:        o.withDefaults(),
+		count:    ob.Metrics.Counter("fit.refit.count"),
+		rejected: ob.Metrics.Counter("fit.refit.rejected"),
+		failures: ob.Metrics.Counter("fit.refit.failures"),
+		duration: ob.Metrics.Histogram("fit.refit.duration"),
+		lastUnix: ob.Metrics.Gauge("fit.refit.last_unix_ns"),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	c.st.Enabled = true
+	c.st.DesignVersion = opt.Version()
+	ob.SetRefitStatus(c.st)
+	return c
+}
+
+// Status returns the controller's current externally visible state.
+func (c *Controller) Status() obs.RefitStatus {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.st
+}
+
+// Start launches the background poll loop. Idempotent.
+func (c *Controller) Start() {
+	c.startOnce.Do(func() {
+		rt.Go(func() {
+			defer close(c.done)
+			ticker := time.NewTicker(c.o.Interval)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-c.stop:
+					return
+				case now := <-ticker.C:
+					c.Tick(now)
+				}
+			}
+		})
+	})
+}
+
+// Close stops the background loop and waits for it to exit. A Close
+// during a wedged attempt returns only when the attempt does — callers
+// that cannot wait should not have armed a Delay fault at fit.refit.
+func (c *Controller) Close() {
+	c.startOnce.Do(func() { close(c.done) }) // never started: nothing to wait for
+	select {
+	case <-c.stop:
+	default:
+		close(c.stop)
+	}
+	<-c.done
+}
+
+// Tick runs one poll cycle synchronously: consult the drift report, and
+// when it says the constants are stale (and no cooldown window is open),
+// attempt a validated re-fit. It returns what happened; tests drive the
+// controller through here for determinism.
+func (c *Controller) Tick(now time.Time) Outcome {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if now.Before(c.notBefore) {
+		return OutcomeCooldown
+	}
+	if !c.ob.Drift.Report().Stale {
+		return OutcomeIdle
+	}
+	start := time.Now()
+	out, rejectReason, err := c.attempt()
+	elapsed := time.Since(start)
+
+	switch out {
+	case OutcomeSkipped:
+		// Not enough data is not a failure: try again next interval, when
+		// the ring has accumulated more batches.
+		c.notBefore = now.Add(c.o.Interval)
+		return out
+	case OutcomeFailed:
+		c.retries++
+		if c.retries <= c.o.MaxRetries {
+			c.notBefore = now.Add(c.o.Backoff << (c.retries - 1))
+		} else {
+			c.notBefore = now.Add(c.o.Cooldown)
+			c.retries = 0
+		}
+		c.failures.Add(1)
+	default: // swapped or rejected
+		c.retries = 0
+		c.notBefore = now.Add(c.o.Cooldown)
+		if out == OutcomeRejected {
+			c.rejected.Add(1)
+		}
+	}
+
+	c.count.Add(1)
+	c.duration.Record(elapsed.Nanoseconds())
+	c.lastUnix.Set(start.UnixNano())
+
+	c.st.Attempts++
+	c.st.LastAt = start
+	c.st.LastDuration = elapsed
+	c.st.LastOutcome = string(out)
+	c.st.DesignVersion = c.opt.Version()
+	switch out {
+	case OutcomeSwapped:
+		c.st.Swaps++
+	case OutcomeRejected:
+		c.st.Rejected++
+		c.st.LastRejectReason = rejectReason
+	case OutcomeFailed:
+		c.st.Failures++
+		if err != nil {
+			c.st.LastError = err.Error()
+		}
+	}
+	c.ob.SetRefitStatus(c.st)
+	return out
+}
+
+// attempt runs one harvest → fit → validate → swap cycle. A panic
+// anywhere inside (the fit.refit chaos site, or a genuine fitter bug)
+// is converted into OutcomeFailed: the last good design keeps serving.
+func (c *Controller) attempt() (out Outcome, rejectReason string, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			out, err = OutcomeFailed, fmt.Errorf("refit: recovered panic: %v", r)
+		}
+	}()
+	if err := faultinject.Fire("fit.refit"); err != nil {
+		return OutcomeFailed, "", err
+	}
+
+	all := Harvest(c.ob.Trace.Snapshot(0))
+	if len(all) < c.o.MinObservations {
+		return OutcomeSkipped, "", nil
+	}
+	train, holdout := split(all, c.o.HoldoutEvery)
+
+	snap := c.opt.Snapshot()
+	res, err := fit.Fit(train, snap.HW, snap.Design)
+	if err != nil {
+		return OutcomeFailed, "", err
+	}
+	candHW, candDg := candidate(res, train, snap.HW, snap.Design)
+
+	curErr := fit.HoldoutError(holdout, snap.HW, snap.Design)
+	candErr := fit.HoldoutError(holdout, candHW, candDg)
+	if math.IsNaN(candErr) || (!math.IsNaN(curErr) && candErr >= curErr) {
+		return OutcomeRejected,
+			fmt.Sprintf("holdout residuals did not improve: candidate %.4g vs incumbent %.4g over %d observations",
+				candErr, curErr, len(holdout)), nil
+	}
+
+	c.opt.SwapModel(candHW, candDg)
+	// The drift evidence was measured against the old constants; keeping
+	// it would judge the fresh fit by its predecessor's mistakes.
+	c.ob.Drift.Reset()
+	return OutcomeSwapped, "", nil
+}
+
+// split deals every k-th observation into the holdout, the rest into the
+// training set. Deterministic, so a re-run over the same trace makes the
+// same validation decision. A degenerate split (either side empty) falls
+// back to validating on the training data — weaker, but still a
+// residual check.
+func split(all []fit.Observation, k int) (train, holdout []fit.Observation) {
+	for i, o := range all {
+		if i%k == k-1 {
+			holdout = append(holdout, o)
+		} else {
+			train = append(train, o)
+		}
+	}
+	if len(train) == 0 || len(holdout) == 0 {
+		return all, all
+	}
+	return train, holdout
+}
+
+// candidate folds a fit result into a (hardware, design) hypothesis,
+// preserving every stage the harvest had no evidence for: FitResult
+// zeroes the constants of stages it did not run (e.g. no index
+// observations leaves SortFitScale at 0, silently disabling the sorting
+// correction), so each stage's constants are taken from the result only
+// when the training set actually measured that path.
+func candidate(res fit.FitResult, train []fit.Observation, hw model.Hardware, base model.Design) (model.Hardware, model.Design) {
+	var haveScan, haveIndex, havePacked bool
+	for _, o := range train {
+		if !math.IsNaN(o.ScanSec) && o.ScanSec > 0 {
+			haveScan = true
+		}
+		if !math.IsNaN(o.IndexSec) && o.IndexSec > 0 {
+			haveIndex = true
+		}
+		if !math.IsNaN(o.PackedScanSec) && o.PackedScanSec > 0 {
+			havePacked = true
+		}
+	}
+	dg := base
+	if haveScan {
+		dg.Alpha = res.Alpha
+		hw.Pipelining = res.Pipelining
+	}
+	if haveIndex {
+		dg.SortFitScale = res.SortFitScale
+		dg.SortFitExp = res.SortFitExp
+	}
+	if havePacked {
+		if res.ScanWidth > 0 {
+			dg.ScanSIMDWidth = res.ScanWidth
+		}
+		if res.PackedAlpha > 0 {
+			dg.PackedAlpha = res.PackedAlpha
+		}
+	}
+	return hw, dg
+}
+
+// Harvest converts decision-trace entries into fit observations: each
+// executed batch contributes its measured wall time on the path it ran,
+// with the other paths' latencies marked unmeasured (NaN). Bitmap
+// batches are dropped (the fitter has no bitmap stage), as are entries
+// without a usable shape (empty batch, zero relation, no measured
+// elapsed time — e.g. entries recorded before this field existed).
+// Forced scans are kept: a measurement is a measurement, however the
+// path was chosen.
+func Harvest(entries []obs.TraceEntry) []fit.Observation {
+	nan := math.NaN()
+	out := make([]fit.Observation, 0, len(entries))
+	for _, e := range entries {
+		if e.Q <= 0 || e.N <= 0 || e.TupleSize <= 0 || e.Elapsed <= 0 {
+			continue
+		}
+		o := fit.Observation{
+			Q:           e.Q,
+			Selectivity: e.SelTotal / float64(e.Q),
+			N:           float64(e.N),
+			TupleSize:   e.TupleSize,
+			ScanSec:     nan, IndexSec: nan, PackedScanSec: nan,
+		}
+		sec := e.Elapsed.Seconds()
+		switch {
+		case e.Path == model.PathIndex.String():
+			o.IndexSec = sec
+		case e.Path == model.PathScan.String() && e.Kernel == optimizer.KernelSWAR:
+			o.PackedScanSec = sec
+		case e.Path == model.PathScan.String():
+			o.ScanSec = sec
+		default:
+			continue
+		}
+		out = append(out, o)
+	}
+	return out
+}

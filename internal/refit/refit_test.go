@@ -1,0 +1,297 @@
+package refit
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"fastcolumns/internal/faultinject"
+	"fastcolumns/internal/fit"
+	"fastcolumns/internal/model"
+	"fastcolumns/internal/obs"
+	"fastcolumns/internal/optimizer"
+)
+
+// scanEntry fabricates one trace entry for a shared-scan batch whose
+// measured time is the given design's own prediction — i.e. a host on
+// which that design is exactly right.
+func scanEntry(q int, sel float64, n int, hw model.Hardware, dg model.Design) obs.TraceEntry {
+	p := model.Params{
+		Workload: model.Uniform(q, sel),
+		Dataset:  model.Dataset{N: float64(n), TupleSize: 4},
+		Hardware: hw,
+		Design:   dg,
+	}
+	e := obs.TraceEntry{
+		Table: "t", Attr: "a",
+		Q: q, N: n, TupleSize: 4,
+		Path: model.PathScan.String(), Kernel: optimizer.KernelShared,
+		Elapsed: time.Duration(model.SharedScan(p) * float64(time.Second)),
+	}
+	e.SetSelectivities(p.Workload.Selectivities)
+	return e
+}
+
+// primeStaleDrift records diverging per-cell ratios so Report().Stale
+// flips: one band runs at the global pace, another 8x over it.
+func primeStaleDrift(d *obs.Drift) {
+	for i := 0; i < 4; i++ {
+		d.Record("scan", 1e-5, 1.0, 1.0)
+		d.Record("scan", 0.5, 1.0, 8.0)
+	}
+}
+
+// fillTrace appends a sweep of scan batches measured under trueHW/trueDg.
+func fillTrace(t *obs.DecisionTrace, trueHW model.Hardware, trueDg model.Design) {
+	for _, q := range []int{1, 4, 16, 64} {
+		for _, sel := range []float64{0.001, 0.01, 0.1, 0.5} {
+			t.Append(scanEntry(q, sel, 1_000_000, trueHW, trueDg))
+		}
+	}
+}
+
+func TestHarvest(t *testing.T) {
+	hw, dg := model.HW1(), model.FittedDesign()
+	entries := []obs.TraceEntry{
+		scanEntry(4, 0.1, 1000, hw, dg),
+		{Q: 2, N: 1000, TupleSize: 4, Path: model.PathIndex.String(),
+			Elapsed: time.Millisecond, SelTotal: 0.02},
+		{Q: 2, N: 1000, TupleSize: 4, Path: model.PathScan.String(),
+			Kernel: optimizer.KernelSWAR, Elapsed: time.Millisecond, SelTotal: 0.02},
+		{Q: 2, N: 1000, TupleSize: 4, Path: model.PathBitmap.String(),
+			Elapsed: time.Millisecond}, // no fitter stage: dropped
+		{Q: 0, N: 1000, TupleSize: 4, Path: "scan", Elapsed: time.Millisecond}, // empty batch
+		{Q: 2, N: 1000, TupleSize: 4, Path: "scan"},                            // no measurement
+	}
+	got := Harvest(entries)
+	if len(got) != 3 {
+		t.Fatalf("harvested %d observations, want 3: %+v", len(got), got)
+	}
+	if math.IsNaN(got[0].ScanSec) || !math.IsNaN(got[0].IndexSec) || !math.IsNaN(got[0].PackedScanSec) {
+		t.Fatalf("scan entry mapped wrong: %+v", got[0])
+	}
+	if math.IsNaN(got[1].IndexSec) || !math.IsNaN(got[1].ScanSec) {
+		t.Fatalf("index entry mapped wrong: %+v", got[1])
+	}
+	if math.IsNaN(got[2].PackedScanSec) || !math.IsNaN(got[2].ScanSec) {
+		t.Fatalf("swar entry mapped wrong: %+v", got[2])
+	}
+	if !model.ApproxEq(got[1].Selectivity, 0.01) {
+		t.Fatalf("selectivity = mean of batch, got %v", got[1].Selectivity)
+	}
+}
+
+func TestSplitDeterministicAndDegenerate(t *testing.T) {
+	all := make([]fit.Observation, 10)
+	for i := range all {
+		all[i].Q = i
+	}
+	train, holdout := split(all, 4)
+	if len(train) != 8 || len(holdout) != 2 {
+		t.Fatalf("split sizes %d/%d, want 8/2", len(train), len(holdout))
+	}
+	if holdout[0].Q != 3 || holdout[1].Q != 7 {
+		t.Fatalf("holdout picked %d,%d, want every 4th (3,7)", holdout[0].Q, holdout[1].Q)
+	}
+	// Too small to split: validate on the training data itself.
+	train, holdout = split(all[:2], 4)
+	if len(train) != 2 || len(holdout) != 2 {
+		t.Fatalf("degenerate split %d/%d, want 2/2", len(train), len(holdout))
+	}
+}
+
+func TestTickIdleWithoutDrift(t *testing.T) {
+	ob := obs.NewObserver(64)
+	c := New(optimizer.New(model.HW1()), ob, Options{})
+	if out := c.Tick(time.Now()); out != OutcomeIdle {
+		t.Fatalf("tick on healthy drift = %v, want idle", out)
+	}
+	if st := c.Status(); !st.Enabled || st.Attempts != 0 {
+		t.Fatalf("idle tick mutated status: %+v", st)
+	}
+}
+
+func TestTickSkipsOnThinTrace(t *testing.T) {
+	ob := obs.NewObserver(64)
+	c := New(optimizer.New(model.HW1()), ob, Options{MinObservations: 16})
+	primeStaleDrift(ob.Drift)
+	ob.Trace.Append(scanEntry(4, 0.1, 1000, model.HW1(), model.FittedDesign()))
+	if out := c.Tick(time.Now()); out != OutcomeSkipped {
+		t.Fatalf("tick with 1 observation = %v, want skipped", out)
+	}
+}
+
+func TestRefitSwapsOnStaleDrift(t *testing.T) {
+	// The host behaves like the paper's fitted constants, but the
+	// optimizer was started with a deliberately wrong alpha: live traces
+	// carry the truth, so the re-fit must recover it and hot-swap.
+	trueHW, trueDg := model.HW1(), model.FittedDesign()
+	staleDg := trueDg
+	staleDg.Alpha = 0.5
+	opt := optimizer.NewWithDesign(trueHW, staleDg)
+	ob := obs.NewObserver(64)
+	primeStaleDrift(ob.Drift)
+	fillTrace(ob.Trace, trueHW, trueDg)
+
+	c := New(opt, ob, Options{Cooldown: time.Hour})
+	v0 := opt.Version()
+	out := c.Tick(time.Now())
+	if out != OutcomeSwapped {
+		t.Fatalf("tick = %v, want swapped (status %+v)", out, c.Status())
+	}
+	if opt.Version() != v0+1 {
+		t.Fatalf("version %d, want %d", opt.Version(), v0+1)
+	}
+	got := opt.Design()
+	if math.Abs(got.Alpha-trueDg.Alpha) > math.Abs(staleDg.Alpha-trueDg.Alpha) {
+		t.Fatalf("refit did not move alpha towards truth: got %v (stale %v, true %v)",
+			got.Alpha, staleDg.Alpha, trueDg.Alpha)
+	}
+	// Stages the harvest had no evidence for keep their constants.
+	if !model.ApproxEq(got.SortFitScale, staleDg.SortFitScale) || !model.ApproxEq(got.SortFitExp, staleDg.SortFitExp) {
+		t.Fatalf("index-stage constants changed without index observations: %+v", got)
+	}
+	// The old evidence was judged against the old constants: reset.
+	if rep := ob.Drift.Report(); len(rep.Cells) != 0 {
+		t.Fatalf("drift not reset after swap: %d cells", len(rep.Cells))
+	}
+	st := c.Status()
+	if st.Swaps != 1 || st.Attempts != 1 || st.LastOutcome != string(OutcomeSwapped) {
+		t.Fatalf("status after swap: %+v", st)
+	}
+	if ob.Metrics.Counter("fit.refit.count").Load() != 1 {
+		t.Fatal("fit.refit.count not incremented")
+	}
+	// Hysteresis: stale again within the cooldown stays on the new design.
+	primeStaleDrift(ob.Drift)
+	if out := c.Tick(time.Now()); out != OutcomeCooldown {
+		t.Fatalf("tick within cooldown = %v, want cooldown", out)
+	}
+}
+
+func TestRefitRejectsWorseCandidate(t *testing.T) {
+	// Train positions follow a foreign design while every holdout
+	// position (the deterministic every-4th slot) follows the incumbent
+	// exactly: the candidate learns the foreign constants and must lose
+	// the holdout comparison, leaving the last good design in place.
+	hw := model.HW1()
+	incumbent := model.FittedDesign()
+	foreign := incumbent
+	foreign.Alpha = 40
+	opt := optimizer.NewWithDesign(hw, incumbent)
+	ob := obs.NewObserver(64)
+	primeStaleDrift(ob.Drift)
+	i := 0
+	for _, q := range []int{1, 4, 16, 64} {
+		for _, sel := range []float64{0.001, 0.01, 0.1, 0.5} {
+			dg := foreign
+			if i%4 == 3 {
+				dg = incumbent
+			}
+			ob.Trace.Append(scanEntry(q, sel, 1_000_000, hw, dg))
+			i++
+		}
+	}
+	c := New(opt, ob, Options{})
+	if out := c.Tick(time.Now()); out != OutcomeRejected {
+		t.Fatalf("tick = %v, want rejected (status %+v)", out, c.Status())
+	}
+	if got := opt.Design(); !model.ApproxEq(got.Alpha, incumbent.Alpha) {
+		t.Fatalf("rejected candidate still swapped: alpha %v", got.Alpha)
+	}
+	st := c.Status()
+	if st.Rejected != 1 || st.LastOutcome != string(OutcomeRejected) {
+		t.Fatalf("status after rejection: %+v", st)
+	}
+	if !strings.Contains(st.LastRejectReason, "holdout") {
+		t.Fatalf("rejection reason missing: %q", st.LastRejectReason)
+	}
+	if ob.Metrics.Counter("fit.refit.rejected").Load() != 1 {
+		t.Fatal("fit.refit.rejected not incremented")
+	}
+	// Rejection preserves the drift evidence (nothing was recalibrated)…
+	if rep := ob.Drift.Report(); !rep.Stale {
+		t.Fatal("drift evidence discarded on rejection")
+	}
+	// …but hysteresis still prevents immediate re-attempts.
+	if out := c.Tick(time.Now()); out != OutcomeCooldown {
+		t.Fatal("no cooldown after rejection")
+	}
+}
+
+func TestChaosPanicDegradesToLastGoodDesign(t *testing.T) {
+	opt := optimizer.New(model.HW1())
+	ob := obs.NewObserver(64)
+	primeStaleDrift(ob.Drift)
+	fillTrace(ob.Trace, model.HW1(), model.FittedDesign())
+	before := opt.Design()
+
+	defer faultinject.Activate(faultinject.New(1,
+		faultinject.Rule{Site: "fit.refit", Kind: faultinject.Panic, Count: 1}))()
+
+	c := New(opt, ob, Options{Backoff: time.Hour})
+	if out := c.Tick(time.Now()); out != OutcomeFailed {
+		t.Fatalf("tick under injected panic = %v, want failed", out)
+	}
+	if got := opt.Design(); !model.ApproxEq(got.Alpha, before.Alpha) {
+		t.Fatal("failed refit changed the design")
+	}
+	st := c.Status()
+	if st.Failures != 1 || st.LastOutcome != string(OutcomeFailed) || st.LastError == "" {
+		t.Fatalf("status after panic: %+v", st)
+	}
+	if ob.Metrics.Counter("fit.refit.failures").Load() != 1 {
+		t.Fatal("fit.refit.failures not incremented")
+	}
+	// Backoff gates the retry even though the rule is exhausted.
+	if out := c.Tick(time.Now()); out != OutcomeCooldown {
+		t.Fatal("no backoff after failure")
+	}
+}
+
+func TestChaosErrorRetriesWithBackoff(t *testing.T) {
+	opt := optimizer.New(model.HW1())
+	ob := obs.NewObserver(64)
+	primeStaleDrift(ob.Drift)
+	fillTrace(ob.Trace, model.HW1(), model.FittedDesign())
+
+	defer faultinject.Activate(faultinject.New(1,
+		faultinject.Rule{Site: "fit.refit", Kind: faultinject.Error}))()
+
+	backoff := 10 * time.Minute
+	c := New(opt, ob, Options{Backoff: backoff, MaxRetries: 2, Cooldown: 5 * time.Hour})
+	now := time.Now()
+	if out := c.Tick(now); out != OutcomeFailed {
+		t.Fatal("first attempt should fail")
+	}
+	// Retry windows double: backoff, then 2*backoff, then the cooldown.
+	now = now.Add(backoff + time.Second)
+	if out := c.Tick(now); out != OutcomeFailed {
+		t.Fatal("second attempt should run after the first backoff")
+	}
+	now = now.Add(backoff + time.Second) // only 1x: still inside 2x window
+	if out := c.Tick(now); out != OutcomeCooldown {
+		t.Fatal("third attempt should wait out the doubled backoff")
+	}
+	now = now.Add(backoff)
+	if out := c.Tick(now); out != OutcomeFailed {
+		t.Fatal("third attempt should run after the doubled backoff")
+	}
+	// MaxRetries exhausted: the controller falls back to the long cooldown.
+	now = now.Add(4 * backoff)
+	if out := c.Tick(now); out != OutcomeCooldown {
+		t.Fatal("exhausted retries should rest for the full cooldown")
+	}
+}
+
+func TestStartCloseLifecycle(t *testing.T) {
+	ob := obs.NewObserver(64)
+	c := New(optimizer.New(model.HW1()), ob, Options{Interval: time.Millisecond})
+	c.Start()
+	c.Close()
+	c.Close() // idempotent
+	// Never-started controllers close cleanly too.
+	c2 := New(optimizer.New(model.HW1()), ob, Options{})
+	c2.Close()
+}
