@@ -8,7 +8,7 @@ BENCH_N ?= 2000000
 BENCH_STAMP ?= $(shell date -u +%Y%m%d)
 BENCH_BASELINE ?= $(lastword $(sort $(wildcard BENCH_*.json)))
 
-.PHONY: check build fmt vet lint test race refitsoak fuzz-seeds diffalloc bench benchgate
+.PHONY: check build fmt vet lint lintjson test race refitsoak fuzz-seeds diffalloc bench benchgate
 
 # check is the tier-1 gate CI runs: static checks (formatting, go vet,
 # the repo's own fclint invariant suite), build, plain and race-enabled
@@ -30,11 +30,19 @@ vet:
 	$(GO) vet ./...
 
 # lint runs cmd/fclint, the stdlib-only static-analysis suite that
-# enforces the repo's concurrency and cost-model contracts (nopanic,
-# ctxflow, atomicfield, floatcmp, errdrop, gospawn, atomicswap). Zero
-# findings required.
+# enforces the repo's concurrency and cost-model contracts: the ten
+# analyzers nopanic, ctxflow, atomicfield, floatcmp, errdrop, gospawn,
+# atomicswap, poolsafe, lockhold, and arenaescape. fclint analyzes the
+# whole module — internal/lint included, so the analyzers dogfood their
+# own implementation (the CFG builder and solver are checked by the very
+# dataflow they power). Zero findings required.
 lint:
 	$(GO) run ./cmd/fclint ./...
+
+# lintjson writes the same findings as a machine-readable artifact for
+# CI upload; the exit code contract is identical to lint.
+lintjson:
+	$(GO) run ./cmd/fclint -json ./... > fclint.json
 
 test:
 	$(GO) test ./...

@@ -23,6 +23,8 @@ type AdaptiveResult struct {
 // secondary index and morphs into a scan if the result outgrows the
 // machine's break-even cardinality. Use it when selectivity estimates
 // are untrustworthy; SelectBatch with APS is cheaper when they hold.
+//
+//fclint:owns — adaptive results are handed to the caller with the batch.
 func (t *Table) SelectAdaptive(attr string, lo, hi Value) (AdaptiveResult, error) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()

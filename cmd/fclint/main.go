@@ -4,7 +4,12 @@
 //
 // Usage:
 //
-//	fclint [-C dir] [packages]
+//	fclint [-C dir] [-json] [packages]
+//
+// -json prints the findings as a JSON array on stdout (one object per
+// finding: file, line, column, analyzer, message) for CI artifacts and
+// tooling; the exit-code contract is unchanged (0 clean, 1 findings,
+// 2 load error).
 //
 // The package arguments are accepted for `go vet ./...` muscle-memory
 // compatibility but ignored: fclint always analyzes the whole module,
@@ -13,6 +18,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -21,9 +27,19 @@ import (
 	"fastcolumns/internal/lint"
 )
 
+// jsonFinding is one diagnostic in -json output.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
 func main() {
 	dir := flag.String("C", "", "module directory (default: walk up from the working directory to go.mod)")
 	list := flag.Bool("analyzers", false, "list the analyzers and exit")
+	asJSON := flag.Bool("json", false, "emit findings as a JSON array on stdout")
 	flag.Parse()
 
 	if *list {
@@ -48,8 +64,27 @@ func main() {
 		os.Exit(2)
 	}
 	diags := lint.Run(loader.Fset(), pkgs, lint.Analyzers())
-	for _, d := range diags {
-		fmt.Println(d)
+	if *asJSON {
+		findings := make([]jsonFinding, 0, len(diags))
+		for _, d := range diags {
+			findings = append(findings, jsonFinding{
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Column:   d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(os.Stderr, "fclint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "fclint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))

@@ -456,6 +456,8 @@ func (t *Table) SelectBatch(attr string, preds []Predicate) (BatchResult, error)
 // SelectBatchContext is SelectBatch with a deadline/cancellation context.
 // Cancellation is cooperative: it is honored before execution starts and
 // between execution phases, not inside a running kernel.
+//
+//fclint:owns — the caller receives pooled RowIDs and the Release obligation.
 func (t *Table) SelectBatchContext(ctx context.Context, attr string, preds []Predicate) (BatchResult, error) {
 	if len(preds) == 0 {
 		return BatchResult{}, fmt.Errorf("fastcolumns: empty batch")
@@ -487,6 +489,8 @@ func (t *Table) SelectBatchContext(ctx context.Context, attr string, preds []Pre
 
 // selectBatchAdaptive answers a batch query-by-query on the adaptive
 // path. Caller holds t.mu for reading.
+//
+//fclint:owns — per-query adaptive results pass through to the caller.
 func (t *Table) selectBatchAdaptive(ctx context.Context, attr string, rel *exec.Relation, d Decision, preds []Predicate) (BatchResult, error) {
 	snap := t.engine.opt.Snapshot()
 	budget := adaptive.BudgetFromModel(rel.Column.Len(), float64(rel.Column.TupleSize()), snap.HW, snap.Design)
@@ -591,6 +595,8 @@ func (t *Table) CountContext(ctx context.Context, attr string, preds []Predicate
 }
 
 // Select answers one range query (a batch of one).
+//
+//fclint:owns — single-query wrapper over SelectBatch; same ownership contract.
 func (t *Table) Select(attr string, lo, hi Value) ([]RowID, Decision, error) {
 	res, err := t.SelectBatch(attr, []Predicate{{Lo: lo, Hi: hi}})
 	if err != nil {
@@ -619,6 +625,8 @@ func (t *Table) SelectVia(path Path, attr string, preds []Predicate) (BatchResul
 // SelectViaContext is SelectVia with a deadline/cancellation context. It
 // is also the server's safe-fallback entry: a batch that fails on the
 // optimizer's chosen path is retried once through PathScan here.
+//
+//fclint:owns — the caller receives pooled RowIDs and the Release obligation.
 func (t *Table) SelectViaContext(ctx context.Context, path Path, attr string, preds []Predicate) (BatchResult, error) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
@@ -674,6 +682,7 @@ func (t *Table) Merge() error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	oldRows := t.st.Rows()
+	//fclint:ignore lockhold merge must mutate the table under the write lock; the only blocking callee is the fault-injection delay hook used by tests
 	added, err := t.st.MergeDelta()
 	if err != nil || added == 0 {
 		return err

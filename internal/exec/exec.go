@@ -165,6 +165,8 @@ func (o Options) recordKernelBps(name string, bytes int64, elapsed time.Duration
 // pool, so cancellation is observed between morsels (a cancelled batch
 // stops mid-relation); the skipping kernels (imprints, zonemap) remain
 // batch-granular.
+//
+//fclint:owns — Result carries the pooled buffers out; callers release via Result.Pooled.
 func RunScan(ctx context.Context, rel *Relation, preds []scan.Predicate, opt Options) (Result, error) {
 	if err := rel.Validate(); err != nil {
 		return Result{}, err
@@ -224,6 +226,8 @@ func RunScan(ctx context.Context, rel *Relation, preds []scan.Predicate, opt Opt
 
 // RunIndex answers the batch with a concurrent secondary-index scan,
 // sorting each result into rowID order to stay scan-compatible.
+//
+//fclint:owns — Result carries the pooled buffers out; callers release via Result.Pooled.
 func RunIndex(ctx context.Context, rel *Relation, preds []scan.Predicate, opt Options) (Result, error) {
 	if err := rel.Validate(); err != nil {
 		return Result{}, err

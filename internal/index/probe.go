@@ -180,6 +180,8 @@ type probeJob struct {
 var probeJobPool = sync.Pool{New: func() any { return new(probeJob) }}
 
 // RunMorsel probes range qi and sorts its result into rowID order.
+//
+//fclint:owns — the job owns its cells until Finish attaches them to the pooled result set.
 func (j *probeJob) RunMorsel(qi int) {
 	hint := 0
 	if qi < len(j.hints) {
@@ -258,6 +260,7 @@ func (t *Tree) SharedSelect(ranges [][2]storage.Value, workers int) [][]storage.
 		}
 		return results
 	}
+	//fclint:ignore arenaescape compat wrapper runs with a nil arena, so RowIDs are heap-backed, never pooled
 	return res.RowIDs
 }
 

@@ -23,6 +23,12 @@ func TestGospawnFixture(t *testing.T) { runFixture(t, NewGospawn(), "gospawn") }
 
 func TestAtomicswapFixture(t *testing.T) { runFixture(t, NewAtomicswap(), "atomicswap") }
 
+func TestPoolsafeFixture(t *testing.T) { runFixture(t, NewPoolsafe(), "poolsafe") }
+
+func TestLockholdFixture(t *testing.T) { runFixture(t, NewLockhold(), "lockhold") }
+
+func TestArenaescapeFixture(t *testing.T) { runFixture(t, NewArenaescape(), "arenaescape") }
+
 // TestAtomicswapUnmarked proves the directive is the trigger: with no
 // marked struct in scope the same accesses are nobody's business.
 func TestAtomicswapUnmarked(t *testing.T) {

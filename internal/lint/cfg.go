@@ -1,0 +1,495 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// This file builds intra-procedural control-flow graphs from go/ast
+// function bodies, using nothing beyond the standard library. The CFG is
+// the substrate of the lifetime analyzers (poolsafe, lockhold,
+// arenaescape): each basic block carries the statements and condition
+// expressions it executes in order, and edges follow every construct that
+// redirects control — if/else, for, range, switch, type switch, select,
+// goto, labeled break/continue, fallthrough, return, and calls that never
+// return (panic, os.Exit). Deferred calls are collected separately and
+// modeled as running at the synthetic Exit block (see ExitCalls), which
+// is where return edges and fall-off-the-end converge.
+
+// BasicBlock is a straight-line run of statements: control enters at the
+// first node and leaves at the last, with no branches in between.
+type BasicBlock struct {
+	// Index is the block's position in CFG.Blocks.
+	Index int
+	// Nodes holds the statements and bare condition/tag expressions the
+	// block executes, in order. Compound statements never appear whole:
+	// an if statement contributes only its init and condition here, its
+	// branches become successor blocks. Analyzers walking Nodes must
+	// treat *ast.DeferStmt and *ast.FuncLit as opaque (the deferred call
+	// runs at Exit; the literal's body is its own CFG).
+	Nodes []ast.Node
+	// Succs and Preds are the control-flow edges.
+	Succs []*BasicBlock
+	Preds []*BasicBlock
+	// PanicExit marks a block terminated by a call that unwinds or kills
+	// the process (panic, os.Exit, log.Fatal*): its edge to Exit is not a
+	// normal return, so obligation analyzers excuse it.
+	PanicExit bool
+	// Range is set on the header block of a range loop: the loop's
+	// *ast.RangeStmt, kept out of Nodes so analyzers never descend into
+	// the body from the header. Ranging over a channel is a blocking
+	// receive; lockhold consults this.
+	Range *ast.RangeStmt
+}
+
+// CFG is one function body's control-flow graph.
+type CFG struct {
+	// Blocks holds every block; Blocks[0] is Entry.
+	Blocks []*BasicBlock
+	// Entry is where control enters; Exit is the synthetic block every
+	// return (and the fall-off-the-end path) leads to. Exit has no Nodes
+	// of its own — deferred calls conceptually run there, in ExitCalls
+	// order.
+	Entry, Exit *BasicBlock
+	// Defers lists the defer statements in source order.
+	Defers []*ast.DeferStmt
+	// ExitCalls are the deferred call expressions in reverse registration
+	// order — the order they run when the function leaves. A defer
+	// registered on only some paths still appears here; analyzers accept
+	// that imprecision (it is conservative for the release-matching
+	// checks they use it for).
+	ExitCalls []*ast.CallExpr
+}
+
+// Reachable reports whether b can be reached from the entry block.
+// Dead-code blocks (statements after a return) stay in the graph but
+// analyzers skip them when reporting.
+func (g *CFG) Reachable() map[*BasicBlock]bool {
+	seen := map[*BasicBlock]bool{g.Entry: true}
+	work := []*BasicBlock{g.Entry}
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, s := range b.Succs {
+			if !seen[s] {
+				seen[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+	return seen
+}
+
+// labelInfo tracks one label's targets: start for goto, brk/cont for
+// labeled break and continue (set only when the label names a loop,
+// switch, or select).
+type labelInfo struct {
+	start *BasicBlock
+	brk   *BasicBlock
+	cont  *BasicBlock
+}
+
+type cfgBuilder struct {
+	g   *CFG
+	cur *BasicBlock
+	// breaks/conts are the innermost-last stacks of unlabeled
+	// break/continue targets.
+	breaks []*BasicBlock
+	conts  []*BasicBlock
+	labels map[string]*labelInfo
+	// pendingLabel is the label naming the next loop/switch/select, so
+	// its break/continue targets can be registered.
+	pendingLabel string
+}
+
+// NewCFG builds the control-flow graph of one function body. body may be
+// a *ast.FuncDecl's or *ast.FuncLit's Body.
+func NewCFG(body *ast.BlockStmt) *CFG {
+	g := &CFG{}
+	b := &cfgBuilder{g: g, labels: make(map[string]*labelInfo)}
+	g.Entry = b.newBlock()
+	g.Exit = b.newBlock()
+	b.cur = g.Entry
+	b.stmtList(body.List)
+	b.edge(b.cur, g.Exit)
+	for i := len(g.Defers) - 1; i >= 0; i-- {
+		g.ExitCalls = append(g.ExitCalls, g.Defers[i].Call)
+	}
+	return g
+}
+
+func (b *cfgBuilder) newBlock() *BasicBlock {
+	blk := &BasicBlock{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *BasicBlock) {
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// terminate ends the current block (its last edge already added) and
+// starts a fresh unreachable block for any dead code that follows.
+func (b *cfgBuilder) terminate() {
+	b.cur = b.newBlock()
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+// label returns the info record for a label, creating it on first use
+// (a forward goto references the label before its statement is seen).
+func (b *cfgBuilder) label(name string) *labelInfo {
+	li := b.labels[name]
+	if li == nil {
+		li = &labelInfo{}
+		b.labels[name] = li
+	}
+	return li
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	// Any statement but a loop/switch/select consumes a pending label
+	// without registering break/continue targets (goto-only label).
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.pendingLabel = ""
+		b.stmtList(s.List)
+
+	case *ast.LabeledStmt:
+		li := b.label(s.Label.Name)
+		if li.start == nil {
+			li.start = b.newBlock()
+		}
+		b.edge(b.cur, li.start)
+		b.cur = li.start
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.ReturnStmt:
+		b.pendingLabel = ""
+		b.cur.Nodes = append(b.cur.Nodes, s)
+		b.edge(b.cur, b.g.Exit)
+		b.terminate()
+
+	case *ast.BranchStmt:
+		b.pendingLabel = ""
+		b.branch(s)
+
+	case *ast.IfStmt:
+		b.pendingLabel = ""
+		b.ifStmt(s)
+
+	case *ast.ForStmt:
+		b.forStmt(s)
+
+	case *ast.RangeStmt:
+		b.rangeStmt(s)
+
+	case *ast.SwitchStmt:
+		b.switchStmt(s)
+
+	case *ast.TypeSwitchStmt:
+		b.typeSwitchStmt(s)
+
+	case *ast.SelectStmt:
+		b.selectStmt(s)
+
+	case *ast.DeferStmt:
+		b.pendingLabel = ""
+		b.cur.Nodes = append(b.cur.Nodes, s)
+		b.g.Defers = append(b.g.Defers, s)
+
+	case *ast.ExprStmt:
+		b.pendingLabel = ""
+		b.cur.Nodes = append(b.cur.Nodes, s)
+		if isNoReturnCall(s.X) {
+			b.cur.PanicExit = true
+			b.edge(b.cur, b.g.Exit)
+			b.terminate()
+		}
+
+	case *ast.EmptyStmt:
+		// nothing
+
+	default:
+		// Assignments, declarations, sends, go statements, inc/dec:
+		// straight-line nodes.
+		b.pendingLabel = ""
+		b.cur.Nodes = append(b.cur.Nodes, s)
+	}
+}
+
+func (b *cfgBuilder) branch(s *ast.BranchStmt) {
+	switch s.Tok {
+	case token.BREAK:
+		var target *BasicBlock
+		if s.Label != nil {
+			target = b.label(s.Label.Name).brk
+		} else if len(b.breaks) > 0 {
+			target = b.breaks[len(b.breaks)-1]
+		}
+		if target != nil {
+			b.edge(b.cur, target)
+		}
+		b.terminate()
+	case token.CONTINUE:
+		var target *BasicBlock
+		if s.Label != nil {
+			target = b.label(s.Label.Name).cont
+		} else if len(b.conts) > 0 {
+			target = b.conts[len(b.conts)-1]
+		}
+		if target != nil {
+			b.edge(b.cur, target)
+		}
+		b.terminate()
+	case token.GOTO:
+		li := b.label(s.Label.Name)
+		if li.start == nil {
+			li.start = b.newBlock() // forward goto: label not yet seen
+		}
+		b.edge(b.cur, li.start)
+		b.terminate()
+	case token.FALLTHROUGH:
+		// Handled by switchStmt, which links the clause to its successor
+		// clause when the body ends in fallthrough. Nothing to do here.
+	}
+}
+
+func (b *cfgBuilder) ifStmt(s *ast.IfStmt) {
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	b.cur.Nodes = append(b.cur.Nodes, s.Cond)
+	condBlk := b.cur
+	join := b.newBlock()
+
+	then := b.newBlock()
+	b.edge(condBlk, then)
+	b.cur = then
+	b.stmtList(s.Body.List)
+	b.edge(b.cur, join)
+
+	if s.Else != nil {
+		els := b.newBlock()
+		b.edge(condBlk, els)
+		b.cur = els
+		b.stmt(s.Else)
+		b.edge(b.cur, join)
+	} else {
+		b.edge(condBlk, join)
+	}
+	b.cur = join
+}
+
+func (b *cfgBuilder) forStmt(s *ast.ForStmt) {
+	lbl := b.pendingLabel
+	b.pendingLabel = ""
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	header := b.newBlock()
+	b.edge(b.cur, header)
+	if s.Cond != nil {
+		header.Nodes = append(header.Nodes, s.Cond)
+	}
+	join := b.newBlock()
+	if s.Cond != nil {
+		b.edge(header, join)
+	}
+	cont := header
+	var post *BasicBlock
+	if s.Post != nil {
+		post = b.newBlock()
+		cont = post
+	}
+	if lbl != "" {
+		li := b.label(lbl)
+		li.brk, li.cont = join, cont
+	}
+	b.breaks = append(b.breaks, join)
+	b.conts = append(b.conts, cont)
+
+	body := b.newBlock()
+	b.edge(header, body)
+	b.cur = body
+	b.stmtList(s.Body.List)
+	b.edge(b.cur, cont)
+	if post != nil {
+		b.cur = post
+		b.stmt(s.Post)
+		b.edge(b.cur, header)
+	}
+
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.conts = b.conts[:len(b.conts)-1]
+	b.cur = join
+}
+
+func (b *cfgBuilder) rangeStmt(s *ast.RangeStmt) {
+	lbl := b.pendingLabel
+	b.pendingLabel = ""
+	// The ranged expression is evaluated once, before the loop.
+	b.cur.Nodes = append(b.cur.Nodes, s.X)
+	header := b.newBlock()
+	header.Range = s
+	b.edge(b.cur, header)
+	join := b.newBlock()
+	b.edge(header, join)
+	if lbl != "" {
+		li := b.label(lbl)
+		li.brk, li.cont = join, header
+	}
+	b.breaks = append(b.breaks, join)
+	b.conts = append(b.conts, header)
+
+	body := b.newBlock()
+	b.edge(header, body)
+	b.cur = body
+	b.stmtList(s.Body.List)
+	b.edge(b.cur, header)
+
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.conts = b.conts[:len(b.conts)-1]
+	b.cur = join
+}
+
+func (b *cfgBuilder) switchStmt(s *ast.SwitchStmt) {
+	lbl := b.pendingLabel
+	b.pendingLabel = ""
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	if s.Tag != nil {
+		b.cur.Nodes = append(b.cur.Nodes, s.Tag)
+	}
+	b.caseClauses(s.Body, lbl)
+}
+
+func (b *cfgBuilder) typeSwitchStmt(s *ast.TypeSwitchStmt) {
+	lbl := b.pendingLabel
+	b.pendingLabel = ""
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	b.stmt(s.Assign)
+	b.caseClauses(s.Body, lbl)
+}
+
+// caseClauses builds the dispatch structure shared by expression and type
+// switches: every clause is a successor of the head block, fallthrough
+// chains a clause into the next, and break (or clause end) meets at join.
+func (b *cfgBuilder) caseClauses(body *ast.BlockStmt, lbl string) {
+	head := b.cur
+	join := b.newBlock()
+	if lbl != "" {
+		b.label(lbl).brk = join
+	}
+	b.breaks = append(b.breaks, join)
+
+	entries := make([]*BasicBlock, len(body.List))
+	hasDefault := false
+	for i, cl := range body.List {
+		cc := cl.(*ast.CaseClause)
+		entries[i] = b.newBlock()
+		for _, e := range cc.List {
+			entries[i].Nodes = append(entries[i].Nodes, e)
+		}
+		if cc.List == nil {
+			hasDefault = true
+		}
+		b.edge(head, entries[i])
+	}
+	if !hasDefault {
+		b.edge(head, join)
+	}
+	for i, cl := range body.List {
+		cc := cl.(*ast.CaseClause)
+		b.cur = entries[i]
+		b.stmtList(cc.Body)
+		if fallsThrough(cc.Body) && i+1 < len(entries) {
+			b.edge(b.cur, entries[i+1])
+			b.terminate()
+		} else {
+			b.edge(b.cur, join)
+		}
+	}
+
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.cur = join
+}
+
+func (b *cfgBuilder) selectStmt(s *ast.SelectStmt) {
+	lbl := b.pendingLabel
+	b.pendingLabel = ""
+	head := b.cur
+	join := b.newBlock()
+	if lbl != "" {
+		b.label(lbl).brk = join
+	}
+	b.breaks = append(b.breaks, join)
+	for _, cl := range s.Body.List {
+		cc := cl.(*ast.CommClause)
+		entry := b.newBlock()
+		if cc.Comm != nil {
+			entry.Nodes = append(entry.Nodes, cc.Comm)
+		}
+		b.edge(head, entry)
+		b.cur = entry
+		b.stmtList(cc.Body)
+		b.edge(b.cur, join)
+	}
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.cur = join
+}
+
+// fallsThrough reports whether a case body ends in a fallthrough
+// statement (possibly under a trailing label, which the spec allows).
+func fallsThrough(body []ast.Stmt) bool {
+	if len(body) == 0 {
+		return false
+	}
+	last := body[len(body)-1]
+	for {
+		if l, ok := last.(*ast.LabeledStmt); ok {
+			last = l.Stmt
+			continue
+		}
+		break
+	}
+	br, ok := last.(*ast.BranchStmt)
+	return ok && br.Tok == token.FALLTHROUGH
+}
+
+// isNoReturnCall reports whether an expression statement's call never
+// returns normally: the panic builtin, os.Exit, or log.Fatal*. These end
+// the block with a PanicExit edge so obligation analyzers can excuse the
+// path (defers still run for panic; the process dies for the others).
+func isNoReturnCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		pkg, ok := fun.X.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		if pkg.Name == "os" && fun.Sel.Name == "Exit" {
+			return true
+		}
+		if pkg.Name == "log" && (fun.Sel.Name == "Fatal" || fun.Sel.Name == "Fatalf" || fun.Sel.Name == "Fatalln") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,371 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strconv"
+	"testing"
+)
+
+// The CFG tests run a tiny "step reachability" dataflow over parsed
+// function bodies: calls to step(k) gen fact k, so the facts arriving
+// at Exit under union meet are the steps on *some* path (may) and under
+// intersection the steps on *every* path (must). That exercises the
+// builder's edges end to end — a missing or misrouted edge shows up as
+// a wrong fact set — without depending on type information.
+
+// parseBody wraps a snippet in a function and builds its CFG.
+func parseBody(t *testing.T, body string) *CFG {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "f.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parsing snippet: %v", err)
+	}
+	return NewCFG(f.Decls[0].(*ast.FuncDecl).Body)
+}
+
+// stepsIn returns the k of every step(k) call inside a node.
+func stepsIn(n ast.Node) []int {
+	var out []int
+	ast.Inspect(n, func(m ast.Node) bool {
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		if !ok || id.Name != "step" || len(call.Args) != 1 {
+			return true
+		}
+		if lit, ok := call.Args[0].(*ast.BasicLit); ok {
+			if v, err := strconv.Atoi(lit.Value); err == nil {
+				out = append(out, v)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// stepFlow solves the step-reachability problem in the given direction
+// and meet.
+func stepFlow(g *CFG, dir Direction, union bool, numFacts int) (in, out []BitSet) {
+	return Solve(g, &Flow{
+		Dir: dir, NumFacts: numFacts, MeetUnion: union,
+		Transfer: func(b *BasicBlock, in BitSet) BitSet {
+			o := in.Copy()
+			for _, n := range b.Nodes {
+				for _, k := range stepsIn(n) {
+					o.Set(k)
+				}
+			}
+			return o
+		},
+	})
+}
+
+// exitSteps returns the sorted facts at Exit of a forward solve.
+func exitSteps(g *CFG, union bool, numFacts int) []int {
+	in, _ := stepFlow(g, Forward, union, numFacts)
+	var out []int
+	for k := 0; k < numFacts; k++ {
+		if in[g.Exit.Index].Has(k) {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// blockWithStep finds the block whose Nodes contain step(k).
+func blockWithStep(t *testing.T, g *CFG, k int) *BasicBlock {
+	t.Helper()
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			for _, s := range stepsIn(n) {
+				if s == k {
+					return b
+				}
+			}
+		}
+	}
+	t.Fatalf("no block contains step(%d)", k)
+	return nil
+}
+
+func hasBlock(list []*BasicBlock, b *BasicBlock) bool {
+	for _, x := range list {
+		if x == b {
+			return true
+		}
+	}
+	return false
+}
+
+func TestCFGGotoForward(t *testing.T) {
+	g := parseBody(t, `
+		step(1)
+		if c {
+			goto out
+		}
+		step(2)
+	out:
+		step(3)
+	`)
+	if got := exitSteps(g, true, 4); !equalInts(got, []int{1, 2, 3}) {
+		t.Errorf("may facts at exit = %v, want [1 2 3]", got)
+	}
+	// The goto path skips step(2), so only 1 and 3 hold on every path.
+	if got := exitSteps(g, false, 4); !equalInts(got, []int{1, 3}) {
+		t.Errorf("must facts at exit = %v, want [1 3]", got)
+	}
+}
+
+func TestCFGGotoLoop(t *testing.T) {
+	// A backward goto forms a cycle: the solver must still terminate, and
+	// the back edge must exist.
+	g := parseBody(t, `
+		step(1)
+	again:
+		step(2)
+		if c {
+			goto again
+		}
+		step(3)
+	`)
+	if got := exitSteps(g, false, 4); !equalInts(got, []int{1, 2, 3}) {
+		t.Errorf("must facts at exit = %v, want [1 2 3]", got)
+	}
+	if preds := blockWithStep(t, g, 2).Preds; len(preds) < 2 {
+		t.Errorf("label block should have the fallthrough and the goto back edge, got %d preds", len(preds))
+	}
+}
+
+func TestCFGLabeledBreak(t *testing.T) {
+	// break outer must leave BOTH loops: step(3) is reachable only if the
+	// break exits the (otherwise infinite) outer loop, and step(2) is
+	// reachable only if the break wrongly targeted the inner loop.
+	g := parseBody(t, `
+	outer:
+		for {
+			step(1)
+			for {
+				break outer
+			}
+			step(2)
+		}
+		step(3)
+	`)
+	reach := g.Reachable()
+	if reach[blockWithStep(t, g, 2)] {
+		t.Error("step(2) after the inner loop should be unreachable: break outer must not target the inner join")
+	}
+	if !reach[blockWithStep(t, g, 3)] {
+		t.Error("step(3) after the outer loop should be reachable through break outer")
+	}
+}
+
+func TestCFGLabeledContinue(t *testing.T) {
+	g := parseBody(t, `
+	outer:
+		for i := 0; i < 3; i++ {
+			for {
+				step(1)
+				continue outer
+			}
+		}
+		step(2)
+	`)
+	reach := g.Reachable()
+	if !reach[blockWithStep(t, g, 2)] {
+		t.Error("step(2) after the outer loop should be reachable")
+	}
+	// continue outer must jump to the outer loop's post block (the one
+	// holding i++), not the inner header.
+	b := blockWithStep(t, g, 1)
+	if len(b.Succs) != 1 {
+		t.Fatalf("continue block should have exactly one successor, got %d", len(b.Succs))
+	}
+	post := b.Succs[0]
+	found := false
+	for _, n := range post.Nodes {
+		if _, ok := n.(*ast.IncDecStmt); ok {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("continue outer should target the outer post block (i++), got block %d with %d nodes", post.Index, len(post.Nodes))
+	}
+}
+
+func TestCFGDeferOrder(t *testing.T) {
+	g := parseBody(t, `
+		defer step(1)
+		defer step(2)
+		if c {
+			return
+		}
+		step(3)
+	`)
+	if len(g.Defers) != 2 {
+		t.Fatalf("expected 2 defer statements, got %d", len(g.Defers))
+	}
+	// ExitCalls run in reverse registration order: last defer first.
+	if len(g.ExitCalls) != 2 {
+		t.Fatalf("expected 2 exit calls, got %d", len(g.ExitCalls))
+	}
+	if got := stepsIn(g.ExitCalls[0]); !equalInts(got, []int{2}) {
+		t.Errorf("first exit call = step%v, want step(2): defers must run in reverse order", got)
+	}
+	if got := stepsIn(g.ExitCalls[1]); !equalInts(got, []int{1}) {
+		t.Errorf("second exit call = step%v, want step(1)", got)
+	}
+}
+
+func TestCFGConditionalDefer(t *testing.T) {
+	// A defer registered on only some paths still appears in ExitCalls:
+	// conservative, and documented as such.
+	g := parseBody(t, `
+		if c {
+			defer step(1)
+		}
+		step(2)
+	`)
+	if len(g.ExitCalls) != 1 {
+		t.Fatalf("expected the conditional defer in ExitCalls, got %d calls", len(g.ExitCalls))
+	}
+}
+
+func TestCFGPanicExit(t *testing.T) {
+	g := parseBody(t, `
+		step(1)
+		if c {
+			panic("boom")
+		}
+		step(2)
+	`)
+	var panicBlk *BasicBlock
+	for _, b := range g.Blocks {
+		if b.PanicExit {
+			if panicBlk != nil {
+				t.Fatal("more than one PanicExit block")
+			}
+			panicBlk = b
+		}
+	}
+	if panicBlk == nil {
+		t.Fatal("no PanicExit block for panic call")
+	}
+	if !hasBlock(panicBlk.Succs, g.Exit) {
+		t.Error("PanicExit block should edge to Exit")
+	}
+	// The panic path reaches Exit without step(2): must excludes it.
+	if got := exitSteps(g, false, 3); !equalInts(got, []int{1}) {
+		t.Errorf("must facts at exit = %v, want [1]", got)
+	}
+	if got := exitSteps(g, true, 3); !equalInts(got, []int{1, 2}) {
+		t.Errorf("may facts at exit = %v, want [1 2]", got)
+	}
+}
+
+func TestCFGDeadAfterPanic(t *testing.T) {
+	g := parseBody(t, `
+		panic("boom")
+		step(1)
+	`)
+	if g.Reachable()[blockWithStep(t, g, 1)] {
+		t.Error("code after an unconditional panic should be unreachable")
+	}
+}
+
+func TestCFGSwitchFallthrough(t *testing.T) {
+	g := parseBody(t, `
+		switch x {
+		case 1:
+			step(1)
+			fallthrough
+		case 2:
+			step(2)
+		default:
+			step(3)
+		}
+		step(4)
+	`)
+	// The fallthrough edge links case 1's body directly into case 2's.
+	if !hasBlock(blockWithStep(t, g, 2).Preds, blockWithStep(t, g, 1)) {
+		t.Error("fallthrough should edge case 1's body into case 2's clause")
+	}
+	if got := exitSteps(g, false, 5); !equalInts(got, []int{4}) {
+		t.Errorf("must facts at exit = %v, want [4]", got)
+	}
+}
+
+func TestCFGSwitchNoDefault(t *testing.T) {
+	// Without a default clause the head must edge straight to join: no
+	// case might match.
+	g := parseBody(t, `
+		switch x {
+		case 1:
+			step(1)
+		}
+		step(2)
+	`)
+	if got := exitSteps(g, false, 3); !equalInts(got, []int{2}) {
+		t.Errorf("must facts at exit = %v, want [2]", got)
+	}
+	if got := exitSteps(g, true, 3); !equalInts(got, []int{1, 2}) {
+		t.Errorf("may facts at exit = %v, want [1 2]", got)
+	}
+}
+
+func TestCFGSelect(t *testing.T) {
+	g := parseBody(t, `
+		select {
+		case <-ch:
+			step(1)
+		case ch2 <- 1:
+			step(2)
+		}
+		step(3)
+	`)
+	if got := exitSteps(g, true, 4); !equalInts(got, []int{1, 2, 3}) {
+		t.Errorf("may facts at exit = %v, want [1 2 3]", got)
+	}
+	if got := exitSteps(g, false, 4); !equalInts(got, []int{3}) {
+		t.Errorf("must facts at exit = %v, want [3]", got)
+	}
+}
+
+func TestCFGRange(t *testing.T) {
+	g := parseBody(t, `
+		for range xs {
+			step(1)
+		}
+		step(2)
+	`)
+	headers := 0
+	for _, b := range g.Blocks {
+		if b.Range != nil {
+			headers++
+		}
+	}
+	if headers != 1 {
+		t.Errorf("expected exactly one range header block, got %d", headers)
+	}
+	if got := exitSteps(g, false, 3); !equalInts(got, []int{2}) {
+		t.Errorf("must facts at exit = %v, want [2] (the range may iterate zero times)", got)
+	}
+}

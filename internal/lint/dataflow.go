@@ -1,0 +1,196 @@
+package lint
+
+// This file is the generic worklist solver the lifetime analyzers share:
+// a bit-vector fact domain (one bit per tracked obligation, lock
+// acquisition, or tainted variable), forward or backward direction, and
+// union (may) or intersection (must) meet. Transfer functions are
+// monotone gen/kill over a block's nodes, so the fixpoint terminates: the
+// lattice is the finite powerset of facts and every iteration only moves
+// block out-sets up (union) or down (intersection).
+
+// BitSet is a fixed-capacity bit vector over fact indices.
+type BitSet []uint64
+
+// NewBitSet returns an empty set with capacity for n facts.
+func NewBitSet(n int) BitSet {
+	return make(BitSet, (n+63)/64)
+}
+
+// Set adds fact i.
+func (b BitSet) Set(i int) { b[i/64] |= 1 << (i % 64) }
+
+// Clear removes fact i.
+func (b BitSet) Clear(i int) { b[i/64] &^= 1 << (i % 64) }
+
+// Has reports whether fact i is present.
+func (b BitSet) Has(i int) bool { return b[i/64]&(1<<(i%64)) != 0 }
+
+// Empty reports whether no fact is present.
+func (b BitSet) Empty() bool {
+	for _, w := range b {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Copy returns an independent copy.
+func (b BitSet) Copy() BitSet {
+	c := make(BitSet, len(b))
+	copy(c, b)
+	return c
+}
+
+// Union folds o into b and reports whether b changed.
+func (b BitSet) Union(o BitSet) bool {
+	changed := false
+	for i, w := range o {
+		if n := b[i] | w; n != b[i] {
+			b[i] = n
+			changed = true
+		}
+	}
+	return changed
+}
+
+// Intersect keeps only facts present in both and reports whether b
+// changed.
+func (b BitSet) Intersect(o BitSet) bool {
+	changed := false
+	for i, w := range o {
+		if n := b[i] & w; n != b[i] {
+			b[i] = n
+			changed = true
+		}
+	}
+	return changed
+}
+
+// Equal reports set equality.
+func (b BitSet) Equal(o BitSet) bool {
+	for i := range b {
+		if b[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// fill sets every fact below n (the lattice top for must-analyses).
+func (b BitSet) fill(n int) {
+	for i := 0; i < n; i++ {
+		b.Set(i)
+	}
+}
+
+// Direction selects which way facts propagate.
+type Direction int
+
+const (
+	// Forward propagates entry-to-exit: a block's in-set is the meet of
+	// its predecessors' out-sets.
+	Forward Direction = iota
+	// Backward propagates exit-to-entry: a block's in-set (at its end) is
+	// the meet of its successors' start-sets.
+	Backward
+)
+
+// Flow is one dataflow problem over a CFG.
+type Flow struct {
+	// Dir is the propagation direction.
+	Dir Direction
+	// NumFacts sizes the bit vectors.
+	NumFacts int
+	// MeetUnion selects the meet operator: true for union (may — a fact
+	// holds if it holds on any path), false for intersection (must — on
+	// all paths).
+	MeetUnion bool
+	// Boundary is the fact set at the Entry block (Forward) or Exit block
+	// (Backward). Nil means empty.
+	Boundary BitSet
+	// Transfer computes a block's out-set from its in-set. It must be
+	// monotone and must not retain or mutate in; it returns a fresh or
+	// reused set that the solver copies.
+	Transfer func(b *BasicBlock, in BitSet) BitSet
+}
+
+// Solve runs the worklist algorithm to fixpoint and returns each block's
+// in- and out-sets, indexed by BasicBlock.Index. For must-analyses
+// (MeetUnion false) unreachable blocks keep top; analyzers should only
+// report from reachable blocks.
+func Solve(g *CFG, f *Flow) (in, out []BitSet) {
+	n := len(g.Blocks)
+	in = make([]BitSet, n)
+	out = make([]BitSet, n)
+	for i := range in {
+		in[i] = NewBitSet(f.NumFacts)
+		out[i] = NewBitSet(f.NumFacts)
+		if !f.MeetUnion {
+			in[i].fill(f.NumFacts)
+			out[i].fill(f.NumFacts)
+		}
+	}
+	boundary := g.Entry
+	if f.Dir == Backward {
+		boundary = g.Exit
+	}
+	in[boundary.Index] = NewBitSet(f.NumFacts)
+	if f.Boundary != nil {
+		in[boundary.Index].Union(f.Boundary)
+	}
+
+	// edgesIn lists the blocks whose out-sets feed a block's in-set.
+	edgesIn := func(b *BasicBlock) []*BasicBlock {
+		if f.Dir == Forward {
+			return b.Preds
+		}
+		return b.Succs
+	}
+
+	work := make([]*BasicBlock, 0, n)
+	inWork := make([]bool, n)
+	push := func(b *BasicBlock) {
+		if !inWork[b.Index] {
+			inWork[b.Index] = true
+			work = append(work, b)
+		}
+	}
+	for _, b := range g.Blocks {
+		push(b)
+	}
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		inWork[b.Index] = false
+
+		if b != boundary {
+			feeds := edgesIn(b)
+			if len(feeds) > 0 {
+				m := out[feeds[0].Index].Copy()
+				for _, p := range feeds[1:] {
+					if f.MeetUnion {
+						m.Union(out[p.Index])
+					} else {
+						m.Intersect(out[p.Index])
+					}
+				}
+				in[b.Index] = m
+			}
+		}
+		newOut := f.Transfer(b, in[b.Index])
+		if !newOut.Equal(out[b.Index]) {
+			copy(out[b.Index], newOut)
+			if f.Dir == Forward {
+				for _, s := range b.Succs {
+					push(s)
+				}
+			} else {
+				for _, p := range b.Preds {
+					push(p)
+				}
+			}
+		}
+	}
+	return in, out
+}

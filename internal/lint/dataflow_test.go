@@ -1,0 +1,126 @@
+package lint
+
+import "testing"
+
+func TestBitSetOps(t *testing.T) {
+	// Cross a word boundary on purpose: 70 facts span two uint64 words.
+	b := NewBitSet(70)
+	if !b.Empty() {
+		t.Error("fresh set should be empty")
+	}
+	b.Set(0)
+	b.Set(69)
+	if !b.Has(0) || !b.Has(69) || b.Has(1) {
+		t.Error("Set/Has across the word boundary misbehaves")
+	}
+	b.Clear(0)
+	if b.Has(0) || !b.Has(69) {
+		t.Error("Clear removed the wrong bit")
+	}
+
+	c := b.Copy()
+	c.Set(3)
+	if b.Has(3) {
+		t.Error("Copy must be independent")
+	}
+	if !b.Equal(b.Copy()) || b.Equal(c) {
+		t.Error("Equal misjudges")
+	}
+
+	u := NewBitSet(70)
+	u.Set(5)
+	if changed := u.Union(c); !changed || !u.Has(3) || !u.Has(5) || !u.Has(69) {
+		t.Error("Union lost facts or misreported change")
+	}
+	if changed := u.Union(c); changed {
+		t.Error("idempotent Union should report no change")
+	}
+
+	i := c.Copy()
+	only69 := NewBitSet(70)
+	only69.Set(69)
+	if changed := i.Intersect(only69); !changed || i.Has(3) || !i.Has(69) {
+		t.Error("Intersect kept the wrong facts")
+	}
+}
+
+// TestSolveDiamond pins the meet operators on a diamond: a fact genned
+// on one branch holds at the join under union (may) but not under
+// intersection (must).
+func TestSolveDiamond(t *testing.T) {
+	g := parseBody(t, `
+		if c {
+			step(1)
+		} else {
+			step(2)
+		}
+		step(3)
+	`)
+	if got := exitSteps(g, true, 4); !equalInts(got, []int{1, 2, 3}) {
+		t.Errorf("may facts at exit = %v, want [1 2 3]", got)
+	}
+	if got := exitSteps(g, false, 4); !equalInts(got, []int{3}) {
+		t.Errorf("must facts at exit = %v, want [3]", got)
+	}
+}
+
+// TestSolveBackward runs the same step problem against the control flow:
+// facts genned late in the function propagate to the entry's out-set
+// (for a backward problem, out[Entry] is the solution at the function's
+// start — "what lies ahead").
+func TestSolveBackward(t *testing.T) {
+	g := parseBody(t, `
+		if c {
+			step(1)
+		}
+		step(2)
+	`)
+	_, out := stepFlow(g, Backward, true, 3)
+	atEntry := out[g.Entry.Index]
+	if !atEntry.Has(1) || !atEntry.Has(2) {
+		t.Errorf("backward may at entry should see both steps ahead, got %v", atEntry)
+	}
+	_, out = stepFlow(g, Backward, false, 3)
+	atEntry = out[g.Entry.Index]
+	if atEntry.Has(1) {
+		t.Error("backward must at entry should exclude step(1): the else path skips it")
+	}
+	if !atEntry.Has(2) {
+		t.Error("backward must at entry should include step(2): every path ahead runs it")
+	}
+}
+
+// TestSolveBoundary seeds the entry with a fact and checks it reaches
+// the exit untouched by gen-less transfers.
+func TestSolveBoundary(t *testing.T) {
+	g := parseBody(t, `
+		step(1)
+	`)
+	seed := NewBitSet(3)
+	seed.Set(2)
+	in, _ := Solve(g, &Flow{
+		Dir: Forward, NumFacts: 3, MeetUnion: true, Boundary: seed,
+		Transfer: func(b *BasicBlock, in BitSet) BitSet { return in.Copy() },
+	})
+	if !in[g.Exit.Index].Has(2) {
+		t.Error("boundary fact should flow entry to exit")
+	}
+}
+
+// TestSolveLoopTermination runs a must-analysis over a loop with a
+// cycle in the CFG; the solver has to reach a fixpoint, and the loop
+// body's fact must not hold at exit (zero iterations are possible).
+func TestSolveLoopTermination(t *testing.T) {
+	g := parseBody(t, `
+		for i := 0; i < n; i++ {
+			step(1)
+		}
+		step(2)
+	`)
+	if got := exitSteps(g, false, 3); !equalInts(got, []int{2}) {
+		t.Errorf("must facts at exit = %v, want [2]", got)
+	}
+	if got := exitSteps(g, true, 3); !equalInts(got, []int{1, 2}) {
+		t.Errorf("may facts at exit = %v, want [1 2]", got)
+	}
+}

@@ -1,0 +1,119 @@
+package lint
+
+import (
+	"go/token"
+	"strings"
+)
+
+// This file implements the //fclint:ignore inline suppression:
+//
+//	//fclint:ignore <analyzer> <reason>
+//
+// placed on the flagged line or the line directly above it. The reason
+// is mandatory — a suppression is a debt record, and an empty reason is
+// itself a diagnostic — as is naming an analyzer that doesn't exist or
+// suppressing a finding that no longer fires (stale suppressions must
+// not accumulate silently; TestSuppressionLedger enumerates the
+// survivors).
+
+// IgnoreDirective is the comment prefix of an inline suppression.
+const IgnoreDirective = "//fclint:ignore"
+
+// Suppression is one parsed //fclint:ignore directive.
+type Suppression struct {
+	// Pos locates the directive comment.
+	Pos token.Position
+	// Analyzer is the analyzer being silenced.
+	Analyzer string
+	// Reason is the mandatory justification (may be empty in a malformed
+	// directive; Run reports that).
+	Reason string
+}
+
+// Suppressions parses every //fclint:ignore directive in the packages,
+// in file order.
+func Suppressions(fset *token.FileSet, pkgs []*Package) []Suppression {
+	var out []Suppression
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if !strings.HasPrefix(c.Text, IgnoreDirective) {
+						continue
+					}
+					rest := strings.TrimPrefix(c.Text, IgnoreDirective)
+					fields := strings.Fields(rest)
+					s := Suppression{Pos: fset.Position(c.Pos())}
+					if len(fields) > 0 {
+						s.Analyzer = fields[0]
+						s.Reason = strings.Join(fields[1:], " ")
+					}
+					out = append(out, s)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// applySuppressions drops diagnostics matched by a suppression (same
+// analyzer, same file, directive on the finding's line or the line
+// above) and returns the filtered findings plus the hygiene diagnostics
+// for malformed or stale directives. ranAnalyzers guards the staleness
+// check: a suppression for an analyzer that didn't run this invocation
+// can't be judged stale.
+func applySuppressions(diags []Diagnostic, sups []Suppression, ranAnalyzers map[string]bool) []Diagnostic {
+	used := make([]bool, len(sups))
+	matches := func(d Diagnostic) bool {
+		hit := false
+		for i, s := range sups {
+			if s.Analyzer != d.Analyzer || s.Reason == "" {
+				continue
+			}
+			if s.Pos.Filename == d.Pos.Filename && (s.Pos.Line == d.Pos.Line || s.Pos.Line == d.Pos.Line-1) {
+				used[i] = true
+				hit = true
+			}
+		}
+		return hit
+	}
+	var out []Diagnostic
+	for _, d := range diags {
+		if !matches(d) {
+			out = append(out, d)
+		}
+	}
+	for i, s := range sups {
+		switch {
+		case s.Analyzer == "" || s.Reason == "":
+			out = append(out, Diagnostic{
+				Pos:      s.Pos,
+				Analyzer: "ignore",
+				Message:  "fclint:ignore needs an analyzer and a reason: //fclint:ignore <analyzer> <why this finding is acceptable>",
+			})
+		case !knownAnalyzer(s.Analyzer):
+			out = append(out, Diagnostic{
+				Pos:      s.Pos,
+				Analyzer: "ignore",
+				Message:  "fclint:ignore names unknown analyzer " + s.Analyzer,
+			})
+		case !used[i] && ranAnalyzers[s.Analyzer]:
+			out = append(out, Diagnostic{
+				Pos:      s.Pos,
+				Analyzer: "ignore",
+				Message:  "stale fclint:ignore: no " + s.Analyzer + " finding on this or the next line — delete the suppression",
+			})
+		}
+	}
+	return out
+}
+
+// knownAnalyzer reports whether name is one of the registered analyzers.
+func knownAnalyzer(name string) bool {
+	for _, a := range Analyzers() {
+		if a.Name() == name {
+			return true
+		}
+	}
+	return false
+}

@@ -1,11 +1,17 @@
 // Package lint is the repo's own static-analysis suite: a stdlib-only
-// (go/ast, go/parser, go/token, go/types) driver plus seven analyzers that
-// turn this codebase's concurrency and cost-model conventions into
-// machine-checked invariants. The serve path's resilience guarantees
+// (go/ast, go/parser, go/token, go/types) driver plus ten analyzers that
+// turn this codebase's concurrency, lifetime, and cost-model conventions
+// into machine-checked invariants. The serve path's resilience guarantees
 // (errors-not-panics, context threading, atomic counters) and the cost
 // model's float-precision contract (the APS crossover sits exactly at
 // ratio 1.0) are only as strong as the code that follows them; fclint
 // makes "follows them" a build failure instead of a review habit.
+//
+// Seven analyzers are per-node AST walks; the three lifetime analyzers
+// (poolsafe, lockhold, arenaescape) run on an intra-procedural CFG +
+// worklist-dataflow engine (cfg.go, dataflow.go) with one-level
+// cross-package call summaries for blocking and releasing effects
+// (summary.go) — see DESIGN.md §13.
 //
 // The analyzers:
 //
@@ -28,6 +34,20 @@
 //     optimizer's) are accessed only from the struct's own methods;
 //     everyone else uses the snapshot accessors, so a concurrent
 //     hot-swap can never tear a read.
+//   - poolsafe: a value checked out of the result arena or a sync.Pool
+//     is never used after Release/Put on any path, and is released (or
+//     ownership-transferred) on every path to a normal return.
+//   - lockhold: every Lock/RLock is matched by its Unlock on all paths,
+//     and no write lock is held across a blocking operation (channel
+//     ops, select, pool Dispatch, time.Sleep, network I/O).
+//   - arenaescape: arena-backed slices (Buf.IDs, WordBuf.W,
+//     Results.RowIDs and their query-layer mirrors) never escape to
+//     struct fields, package variables, or un-annotated returns.
+//
+// Findings can be silenced inline with a justified suppression —
+// //fclint:ignore <analyzer> <reason> — on the flagged line or the line
+// above; an empty reason, an unknown analyzer, or a stale suppression is
+// itself a finding (see ignore.go).
 //
 // Test files are exempt from every analyzer and are not loaded at all.
 package lint
@@ -76,14 +96,20 @@ func Analyzers() []Analyzer {
 		NewErrdrop(),
 		NewGospawn(),
 		NewAtomicswap(),
+		NewPoolsafe(),
+		NewLockhold(),
+		NewArenaescape(),
 	}
 }
 
 // Run applies the analyzers to the packages and returns the findings in
-// position order.
+// position order, after applying //fclint:ignore suppressions (malformed
+// or stale suppressions surface as findings of the "ignore" analyzer).
 func Run(fset *token.FileSet, pkgs []*Package, analyzers []Analyzer) []Diagnostic {
 	var diags []Diagnostic
+	ran := make(map[string]bool, len(analyzers))
 	for _, a := range analyzers {
+		ran[a.Name()] = true
 		report := func(pos token.Pos, format string, args ...any) {
 			diags = append(diags, Diagnostic{
 				Pos:      fset.Position(pos),
@@ -96,6 +122,7 @@ func Run(fset *token.FileSet, pkgs []*Package, analyzers []Analyzer) []Diagnosti
 		}
 		a.Finish(report)
 	}
+	diags = applySuppressions(diags, Suppressions(fset, pkgs), ran)
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i].Pos, diags[j].Pos
 		if a.Filename != b.Filename {

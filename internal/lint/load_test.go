@@ -1,0 +1,86 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+// TestBuildConstraintRaceShim pins the loader's handling of the
+// internal/race twin files: race.go (//go:build !race) and race_race.go
+// (//go:build race) redeclare the same constant by design, so exactly
+// one may reach the type-checker — the default-build one, since the
+// loader evaluates non-GOOS/GOARCH tags as false.
+func TestBuildConstraintRaceShim(t *testing.T) {
+	raceDir := filepath.Join("..", "race")
+
+	inc, err := buildIncluded(filepath.Join(raceDir, "race.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inc {
+		t.Error("race.go (//go:build !race) should be included in the default build")
+	}
+	inc, err = buildIncluded(filepath.Join(raceDir, "race_race.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inc {
+		t.Error("race_race.go (//go:build race) should be excluded from the default build")
+	}
+
+	names, err := goFiles(raceDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0] != "race.go" {
+		t.Fatalf("goFiles(internal/race) = %v, want [race.go]", names)
+	}
+
+	// The package must type-check cleanly — with both twins loaded the
+	// checker would reject the redeclared Enabled.
+	l := NewLoader("", "")
+	pkg, err := l.LoadDir(raceDir, "race")
+	if err != nil {
+		t.Fatalf("type-checking internal/race: %v", err)
+	}
+	if pkg.Types.Scope().Lookup("Enabled") == nil {
+		t.Error("internal/race should export Enabled")
+	}
+}
+
+// TestBuildConstraintTags checks the tag evaluation rule directly:
+// GOOS/GOARCH tags are true for this host, everything else false.
+func TestBuildConstraintTags(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		t.Helper()
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	cases := []struct {
+		name string
+		src  string
+		want bool
+	}{
+		{"hostos.go", "//go:build " + runtime.GOOS + "\n\npackage p\n", true},
+		{"nothostos.go", "//go:build !" + runtime.GOOS + "\n\npackage p\n", false},
+		{"hostarch.go", "//go:build " + runtime.GOARCH + "\n\npackage p\n", true},
+		{"customtag.go", "//go:build sometag\n\npackage p\n", false},
+		{"negcustom.go", "//go:build !sometag\n\npackage p\n", true},
+		{"none.go", "package p\n", true},
+	}
+	for _, c := range cases {
+		got, err := buildIncluded(write(c.name, c.src))
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if got != c.want {
+			t.Errorf("%s: buildIncluded = %v, want %v", c.name, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,37 @@
+// Package ignore is the fixture for the //fclint:ignore suppression
+// mechanics: a well-formed directive silences the finding on its line
+// (or the line below), and the malformed variants — missing reason,
+// unknown analyzer, nothing left to suppress — are diagnostics
+// themselves. The expectations live in TestIgnoreDirective rather than
+// in want comments: a want comment cannot share a line with the
+// directive under test (both would be one comment token).
+package ignore
+
+// Results mirrors internal/runtime.Results so arenaescape has a real
+// finding to suppress.
+type Results struct{ RowIDs [][]uint32 }
+
+// suppressed escapes a view, but the directive above the return accepts
+// the finding with a reason: the finding must be filtered out.
+func suppressed(r *Results) [][]uint32 {
+	//fclint:ignore arenaescape fixture caller copies the slice immediately
+	return r.RowIDs
+}
+
+// missingReason omits the mandatory justification: the directive does
+// not suppress (the return below still fires) and is flagged itself.
+func missingReason(r *Results) [][]uint32 {
+	//fclint:ignore arenaescape
+	return r.RowIDs
+}
+
+// unknownAnalyzer names a check that does not exist.
+func unknownAnalyzer() {
+	//fclint:ignore nosuchcheck reasons do not save an unknown analyzer
+}
+
+// stale suppresses a finding that no longer fires.
+func stale(r *Results) int {
+	//fclint:ignore arenaescape nothing on the next line escapes anymore
+	return len(r.RowIDs)
+}

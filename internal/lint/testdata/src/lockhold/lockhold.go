@@ -1,0 +1,145 @@
+// Package lockhold is the fixture for the lockhold analyzer: Lock /
+// Unlock pairing on every path, and no blocking operation while an
+// exclusive lock is held.
+package lockhold
+
+import (
+	"errors"
+	"sync"
+)
+
+type guarded struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	n  int
+}
+
+var errSomething = errors.New("fixture failure")
+
+// blockingHelper parks on a channel receive; the call summaries must
+// carry the blocking effect into callers.
+func blockingHelper(ch chan int) int { return <-ch }
+
+// --- true positives ---
+
+// missingUnlock leaks the mutex on the early-return path.
+func (g *guarded) missingUnlock(fail bool) error {
+	g.mu.Lock() // want "not matched by Unlock on every path"
+	if fail {
+		return errSomething
+	}
+	g.mu.Unlock()
+	return nil
+}
+
+// rlockLeak leaks the read lock on the early-return path.
+func (g *guarded) rlockLeak(fail bool) int {
+	g.rw.RLock() // want "not matched by RUnlock on every path"
+	if fail {
+		return -1
+	}
+	v := g.n
+	g.rw.RUnlock()
+	return v
+}
+
+// sendWhileHeld parks on a channel send with the write lock held: every
+// contender stalls behind the parked writer.
+func (g *guarded) sendWhileHeld(ch chan int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	ch <- g.n // want "held across channel send"
+}
+
+// helperWhileHeld blocks through a summarized callee while holding the
+// write lock.
+func (g *guarded) helperWhileHeld(ch chan int) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return blockingHelper(ch) // want "held across call to blockingHelper"
+}
+
+// --- tricky true negatives ---
+
+// deferUnlock covers every path, early returns and panics included,
+// because the deferred unlock runs at Exit.
+func (g *guarded) deferUnlock(fail bool) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if fail {
+		return errSomething
+	}
+	g.n++
+	return nil
+}
+
+// relockLoop re-acquires the lock each iteration; the back edge must
+// not carry one iteration's acquisition into the next as unmatched.
+func (g *guarded) relockLoop(n int) {
+	for i := 0; i < n; i++ {
+		g.mu.Lock()
+		g.n++
+		g.mu.Unlock()
+	}
+}
+
+// branchUnlock releases on both branches even though no single block
+// both locks and unlocks.
+func (g *guarded) branchUnlock(fast bool) {
+	g.mu.Lock()
+	if fast {
+		g.mu.Unlock()
+		return
+	}
+	g.n++
+	g.mu.Unlock()
+}
+
+// gotoCleanup funnels every path through a labeled unlock.
+func (g *guarded) gotoCleanup(n int) int {
+	g.mu.Lock()
+	if n < 0 {
+		goto done
+	}
+	g.n += n
+done:
+	g.mu.Unlock()
+	return g.n
+}
+
+// panicWhileHeld only skips the unlock on a panicking path, which is
+// excused (the goroutine is going down).
+func (g *guarded) panicWhileHeld(bad bool) {
+	g.mu.Lock()
+	if bad {
+		panic("invariant violated")
+	}
+	g.mu.Unlock()
+}
+
+// readSend holds only the read lock across the send: readers don't
+// exclude each other, so the blocking rule does not apply.
+func (g *guarded) readSend(ch chan int) {
+	g.rw.RLock()
+	defer g.rw.RUnlock()
+	ch <- 1
+}
+
+// unlockThenSend releases the write lock before parking.
+func (g *guarded) unlockThenSend(ch chan int) {
+	g.mu.Lock()
+	g.n++
+	g.mu.Unlock()
+	ch <- g.n
+}
+
+// pollWhileHeld holds the lock across a select with a default clause:
+// the send only fires when already ready, so nothing parks.
+func (g *guarded) pollWhileHeld(ch chan int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	select {
+	case ch <- 1:
+	default:
+	}
+}

@@ -1,0 +1,137 @@
+// Package poolsafe is the fixture for the poolsafe analyzer: checkout
+// and release discipline over a local Arena mirror and sync.Pool. The
+// Arena/Buf names match internal/runtime's checkout surface on purpose —
+// the analyzer recognizes them by name so fixtures stay self-contained.
+package poolsafe
+
+import (
+	"errors"
+	"sync"
+)
+
+// Buf mirrors internal/runtime.Buf.
+type Buf struct{ IDs []uint32 }
+
+// Arena mirrors internal/runtime.Arena's checkout surface.
+type Arena struct{ pool sync.Pool }
+
+func (a *Arena) GetBuf(n int) *Buf { return &Buf{IDs: make([]uint32, 0, n)} }
+
+func (a *Arena) PutBuf(b *Buf) {}
+
+var errEarly = errors.New("early failure")
+
+// releaseHelper releases its parameter; the cross-function call
+// summaries must carry this effect into callers.
+func releaseHelper(a *Arena, b *Buf) {
+	a.PutBuf(b)
+}
+
+// --- true positives ---
+
+// useAfterPut reads the buffer after handing it back: the memory may
+// already serve another batch.
+func useAfterPut(a *Arena) uint32 {
+	b := a.GetBuf(8)
+	a.PutBuf(b)
+	return b.IDs[0] // want "used after being released"
+}
+
+// doubleRelease returns the same buffer twice; the second Put is a use
+// of an already-released value.
+func doubleRelease(a *Arena) {
+	b := a.GetBuf(8)
+	a.PutBuf(b)
+	a.PutBuf(b) // want "used after being released"
+}
+
+// leakOnError forgets the buffer on the early-return path.
+func leakOnError(a *Arena, fail bool) error {
+	b := a.GetBuf(8) // want "may not be released on every path"
+	if fail {
+		return errEarly
+	}
+	a.PutBuf(b)
+	return nil
+}
+
+// useAfterHelperRelease releases through a helper: the summary's
+// releases-param effect must poison later uses exactly like a direct
+// Put would.
+func useAfterHelperRelease(a *Arena) uint32 {
+	b := a.GetBuf(8)
+	releaseHelper(a, b)
+	return b.IDs[0] // want "used after being released"
+}
+
+// --- tricky true negatives ---
+
+// deferRelease settles the obligation at the function's Exit block; the
+// uses in between precede the deferred release.
+func deferRelease(a *Arena) {
+	b := a.GetBuf(8)
+	defer a.PutBuf(b)
+	b.IDs = append(b.IDs, 1)
+}
+
+// releaseBothBranches releases on every path even though no single
+// block both checks out and releases.
+func releaseBothBranches(a *Arena, big bool) {
+	b := a.GetBuf(8)
+	if big {
+		a.PutBuf(b)
+	} else {
+		a.PutBuf(b)
+	}
+}
+
+// releaseViaHelper discharges the obligation through the summarized
+// helper and never touches the buffer again.
+func releaseViaHelper(a *Arena) {
+	b := a.GetBuf(8)
+	releaseHelper(a, b)
+}
+
+// checkoutForCaller transfers ownership by returning the bare value;
+// the caller inherits the release obligation.
+func checkoutForCaller(a *Arena) *Buf {
+	b := a.GetBuf(8)
+	return b
+}
+
+// loopCheckout re-checks-out each iteration; the back edge must not
+// smear one iteration's released state onto the next checkout.
+func loopCheckout(a *Arena) {
+	for i := 0; i < 4; i++ {
+		b := a.GetBuf(8)
+		b.IDs = append(b.IDs, uint32(i))
+		a.PutBuf(b)
+	}
+}
+
+// panicPath loses the buffer only on a panicking path, which is excused
+// (the batch is already lost; GC reclaims it).
+func panicPath(a *Arena, bad bool) {
+	b := a.GetBuf(8)
+	if bad {
+		panic("invariant violated")
+	}
+	a.PutBuf(b)
+}
+
+// poolGetNilGuard is the sync.Pool idiom: Get may return nil, and the
+// nil comparison discharges the obligation on the empty-pool branch.
+func poolGetNilGuard(p *sync.Pool) *Buf {
+	if v := p.Get(); v != nil {
+		b := v.(*Buf)
+		return b
+	}
+	return &Buf{}
+}
+
+// getPutAssert checks out through a type assertion and releases through
+// sync.Pool.Put.
+func getPutAssert(p *sync.Pool) {
+	j := p.Get().(*Buf)
+	p.Put(j)
+}

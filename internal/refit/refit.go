@@ -118,6 +118,7 @@ type Controller struct {
 	st        obs.RefitStatus
 	retries   int
 	notBefore time.Time
+	inFlight  bool
 
 	startOnce sync.Once
 	stop      chan struct{}
@@ -190,17 +191,34 @@ func (c *Controller) Close() {
 // attempt a validated re-fit. It returns what happened; tests drive the
 // controller through here for determinism.
 func (c *Controller) Tick(now time.Time) Outcome {
+	// The mutex guards only the bookkeeping. The attempt itself — fault
+	// hooks that can sleep, a full fit over the harvested trace — runs
+	// with the lock released, so Status() and Close() stay responsive
+	// during a slow re-fit; inFlight keeps concurrent Ticks from running
+	// overlapping attempts (the overlapping caller sees OutcomeIdle).
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	if c.inFlight {
+		c.mu.Unlock()
+		return OutcomeIdle
+	}
 	if now.Before(c.notBefore) {
+		c.mu.Unlock()
 		return OutcomeCooldown
 	}
 	if !c.ob.Drift.Report().Stale {
+		c.mu.Unlock()
 		return OutcomeIdle
 	}
+	c.inFlight = true
+	c.mu.Unlock()
+
 	start := time.Now()
 	out, rejectReason, err := c.attempt()
 	elapsed := time.Since(start)
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.inFlight = false
 
 	switch out {
 	case OutcomeSkipped:

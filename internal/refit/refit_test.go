@@ -295,3 +295,54 @@ func TestStartCloseLifecycle(t *testing.T) {
 	c2 := New(optimizer.New(model.HW1()), ob, Options{})
 	c2.Close()
 }
+
+// TestRefitStatusResponsiveDuringSlowAttempt guards the Tick lock
+// discipline: the attempt — fault hooks that can sleep, a full fit over
+// the harvested trace — must run with c.mu released, so Status() (and a
+// concurrent Tick, which bows out as idle) return immediately while a
+// slow re-fit is in flight. Holding the lock across the attempt would
+// park this test for the full injected delay.
+func TestRefitStatusResponsiveDuringSlowAttempt(t *testing.T) {
+	// Same setup as TestRefitSwapsOnStaleDrift — a wrong incumbent alpha
+	// and truthful traces — so the slow attempt ends in a swap.
+	trueHW, trueDg := model.HW1(), model.FittedDesign()
+	staleDg := trueDg
+	staleDg.Alpha = 0.5
+	opt := optimizer.NewWithDesign(trueHW, staleDg)
+	ob := obs.NewObserver(64)
+	primeStaleDrift(ob.Drift)
+	fillTrace(ob.Trace, trueHW, trueDg)
+
+	defer faultinject.Activate(faultinject.New(1,
+		faultinject.Rule{Site: "fit.refit", Kind: faultinject.Delay, Delay: time.Second, Count: 1}))()
+
+	c := New(opt, ob, Options{Cooldown: time.Hour})
+	tickDone := make(chan Outcome, 1)
+	go func() { tickDone <- c.Tick(time.Now()) }()
+	// Give the goroutine time to enter the injected one-second delay.
+	time.Sleep(200 * time.Millisecond)
+
+	// An overlapping Tick must not start a second attempt (or block on
+	// the first): the in-flight guard turns it away as idle.
+	if out := c.Tick(time.Now()); out != OutcomeIdle {
+		t.Fatalf("overlapping tick = %v, want idle", out)
+	}
+
+	statusDone := make(chan obs.RefitStatus, 1)
+	go func() { statusDone <- c.Status() }()
+	select {
+	case <-statusDone:
+		// Status returned while the attempt was still sleeping: the lock
+		// was free.
+	case out := <-tickDone:
+		t.Fatalf("attempt (outcome %v) finished before Status returned: Status was blocked on the attempt's lock", out)
+	}
+
+	if out := <-tickDone; out != OutcomeSwapped {
+		t.Fatalf("delayed attempt = %v, want swapped", out)
+	}
+	st := c.Status()
+	if st.Attempts != 1 || st.Swaps != 1 {
+		t.Fatalf("bookkeeping after delayed attempt: %+v", st)
+	}
+}

@@ -64,6 +64,7 @@ func SharedParallel(data []storage.Value, preds []Predicate, blockTuples, worker
 		// dispatch; answer the batch serially rather than dropping it.
 		return Shared(data, preds, blockTuples)
 	}
+	//fclint:ignore arenaescape compat wrapper passes a nil arena to SharedPool, so RowIDs are heap-backed, never pooled
 	return res.RowIDs
 }
 
@@ -125,5 +126,6 @@ func Parallel(data []storage.Value, p Predicate, workers int) []storage.RowID {
 	if err != nil {
 		return ScanUnrolled(data, p, nil)
 	}
+	//fclint:ignore arenaescape compat wrapper passes a nil arena to SharedPool, so RowIDs are heap-backed, never pooled
 	return res.RowIDs[0]
 }

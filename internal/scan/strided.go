@@ -23,6 +23,7 @@ func SharedStrided(c *storage.Column, preds []Predicate, blockTuples, workers in
 	if err != nil {
 		return sharedStridedSerial(c, preds, blockTuples)
 	}
+	//fclint:ignore arenaescape compat wrapper passes a nil arena to SharedStridedPool, so RowIDs are heap-backed, never pooled
 	return res.RowIDs
 }
 

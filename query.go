@@ -60,6 +60,8 @@ func (e *Engine) Query(statement string) (QueryResult, error) {
 // QueryContext is Query with a deadline/cancellation context, threaded
 // through access path execution (cooperative granularity: checks land
 // between execution phases, not inside a running kernel).
+//
+//fclint:owns — row-listing queries hand the batch's RowIDs to the caller.
 func (e *Engine) QueryContext(ctx context.Context, statement string) (QueryResult, error) {
 	start := time.Now()
 	q, err := dsl.Parse(statement)
@@ -165,6 +167,13 @@ func (e *Engine) QueryContext(ctx context.Context, statement string) (QueryResul
 			r.Min, r.Max = 0, 0
 		}
 		out.Agg = r
+	}
+	if q.Agg != dsl.AggNone {
+		// Aggregation consumed the rowIDs; hand the pooled batch back to
+		// the arena instead of leaking it to the garbage collector. Only
+		// the AggNone path hands rowIDs (and the release obligation) to
+		// the caller.
+		res.Release()
 	}
 	out.Elapsed = time.Since(start)
 	return out, nil

@@ -223,6 +223,8 @@ func (s *Server) Close() { s.sched.Close() }
 // execBatch is the scheduler's executor: resolve the table, run the batch
 // through APS; on failure of the chosen access path (error or panic),
 // retry once through the safe fallback — a full scan.
+//
+//fclint:owns — the server answers submitters with the batch's pooled rowID slices.
 func (s *Server) execBatch(ctx context.Context, key string, preds []Predicate) ([][]storage.RowID, error) {
 	table, attr, ok := strings.Cut(key, "\x00")
 	if !ok {
