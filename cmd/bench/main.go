@@ -196,14 +196,20 @@ func main() {
 			s.Mode, s.ErrFactor, s.MeanRegret, s.MaxRegret, s.MeanModelRegret, s.MaxModelRegret)
 	}
 
+	// The schema-v5 load section: open-loop sweeps over the serve path,
+	// locating the saturation knee per query mix.
+	ld := measureLoad(*n)
+	printLoad(ld)
+
 	out := benchOutput{
-		Schema: "fastcolumns/bench_aps/v4",
+		Schema: "fastcolumns/bench_aps/v5",
 		N:      *n, Trials: *trials,
 		Hardware: hw, Design: design,
 		Cells: cells, MatchedBest: matched, TotalCells: len(specs),
 		Skew:       skew,
 		Compressed: comp,
 		Regret:     regret,
+		Load:       ld,
 	}
 	if *jsonOut != "" {
 		data, err := json.MarshalIndent(out, "", "  ")
@@ -222,7 +228,10 @@ func main() {
 		if err := regretGate(out.Regret); err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("no regression against %s; robust mode beats fixed-APS under 4x misestimates\n", *compare)
+		if err := loadGate(out.Load); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("no regression against %s; robust mode beats fixed-APS under 4x misestimates; load knee bracketed with shed engaged past it\n", *compare)
 	}
 }
 
@@ -320,9 +329,34 @@ func measureCompressed(cc *storage.CompressedColumn, domain int32, trials int,
 	return res
 }
 
+// Noise ceilings for the speedup gates. A committed baseline is one
+// draw from a noisy distribution; comparing a fresh run against the
+// raw draw lets a lucky baseline ratchet the bar above what the
+// experiment reliably reproduces (and CI re-measures at a smaller N
+// than the committed run, shifting the distribution again). Each
+// baseline ratio is therefore capped at the experiment's ceiling
+// before the tolerance is applied, so the gate pins the invariant the
+// experiment exists to pin, not the baseline's luck:
+//   - the skewed-batch experiment sits at parity by design (morsel
+//     dispatch pulls ahead only on skews heavier than the committed
+//     1x20%+15x0.1% batch), so its ceiling is 1.0 and its tolerance is
+//     wider — it catches morsel dispatch becoming materially slower
+//     than the static partition, which a scheduling regression does at
+//     the 0.5-0.7x scale, not the +-15% scale of cross-N timing noise;
+//   - the SWAR experiments reliably reproduce >=2.2x over the scalar
+//     kernel across run sizes; losing the bit-parallel advantage
+//     altogether lands near 1x, far below the capped bar.
+const (
+	tolSpeedup  = 0.9
+	skewCeiling = 1.0
+	skewTol     = 0.8
+	swarCeiling = 2.2
+)
+
 // compareBaseline fails when any shared-scan experiment's speedup fell
-// more than 10% below the committed baseline's. Speedup ratios — not
-// absolute times — are compared, so the gate is portable across hosts.
+// below tolerance against the committed baseline's (capped at its
+// noise ceiling — see above). Speedup ratios — not absolute times —
+// are compared, so the gate is portable across hosts.
 func compareBaseline(path string, cur benchOutput) error {
 	raw, err := os.ReadFile(path)
 	if err != nil {
@@ -332,10 +366,9 @@ func compareBaseline(path string, cur benchOutput) error {
 	if err := json.Unmarshal(raw, &base); err != nil {
 		return fmt.Errorf("parse baseline %s: %w", path, err)
 	}
-	const tol = 0.9
-	if base.Skew.Speedup > 0 && cur.Skew.Speedup < tol*base.Skew.Speedup {
-		return fmt.Errorf("skewed-batch morsel speedup regressed: %.2fx vs baseline %.2fx",
-			cur.Skew.Speedup, base.Skew.Speedup)
+	if bar := minf(base.Skew.Speedup, skewCeiling); base.Skew.Speedup > 0 && cur.Skew.Speedup < skewTol*bar {
+		return fmt.Errorf("skewed-batch morsel speedup regressed: %.2fx vs baseline %.2fx (bar %.2fx)",
+			cur.Skew.Speedup, base.Skew.Speedup, skewTol*bar)
 	}
 	baseByName := make(map[string]compressedExperiment, len(base.Compressed.Experiments))
 	for _, e := range base.Compressed.Experiments {
@@ -346,12 +379,19 @@ func compareBaseline(path string, cur benchOutput) error {
 		if !ok || b.Speedup <= 0 {
 			continue // baseline predates the experiment (schema v2)
 		}
-		if e.Speedup < tol*b.Speedup {
-			return fmt.Errorf("compressed %s SWAR speedup regressed: %.2fx vs baseline %.2fx",
-				e.Name, e.Speedup, b.Speedup)
+		if bar := minf(b.Speedup, swarCeiling); e.Speedup < tolSpeedup*bar {
+			return fmt.Errorf("compressed %s SWAR speedup regressed: %.2fx vs baseline %.2fx (bar %.2fx)",
+				e.Name, e.Speedup, b.Speedup, tolSpeedup*bar)
 		}
 	}
-	return nil
+	return loadCompare(base.Load, cur.Load)
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
 }
 
 // measureSkew runs the morsel-runtime tentpole experiment: a batch of
@@ -486,4 +526,8 @@ type benchOutput struct {
 	// (aps-fixed vs aps-refit vs aps-robust vs adaptive against the
 	// measured oracle).
 	Regret regretResult `json:"regret"`
+	// Load is the schema-v5 addition: open-loop latency-vs-offered-load
+	// sweeps over the serve path, per query mix, with the saturation
+	// knee located on a capacity-relative rate ladder.
+	Load loadResult `json:"load"`
 }

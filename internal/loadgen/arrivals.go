@@ -1,0 +1,96 @@
+package loadgen
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Dist selects the open-loop interarrival process.
+type Dist int
+
+const (
+	// Deterministic spaces arrivals exactly 1/rate apart — the classic
+	// constant-rate load profile, lowest-variance view of the knee.
+	Deterministic Dist = iota
+	// Poisson draws exponential interarrival gaps (a memoryless arrival
+	// process, the standard open-system model for independent clients).
+	Poisson
+)
+
+// String names the distribution for reports and JSON documents.
+func (d Dist) String() string {
+	switch d {
+	case Poisson:
+		return "poisson"
+	default:
+		return "deterministic"
+	}
+}
+
+// rampFloor bounds how far the ramp suppresses the instantaneous rate at
+// the very start of a run: the first gaps are drawn at no less than this
+// fraction of the target rate, so the schedule never starts with a
+// near-infinite gap.
+const rampFloor = 0.05
+
+// Arrivals generates the intended arrival schedule of an open-loop run:
+// a deterministic sequence of offsets from the run's start, driven only
+// by the seed — no clock involved, so the schedule is reproducible and
+// unit-testable without sleeping. The open-loop driver timestamps each
+// operation at its intended offset (not at the moment the submission
+// finally happened), which is what keeps the latency measurement free of
+// coordinated omission: a stalled server makes latencies grow, it does
+// not make the generator stop asking.
+type Arrivals struct {
+	dist Dist
+	rate float64
+	ramp time.Duration
+	rng  *rand.Rand
+	next time.Duration
+}
+
+// NewArrivals builds the schedule generator. rate is the target arrival
+// rate in operations per second (must be > 0); ramp, when positive,
+// scales the instantaneous rate linearly from rampFloor·rate up to rate
+// over the first ramp of the run, so a cold server warms before the full
+// offered load lands.
+func NewArrivals(dist Dist, rate float64, ramp time.Duration, seed int64) *Arrivals {
+	if rate <= 0 {
+		rate = 1
+	}
+	return &Arrivals{
+		dist: dist,
+		rate: rate,
+		ramp: ramp,
+		rng:  rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Next returns the intended offset (from the run start) of the next
+// operation. Offsets are strictly increasing. It does not allocate.
+func (a *Arrivals) Next() time.Duration {
+	r := a.rate
+	if a.ramp > 0 && a.next < a.ramp {
+		frac := float64(a.next) / float64(a.ramp)
+		if frac < rampFloor {
+			frac = rampFloor
+		}
+		r = a.rate * frac
+	}
+	var gapSec float64
+	switch a.dist {
+	case Poisson:
+		gapSec = a.rng.ExpFloat64() / r
+	default:
+		gapSec = 1 / r
+	}
+	gap := time.Duration(gapSec * float64(time.Second))
+	if gap <= 0 {
+		gap = time.Nanosecond
+	}
+	a.next += gap
+	return a.next
+}
+
+// Rate returns the target arrival rate the generator was built with.
+func (a *Arrivals) Rate() float64 { return a.rate }

@@ -1,0 +1,143 @@
+package loadgen
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// TestArrivalsDeterministicRate pins the constant-rate schedule: gaps of
+// exactly 1/rate, offsets accumulating without drift — no wall clock
+// involved anywhere.
+func TestArrivalsDeterministicRate(t *testing.T) {
+	a := NewArrivals(Deterministic, 1000, 0, 1)
+	prev := time.Duration(0)
+	for i := 1; i <= 1000; i++ {
+		off := a.Next()
+		gap := off - prev
+		if gap != time.Millisecond {
+			t.Fatalf("gap %d = %v, want 1ms", i, gap)
+		}
+		prev = off
+	}
+	if prev != time.Second {
+		t.Fatalf("offset after 1000 arrivals at 1000/s = %v, want 1s", prev)
+	}
+}
+
+// TestArrivalsPoissonStatistics checks the exponential interarrival
+// process: mean gap 1/rate, coefficient of variation ~1, fully
+// reproducible per seed.
+func TestArrivalsPoissonStatistics(t *testing.T) {
+	const rate, n = 1000.0, 20000
+	a := NewArrivals(Poisson, rate, 0, 42)
+	gaps := make([]float64, n)
+	prev := time.Duration(0)
+	for i := range gaps {
+		off := a.Next()
+		gaps[i] = (off - prev).Seconds()
+		prev = off
+	}
+	var sum float64
+	for _, g := range gaps {
+		sum += g
+	}
+	mean := sum / n
+	if math.Abs(mean-1/rate) > 0.1/rate {
+		t.Fatalf("mean gap %.6f s, want within 10%% of %.6f s", mean, 1/rate)
+	}
+	var varsum float64
+	for _, g := range gaps {
+		varsum += (g - mean) * (g - mean)
+	}
+	cv := math.Sqrt(varsum/(n-1)) / mean
+	if cv < 0.9 || cv > 1.1 {
+		t.Fatalf("coefficient of variation %.3f, want ~1 (exponential gaps)", cv)
+	}
+
+	// Determinism: the same seed regenerates the identical schedule.
+	b := NewArrivals(Poisson, rate, 0, 42)
+	c := NewArrivals(Poisson, rate, 0, 43)
+	same, diff := true, false
+	prevB, prevC := time.Duration(0), time.Duration(0)
+	for i := 0; i < 100; i++ {
+		ob, oc := b.Next(), c.Next()
+		if gaps[i] != (ob - prevB).Seconds() {
+			same = false
+		}
+		if ob != oc {
+			diff = true
+		}
+		prevB, prevC = ob, oc
+	}
+	_ = prevC
+	if !same {
+		t.Fatal("same seed produced a different arrival schedule")
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+// TestArrivalsRampSlowsEarlyArrivals pins the warm-up behaviour: during
+// the ramp the instantaneous rate is scaled down, so the first half of
+// the ramp window holds fewer arrivals than an equal window at full
+// rate.
+func TestArrivalsRampSlowsEarlyArrivals(t *testing.T) {
+	const rate = 1000.0
+	ramp := 400 * time.Millisecond
+	a := NewArrivals(Deterministic, rate, ramp, 7)
+	early, full := 0, 0
+	for {
+		off := a.Next()
+		if off > 600*time.Millisecond {
+			break
+		}
+		if off <= 200*time.Millisecond {
+			early++
+		}
+		if off > 400*time.Millisecond {
+			full++
+		}
+	}
+	if early == 0 {
+		t.Fatal("no arrivals at all during the ramp")
+	}
+	// Full-rate 200ms window carries ~200 arrivals; the first half of
+	// the ramp (rate scaled to <=50%) must carry well under that.
+	if early >= full {
+		t.Fatalf("ramp did not slow early arrivals: %d in first 200ms vs %d in a full-rate 200ms window", early, full)
+	}
+	if full < 150 {
+		t.Fatalf("post-ramp window carried %d arrivals, want ~200", full)
+	}
+}
+
+// TestArrivalsRateAccounting pins the end-to-end rate the schedule
+// offers: arrivals within a duration ~= rate*duration, for both
+// distributions.
+func TestArrivalsRateAccounting(t *testing.T) {
+	for _, dist := range []Dist{Deterministic, Poisson} {
+		a := NewArrivals(dist, 500, 0, 11)
+		n := 0
+		for {
+			if a.Next() > 2*time.Second {
+				break
+			}
+			n++
+		}
+		want := 1000.0
+		if math.Abs(float64(n)-want) > want*0.05 {
+			t.Fatalf("%v: %d arrivals in 2s at 500/s, want ~1000", dist, n)
+		}
+	}
+}
+
+// TestArrivalsZeroAlloc guards the schedule generator's per-arrival
+// path: Next must not allocate (it runs once per offered op).
+func TestArrivalsZeroAlloc(t *testing.T) {
+	a := NewArrivals(Poisson, 1000, time.Second, 3)
+	if n := testing.AllocsPerRun(1000, func() { a.Next() }); n != 0 {
+		t.Fatalf("Arrivals.Next allocates %.1f per call, want 0", n)
+	}
+}

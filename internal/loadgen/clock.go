@@ -1,0 +1,42 @@
+package loadgen
+
+import (
+	"context"
+	"time"
+)
+
+// Clock abstracts time for the load drivers. The open-loop arrival
+// dispatcher schedules against it and every latency sample is taken from
+// it, so tests inject a deterministic clock and the drivers' scheduling
+// logic runs without wall-clock sleeps.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+	// SleepUntil blocks until t (immediately if t has passed) or until
+	// ctx is done; it reports false when ctx won.
+	SleepUntil(ctx context.Context, t time.Time) bool
+}
+
+// wallClock is the production Clock: real time, timer-based sleeps that
+// abort promptly on context death.
+type wallClock struct{}
+
+func (wallClock) Now() time.Time { return time.Now() }
+
+func (wallClock) SleepUntil(ctx context.Context, t time.Time) bool {
+	d := time.Until(t)
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// WallClock returns the real-time clock the drivers default to.
+func WallClock() Clock { return wallClock{} }

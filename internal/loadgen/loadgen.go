@@ -1,0 +1,399 @@
+// Package loadgen is the traffic generator for the Figure 11 server: a
+// closed-loop driver (N workers × duration, optional think time — load
+// self-limits as latency grows) and an open-loop driver (fixed arrival
+// rate, Poisson or deterministic, unbounded virtual clients — offered
+// load does NOT back off when the server slows, which is what exposes
+// queueing collapse past saturation). Both submit through the serve
+// path's SubmitContext with per-query deadlines, so admission control,
+// cancellation, and `ErrOverloaded` shedding are exercised exactly the
+// way real many-client traffic exercises them, and the batch size q the
+// APS model sees is created by the workload, not hand-built.
+//
+// Coordinated omission: the open-loop driver timestamps every operation
+// at its *intended* arrival time (from the deterministic Arrivals
+// schedule), not at the moment the submission happened. A stalled server
+// therefore shows up as growing latency on every op scheduled behind the
+// stall — the generator never silently stops offering load.
+//
+// Accounting is conservative by construction and checked by tests:
+// every offered operation lands in exactly one of {accepted, shed,
+// submit-error}, and every accepted operation receives exactly one reply
+// counted in exactly one of {replied, reply-error, cancelled}.
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fastcolumns/internal/obs"
+	rt "fastcolumns/internal/runtime"
+	"fastcolumns/internal/scan"
+	"fastcolumns/internal/scheduler"
+)
+
+// Submitter is the serve-path surface the drivers exercise.
+// *fastcolumns.Server satisfies it.
+type Submitter interface {
+	SubmitContext(ctx context.Context, table, attr string, pred scan.Predicate) (<-chan scheduler.Reply, error)
+}
+
+// Options configures what the drivers submit and where they record.
+type Options struct {
+	// Table and Attr name the attribute stream every query predicates on.
+	Table, Attr string
+	// Domain is the value domain predicates are drawn over.
+	Domain int32
+	// Mix is the weighted query mix (build with NewMix or a constructor).
+	Mix Mix
+	// Timeout is the per-query deadline, measured from the operation's
+	// intended arrival time (0: no deadline).
+	Timeout time.Duration
+	// Metrics, when non-nil, mirrors the run into load.* instruments:
+	// the per-mix latency histogram, in-flight gauge, and outcome
+	// counters accumulate there across runs, while each Result carries
+	// its own per-run distribution.
+	Metrics *obs.Registry
+	// Clock drives scheduling and latency timestamps (nil: wall clock).
+	Clock Clock
+	// Seed makes the predicate stream and arrival schedule reproducible.
+	Seed int64
+}
+
+// ClosedLoop configures the closed-loop driver: a fixed population of
+// workers, each submitting, waiting for the reply, thinking, repeating.
+type ClosedLoop struct {
+	// Workers is the concurrent client population.
+	Workers int
+	// Duration bounds the run (workers stop starting new ops after it).
+	Duration time.Duration
+	// Think is the per-worker pause between an op's reply and the next
+	// submission (0: none).
+	Think time.Duration
+	// Ops, when positive, additionally caps the total operations started
+	// across all workers — deterministic run length for tests and smokes.
+	Ops int
+}
+
+// OpenLoop configures the open-loop driver: arrivals fire on the
+// Arrivals schedule regardless of how many earlier ops are still
+// outstanding (each op is an independent virtual client).
+type OpenLoop struct {
+	// Rate is the offered arrival rate in ops/second.
+	Rate float64
+	// Duration bounds the schedule; in-flight ops drain afterwards.
+	Duration time.Duration
+	// Dist selects Poisson or Deterministic interarrivals.
+	Dist Dist
+	// Ramp linearly ramps the rate from ~0 to Rate over this window.
+	Ramp time.Duration
+	// MinOps, when positive, extends the schedule past Duration until it
+	// has intended at least this many arrivals (MinOps/Rate seconds).
+	// Low-rate rungs of a capacity-relative sweep would otherwise
+	// collect so few samples that their tail quantiles are the noise of
+	// one or two order statistics.
+	MinOps int64
+	// Inline runs each op synchronously on the dispatcher instead of on
+	// its own goroutine. Only sensible when the submitter replies
+	// immediately (deterministic unit tests, dry runs); a real server
+	// would stall the schedule and reintroduce coordinated omission.
+	Inline bool
+}
+
+// Counts is the conservation ledger of one run.
+type Counts struct {
+	// Offered = Accepted + Shed + SubmitErrors.
+	Offered int64 `json:"offered"`
+	// Accepted = Replied + ReplyErrors + Cancelled.
+	Accepted int64 `json:"accepted"`
+	// Shed counts submissions refused with ErrOverloaded.
+	Shed int64 `json:"shed"`
+	// SubmitErrors counts submissions refused for any other reason
+	// (including a context already dead at submission).
+	SubmitErrors int64 `json:"submit_errors"`
+	// Replied counts successful replies (these carry latency samples).
+	Replied int64 `json:"replied"`
+	// ReplyErrors counts replies carrying a non-context error.
+	ReplyErrors int64 `json:"reply_errors"`
+	// Cancelled counts replies carrying the query context's error.
+	Cancelled int64 `json:"cancelled"`
+}
+
+// Conserved reports whether the ledger balances: every offered op
+// accounted for once, every accepted op replied to exactly once.
+func (c Counts) Conserved() bool {
+	return c.Offered == c.Accepted+c.Shed+c.SubmitErrors &&
+		c.Accepted == c.Replied+c.ReplyErrors+c.Cancelled
+}
+
+// Result is one run's measurement.
+type Result struct {
+	// Mode is "closed" or "open"; MixName names the query mix.
+	Mode    string `json:"mode"`
+	MixName string `json:"mix"`
+	Counts
+	// TargetRate is the configured open-loop rate (0 for closed loop).
+	TargetRate float64 `json:"target_rate"`
+	// Elapsed is the wall (or injected-clock) span of the run.
+	Elapsed time.Duration `json:"elapsed_ns"`
+	// OfferedRate is Offered/Elapsed; AchievedRate is Replied/Elapsed;
+	// ShedRate is Shed/Offered (0 when nothing was offered).
+	OfferedRate  float64 `json:"offered_rate"`
+	AchievedRate float64 `json:"achieved_rate"`
+	ShedRate     float64 `json:"shed_rate"`
+	// Latency is the per-run distribution of successful replies,
+	// measured from intended arrival time (open loop) or submission
+	// time (closed loop).
+	Latency obs.HistogramSnapshot `json:"latency"`
+	// P50/P99/P999 are the quantiles of Latency as durations.
+	P50, P99, P999 time.Duration
+}
+
+// driver is the shared per-run machinery of both loops.
+type driver struct {
+	sub     Submitter
+	clock   Clock
+	table   string
+	attr    string
+	timeout time.Duration
+
+	offered, accepted, shed, submitErr atomic.Int64
+	replied, replyErr, cancelled       atomic.Int64
+
+	// lat is the run-local latency distribution; the reg* instruments
+	// (nil without a registry) mirror into the shared load.* namespace.
+	lat         obs.Histogram
+	regLat      *obs.Histogram
+	regInflight *obs.Gauge
+	regOffered  *obs.Counter
+	regShed     *obs.Counter
+	regReplied  *obs.Counter
+	regErrors   *obs.Counter
+	regCancel   *obs.Counter
+}
+
+func newDriver(sub Submitter, opt Options) *driver {
+	d := &driver{
+		sub:     sub,
+		clock:   opt.Clock,
+		table:   opt.Table,
+		attr:    opt.Attr,
+		timeout: opt.Timeout,
+	}
+	if d.clock == nil {
+		d.clock = WallClock()
+	}
+	if opt.Metrics != nil {
+		d.regLat = opt.Metrics.Histogram("load.latency." + opt.Mix.Name)
+		d.regInflight = opt.Metrics.Gauge("load.in_flight")
+		d.regOffered = opt.Metrics.Counter("load.offered")
+		d.regShed = opt.Metrics.Counter("load.shed")
+		d.regReplied = opt.Metrics.Counter("load.replied")
+		d.regErrors = opt.Metrics.Counter("load.errors")
+		d.regCancel = opt.Metrics.Counter("load.cancelled")
+	}
+	return d
+}
+
+// outcome classifies one finished operation for record.
+type outcome int
+
+const (
+	outReplied outcome = iota
+	outReplyErr
+	outCancelled
+	outShed
+	outSubmitErr
+)
+
+// record books one finished op. This is the per-op recording path the
+// zero-allocation guard pins: counter adds and histogram records only.
+func (d *driver) record(out outcome, latNs int64) {
+	switch out {
+	case outReplied:
+		d.replied.Add(1)
+		d.lat.Record(latNs)
+		if d.regLat != nil {
+			d.regLat.Record(latNs)
+			d.regReplied.Add(1)
+		}
+	case outReplyErr:
+		d.replyErr.Add(1)
+		if d.regErrors != nil {
+			d.regErrors.Add(1)
+		}
+	case outCancelled:
+		d.cancelled.Add(1)
+		if d.regCancel != nil {
+			d.regCancel.Add(1)
+		}
+	case outShed:
+		d.shed.Add(1)
+		if d.regShed != nil {
+			d.regShed.Add(1)
+		}
+	case outSubmitErr:
+		d.submitErr.Add(1)
+		if d.regErrors != nil {
+			d.regErrors.Add(1)
+		}
+	}
+}
+
+// do runs one operation: submit, wait for the single reply, classify.
+// intended is the op's scheduled arrival time — latency and the per-op
+// deadline are both measured from it.
+func (d *driver) do(ctx context.Context, pred scan.Predicate, intended time.Time) {
+	d.offered.Add(1)
+	if d.regOffered != nil {
+		d.regOffered.Add(1)
+	}
+	opCtx := ctx
+	cancel := func() {}
+	if d.timeout > 0 {
+		opCtx, cancel = context.WithDeadline(ctx, intended.Add(d.timeout))
+	}
+	if d.regInflight != nil {
+		d.regInflight.Add(1)
+		defer d.regInflight.Add(-1)
+	}
+	ch, err := d.sub.SubmitContext(opCtx, d.table, d.attr, pred)
+	if err != nil {
+		cancel()
+		if errors.Is(err, scheduler.ErrOverloaded) {
+			d.record(outShed, 0)
+		} else {
+			d.record(outSubmitErr, 0)
+		}
+		return
+	}
+	d.accepted.Add(1)
+	rep := <-ch
+	cancel()
+	switch {
+	case rep.Err == nil:
+		d.record(outReplied, d.clock.Now().Sub(intended).Nanoseconds())
+	case errors.Is(rep.Err, context.Canceled), errors.Is(rep.Err, context.DeadlineExceeded):
+		d.record(outCancelled, 0)
+	default:
+		d.record(outReplyErr, 0)
+	}
+}
+
+// result finalizes the run into a Result.
+func (d *driver) result(mode, mix string, targetRate float64, elapsed time.Duration, metrics *obs.Registry) Result {
+	r := Result{
+		Mode:    mode,
+		MixName: mix,
+		Counts: Counts{
+			Offered:      d.offered.Load(),
+			Accepted:     d.accepted.Load(),
+			Shed:         d.shed.Load(),
+			SubmitErrors: d.submitErr.Load(),
+			Replied:      d.replied.Load(),
+			ReplyErrors:  d.replyErr.Load(),
+			Cancelled:    d.cancelled.Load(),
+		},
+		TargetRate: targetRate,
+		Elapsed:    elapsed,
+		Latency:    d.lat.Snapshot(),
+	}
+	if sec := elapsed.Seconds(); sec > 0 {
+		r.OfferedRate = float64(r.Offered) / sec
+		r.AchievedRate = float64(r.Replied) / sec
+	}
+	if r.Offered > 0 {
+		r.ShedRate = float64(r.Shed) / float64(r.Offered)
+	}
+	r.P50 = time.Duration(r.Latency.P50)
+	r.P99 = time.Duration(r.Latency.P99)
+	r.P999 = time.Duration(r.Latency.P999)
+	if metrics != nil {
+		metrics.Gauge("load.offered_rate").Set(int64(r.OfferedRate))
+		metrics.Gauge("load.achieved_rate").Set(int64(r.AchievedRate))
+		metrics.Gauge("load.shed_rate_ppm").Set(int64(r.ShedRate * 1e6))
+	}
+	return r
+}
+
+// RunClosed drives the closed loop: cfg.Workers clients submit, wait,
+// think, repeat, until cfg.Duration elapses (or cfg.Ops operations have
+// started, or ctx dies). Latency is measured from each submission —
+// a closed loop's offered load self-limits when the server slows, which
+// is exactly why the open loop exists for saturation measurements.
+func RunClosed(ctx context.Context, sub Submitter, opt Options, cfg ClosedLoop) Result {
+	d := newDriver(sub, opt)
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	start := d.clock.Now()
+	end := start.Add(cfg.Duration)
+	var started atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		rng := rand.New(rand.NewSource(opt.Seed + int64(w)*0x9E3779B9))
+		mix := opt.Mix
+		rt.Go(func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				now := d.clock.Now()
+				if !now.Before(end) {
+					return
+				}
+				if cfg.Ops > 0 && started.Add(1) > int64(cfg.Ops) {
+					return
+				}
+				d.do(ctx, mix.Pick(rng, opt.Domain), now)
+				if cfg.Think > 0 && !d.clock.SleepUntil(ctx, d.clock.Now().Add(cfg.Think)) {
+					return
+				}
+			}
+		})
+	}
+	wg.Wait()
+	return d.result("closed", opt.Mix.Name, 0, d.clock.Now().Sub(start), opt.Metrics)
+}
+
+// RunOpen drives the open loop: arrivals fire on the Arrivals schedule
+// at cfg.Rate for cfg.Duration, each on its own virtual client, and the
+// run drains every in-flight op before returning. Latency is measured
+// from each op's intended arrival time (coordinated omission avoided).
+func RunOpen(ctx context.Context, sub Submitter, opt Options, cfg OpenLoop) Result {
+	d := newDriver(sub, opt)
+	arr := NewArrivals(cfg.Dist, cfg.Rate, cfg.Ramp, opt.Seed)
+	rng := rand.New(rand.NewSource(opt.Seed ^ 0x5DEECE66D))
+	dur := cfg.Duration
+	if cfg.MinOps > 0 && cfg.Rate > 0 {
+		if need := time.Duration(float64(cfg.MinOps) / cfg.Rate * float64(time.Second)); need > dur {
+			dur = need
+		}
+	}
+	start := d.clock.Now()
+	var wg sync.WaitGroup
+	for {
+		off := arr.Next()
+		if off > dur {
+			break
+		}
+		intended := start.Add(off)
+		if !d.clock.SleepUntil(ctx, intended) {
+			break
+		}
+		pred := opt.Mix.Pick(rng, opt.Domain)
+		if cfg.Inline {
+			d.do(ctx, pred, intended)
+			continue
+		}
+		wg.Add(1)
+		rt.Go(func() {
+			defer wg.Done()
+			d.do(ctx, pred, intended)
+		})
+	}
+	wg.Wait()
+	return d.result("open", opt.Mix.Name, cfg.Rate, d.clock.Now().Sub(start), opt.Metrics)
+}

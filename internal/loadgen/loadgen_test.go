@@ -1,0 +1,287 @@
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fastcolumns/internal/scan"
+	"fastcolumns/internal/scheduler"
+	"fastcolumns/internal/storage"
+)
+
+// fakeClock is a deterministic virtual clock: SleepUntil jumps time
+// forward instantly, so driver scheduling logic runs with no wall-clock
+// sleeps at all.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Unix(1_000_000, 0)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) SleepUntil(ctx context.Context, t time.Time) bool {
+	c.mu.Lock()
+	if t.After(c.now) {
+		c.now = t
+	}
+	c.mu.Unlock()
+	return ctx.Err() == nil
+}
+
+// fakeSubmitter scripts the serve path: each submission is answered by
+// the next behaviour in sequence (wrapping), with the reply already
+// buffered so ops never block.
+type fakeSubmitter struct {
+	seq  []rune // 'k' ok, 'o' overloaded, 'e' submit error, 'E' reply error, 'c' cancelled reply
+	hits atomic.Int64
+}
+
+func (f *fakeSubmitter) SubmitContext(ctx context.Context, table, attr string, pred scan.Predicate) (<-chan scheduler.Reply, error) {
+	i := f.hits.Add(1) - 1
+	b := 'k'
+	if len(f.seq) > 0 {
+		b = f.seq[int(i)%len(f.seq)]
+	}
+	switch b {
+	case 'o':
+		return nil, fmt.Errorf("%w: scripted", scheduler.ErrOverloaded)
+	case 'e':
+		return nil, errors.New("scripted submit failure")
+	}
+	ch := make(chan scheduler.Reply, 1)
+	switch b {
+	case 'E':
+		ch <- scheduler.Reply{Err: errors.New("scripted batch failure")}
+	case 'c':
+		ch <- scheduler.Reply{Err: context.DeadlineExceeded}
+	default:
+		ch <- scheduler.Reply{RowIDs: []storage.RowID{1}}
+	}
+	return ch, nil
+}
+
+func testOptions(clock Clock) Options {
+	return Options{
+		Table:  "t",
+		Attr:   "a",
+		Domain: 1 << 20,
+		Mix:    PointMix(),
+		Clock:  clock,
+		Seed:   1,
+	}
+}
+
+// TestOpenLoopDeterministicSchedule runs the open loop entirely on the
+// fake clock: a 1s run at 1000/s offers exactly 1000 ops, every one
+// accounted for, with the virtual elapsed time equal to the schedule.
+func TestOpenLoopDeterministicSchedule(t *testing.T) {
+	clock := newFakeClock()
+	sub := &fakeSubmitter{}
+	res := RunOpen(context.Background(), sub, testOptions(clock), OpenLoop{
+		Rate: 1000, Duration: time.Second, Dist: Deterministic, Inline: true,
+	})
+	if res.Offered != 1000 {
+		t.Fatalf("offered %d ops, want exactly 1000", res.Offered)
+	}
+	if !res.Conserved() {
+		t.Fatalf("ledger does not balance: %+v", res.Counts)
+	}
+	if res.Replied != 1000 {
+		t.Fatalf("replied %d, want 1000", res.Replied)
+	}
+	if res.Elapsed != time.Second {
+		t.Fatalf("virtual elapsed %v, want 1s", res.Elapsed)
+	}
+	if res.OfferedRate < 999 || res.OfferedRate > 1001 {
+		t.Fatalf("offered rate %.1f, want ~1000", res.OfferedRate)
+	}
+	// The instant submitter answers at the intended instant: latency 0.
+	if res.P50 != 0 || res.Latency.Count != 1000 {
+		t.Fatalf("latency p50=%v count=%d, want 0 and 1000", res.P50, res.Latency.Count)
+	}
+}
+
+// TestOpenLoopMinOpsExtendsSchedule pins the MinOps contract on the
+// fake clock: a rung whose Duration would intend too few arrivals runs
+// long enough to intend exactly MinOps, and a rung already past the
+// floor is left alone.
+func TestOpenLoopMinOpsExtendsSchedule(t *testing.T) {
+	// 100/s for 1s intends 100 ops; MinOps 400 stretches the rung to 4s.
+	res := RunOpen(context.Background(), &fakeSubmitter{}, testOptions(newFakeClock()), OpenLoop{
+		Rate: 100, Duration: time.Second, Dist: Deterministic, Inline: true, MinOps: 400,
+	})
+	if res.Offered != 400 {
+		t.Fatalf("offered %d ops, want MinOps floor of 400", res.Offered)
+	}
+	if res.Elapsed != 4*time.Second {
+		t.Fatalf("virtual elapsed %v, want 4s", res.Elapsed)
+	}
+	// 1000/s for 1s already intends 1000 >= 400: Duration governs.
+	res = RunOpen(context.Background(), &fakeSubmitter{}, testOptions(newFakeClock()), OpenLoop{
+		Rate: 1000, Duration: time.Second, Dist: Deterministic, Inline: true, MinOps: 400,
+	})
+	if res.Offered != 1000 || res.Elapsed != time.Second {
+		t.Fatalf("offered %d in %v, want 1000 in 1s (MinOps must not shorten a rung)", res.Offered, res.Elapsed)
+	}
+}
+
+// TestOpenLoopShedAccounting scripts a submitter that sheds every third
+// submission: the ledger must classify exactly, and shed ops must not
+// produce latency samples.
+func TestOpenLoopShedAccounting(t *testing.T) {
+	clock := newFakeClock()
+	sub := &fakeSubmitter{seq: []rune{'k', 'k', 'o'}}
+	res := RunOpen(context.Background(), sub, testOptions(clock), OpenLoop{
+		Rate: 300, Duration: time.Second, Dist: Deterministic, Inline: true,
+	})
+	if res.Offered != 300 {
+		t.Fatalf("offered %d, want 300", res.Offered)
+	}
+	if res.Shed != 100 || res.Replied != 200 {
+		t.Fatalf("shed/replied = %d/%d, want 100/200", res.Shed, res.Replied)
+	}
+	if !res.Conserved() {
+		t.Fatalf("ledger does not balance: %+v", res.Counts)
+	}
+	if res.Latency.Count != 200 {
+		t.Fatalf("latency samples %d, want 200 (shed ops record none)", res.Latency.Count)
+	}
+	if got := res.ShedRate; got < 0.33 || got > 0.34 {
+		t.Fatalf("shed rate %.3f, want ~1/3", got)
+	}
+}
+
+// TestOpenLoopMixedOutcomes covers every outcome class at once.
+func TestOpenLoopMixedOutcomes(t *testing.T) {
+	clock := newFakeClock()
+	sub := &fakeSubmitter{seq: []rune{'k', 'o', 'E', 'c', 'e'}}
+	res := RunOpen(context.Background(), sub, testOptions(clock), OpenLoop{
+		Rate: 500, Duration: time.Second, Dist: Deterministic, Inline: true,
+	})
+	if res.Offered != 500 {
+		t.Fatalf("offered %d, want 500", res.Offered)
+	}
+	want := Counts{Offered: 500, Accepted: 300, Shed: 100, SubmitErrors: 100,
+		Replied: 100, ReplyErrors: 100, Cancelled: 100}
+	if res.Counts != want {
+		t.Fatalf("counts = %+v, want %+v", res.Counts, want)
+	}
+	if !res.Conserved() {
+		t.Fatal("ledger does not balance")
+	}
+}
+
+// TestClosedLoopThinkTimePacing runs a single closed-loop worker on the
+// fake clock: with 10ms think time over a virtual second it performs
+// exactly 100 ops, timestamped at submission.
+func TestClosedLoopThinkTimePacing(t *testing.T) {
+	clock := newFakeClock()
+	sub := &fakeSubmitter{}
+	res := RunClosed(context.Background(), sub, testOptions(clock), ClosedLoop{
+		Workers: 1, Duration: time.Second, Think: 10 * time.Millisecond,
+	})
+	if res.Offered != 100 {
+		t.Fatalf("offered %d ops, want exactly 100 (1s / 10ms think)", res.Offered)
+	}
+	if !res.Conserved() || res.Replied != 100 {
+		t.Fatalf("ledger: %+v", res.Counts)
+	}
+}
+
+// TestClosedLoopOpsCap pins the deterministic run-length cap.
+func TestClosedLoopOpsCap(t *testing.T) {
+	clock := newFakeClock()
+	sub := &fakeSubmitter{}
+	res := RunClosed(context.Background(), sub, testOptions(clock), ClosedLoop{
+		Workers: 4, Duration: time.Hour, Think: time.Millisecond, Ops: 37,
+	})
+	if res.Offered != 37 {
+		t.Fatalf("offered %d ops, want exactly 37 (Ops cap)", res.Offered)
+	}
+	if !res.Conserved() {
+		t.Fatalf("ledger: %+v", res.Counts)
+	}
+}
+
+// TestOpenLoopSpawnedClients exercises the real (non-inline) dispatch on
+// the wall clock briefly: every spawned virtual client drains before the
+// run returns.
+func TestOpenLoopSpawnedClients(t *testing.T) {
+	sub := &fakeSubmitter{seq: []rune{'k', 'k', 'k', 'o'}}
+	res := RunOpen(context.Background(), sub, testOptions(nil), OpenLoop{
+		Rate: 2000, Duration: 100 * time.Millisecond, Dist: Poisson,
+	})
+	if res.Offered == 0 {
+		t.Fatal("no ops offered")
+	}
+	if !res.Conserved() {
+		t.Fatalf("ledger does not balance after drain: %+v", res.Counts)
+	}
+}
+
+// TestOpenLoopContextCancelStopsSchedule pins external cancellation: the
+// dispatcher stops promptly and the ledger still balances.
+func TestOpenLoopContextCancelStopsSchedule(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sub := &fakeSubmitter{}
+	res := RunOpen(ctx, sub, testOptions(newFakeClock()), OpenLoop{
+		Rate: 1000, Duration: time.Second, Dist: Deterministic, Inline: true,
+	})
+	if res.Offered != 0 {
+		t.Fatalf("cancelled run still offered %d ops", res.Offered)
+	}
+	if !res.Conserved() {
+		t.Fatalf("ledger: %+v", res.Counts)
+	}
+}
+
+// TestSweepAndKnee drives a scripted saturation curve: rungs below a
+// capacity answer everything, rungs above shed the excess. Knee must
+// land on the last clean rung.
+func TestSweepAndKnee(t *testing.T) {
+	clock := newFakeClock()
+	// capSub sheds every op beyond ~400 accepted per rung second.
+	results := make([]Result, 0, 4)
+	for _, rate := range []float64{100, 300, 800, 1600} {
+		shedEvery := 0 // 0: never
+		if rate > 400 {
+			shedEvery = int(rate / (rate - 400))
+		}
+		var seq []rune
+		if shedEvery > 0 {
+			for i := 0; i < shedEvery; i++ {
+				seq = append(seq, 'k')
+			}
+			seq[0] = 'o'
+		}
+		sub := &fakeSubmitter{seq: seq}
+		results = append(results, RunOpen(context.Background(), sub, testOptions(clock), OpenLoop{
+			Rate: rate, Duration: time.Second, Dist: Deterministic, Inline: true,
+		}))
+	}
+	if k := Knee(results); k != 1 {
+		t.Fatalf("knee index %d, want 1 (300/s was the last clean rung)", k)
+	}
+	curve := BuildCurve(testOptions(clock), OpenLoop{Dist: Deterministic}, 400, results)
+	if curve.KneeIndex != 1 || len(curve.Points) != 4 {
+		t.Fatalf("curve knee=%d points=%d, want 1 and 4", curve.KneeIndex, len(curve.Points))
+	}
+	if curve.Points[3].ShedRate <= curve.Points[2].ShedRate {
+		t.Fatalf("shed rate not increasing past the knee: %v then %v",
+			curve.Points[2].ShedRate, curve.Points[3].ShedRate)
+	}
+}

@@ -1,0 +1,154 @@
+package loadgen
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"fastcolumns/internal/obs"
+)
+
+// quantileBounds asserts a log2-bucketed estimate against the true
+// quantile: the bucket scheme guarantees the estimate lies inside the
+// true value's power-of-two bucket, so the ratio is bounded by ~2x.
+func quantileBounds(t *testing.T, name string, est, truth int64) {
+	t.Helper()
+	if truth == 0 {
+		if est != 0 {
+			t.Fatalf("%s: estimate %d for true quantile 0", name, est)
+		}
+		return
+	}
+	ratio := float64(est) / float64(truth)
+	if ratio < 0.45 || ratio > 2.2 {
+		t.Fatalf("%s: estimate %d vs true %d (ratio %.2f, want within [0.45, 2.2])",
+			name, est, truth, ratio)
+	}
+}
+
+// trueQuantile returns the exact p-quantile of the sample.
+func trueQuantile(sorted []int64, p float64) int64 {
+	idx := int(p * float64(len(sorted)))
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// TestLoadLatencyQuantileBounds records known synthetic latency
+// distributions through the driver's recording path and checks the
+// load.* histogram's p50/p99/p999 against the exact quantiles.
+func TestLoadLatencyQuantileBounds(t *testing.T) {
+	cases := []struct {
+		name string
+		gen  func() []int64
+	}{
+		{"constant_1ms", func() []int64 {
+			vals := make([]int64, 10000)
+			for i := range vals {
+				vals[i] = 1_000_000
+			}
+			return vals
+		}},
+		{"uniform_1us_100us", func() []int64 {
+			rng := rand.New(rand.NewSource(5))
+			vals := make([]int64, 20000)
+			for i := range vals {
+				vals[i] = 1_000 + rng.Int63n(99_000)
+			}
+			return vals
+		}},
+		{"bimodal_10us_100ms", func() []int64 {
+			// 99.8% fast ops at 10us, 0.2% stalls at 100ms: the p999
+			// must land in the slow mode — this is the shape where mean
+			// and p50 lie and only the tail quantile tells the truth.
+			vals := make([]int64, 0, 10000)
+			for i := 0; i < 9980; i++ {
+				vals = append(vals, 10_000)
+			}
+			for i := 0; i < 20; i++ {
+				vals = append(vals, 100_000_000)
+			}
+			return vals
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			reg := obs.NewRegistry()
+			opt := testOptions(newFakeClock())
+			opt.Metrics = reg
+			d := newDriver(&fakeSubmitter{}, opt)
+			vals := tc.gen()
+			for _, v := range vals {
+				d.record(outReplied, v)
+			}
+			sorted := append([]int64(nil), vals...)
+			sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+
+			// Both the per-run histogram and the registry's load.*
+			// instrument must agree — they record the same stream.
+			for _, snap := range []obs.HistogramSnapshot{
+				d.lat.Snapshot(),
+				reg.Histogram("load.latency." + opt.Mix.Name).Snapshot(),
+			} {
+				if snap.Count != int64(len(vals)) {
+					t.Fatalf("recorded %d values, snapshot count %d", len(vals), snap.Count)
+				}
+				quantileBounds(t, "p50", snap.P50, trueQuantile(sorted, 0.50))
+				quantileBounds(t, "p99", snap.P99, trueQuantile(sorted, 0.99))
+				quantileBounds(t, "p999", snap.P999, trueQuantile(sorted, 0.999))
+			}
+		})
+	}
+}
+
+// TestBimodalTailDetected pins the property the saturation gate depends
+// on: when a small fraction of ops stall, p999 reports the stall mode
+// while p50 stays in the fast mode.
+func TestBimodalTailDetected(t *testing.T) {
+	d := newDriver(&fakeSubmitter{}, testOptions(newFakeClock()))
+	for i := 0; i < 9980; i++ {
+		d.record(outReplied, 10_000)
+	}
+	for i := 0; i < 20; i++ {
+		d.record(outReplied, 100_000_000)
+	}
+	snap := d.lat.Snapshot()
+	if snap.P50 > 20_000 {
+		t.Fatalf("p50 %d left the fast mode", snap.P50)
+	}
+	if snap.P999 < 50_000_000 {
+		t.Fatalf("p999 %d did not reach the stall mode (want >= 50ms)", snap.P999)
+	}
+}
+
+// TestRecordPathZeroAlloc guards the per-op recording path: counters and
+// histogram records only, no allocation — with and without a registry
+// mirroring the load.* instruments.
+func TestRecordPathZeroAlloc(t *testing.T) {
+	for _, withRegistry := range []bool{false, true} {
+		opt := testOptions(newFakeClock())
+		if withRegistry {
+			opt.Metrics = obs.NewRegistry()
+		}
+		d := newDriver(&fakeSubmitter{}, opt)
+		for _, out := range []outcome{outReplied, outReplyErr, outCancelled, outShed, outSubmitErr} {
+			out := out
+			if n := testing.AllocsPerRun(1000, func() { d.record(out, 12345) }); n != 0 {
+				t.Fatalf("record(registry=%v, outcome=%d) allocates %.1f per op, want 0",
+					withRegistry, out, n)
+			}
+		}
+	}
+}
+
+// TestMixPickZeroAlloc guards the per-op predicate generator.
+func TestMixPickZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, mix := range []Mix{PointMix(), RangeMix("5%", 0.05), MixedMix()} {
+		mix := mix
+		if n := testing.AllocsPerRun(1000, func() { mix.Pick(rng, 1<<20) }); n != 0 {
+			t.Fatalf("%s.Pick allocates %.1f per op, want 0", mix.Name, n)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package loadgen
+
+import (
+	"math/rand"
+
+	"fastcolumns/internal/scan"
+	"fastcolumns/internal/workload"
+)
+
+// MixEntry is one component of a query mix: a per-query selectivity
+// (0 encodes a point get, as in internal/workload) drawn with the given
+// relative weight.
+type MixEntry struct {
+	// Weight is the relative probability of drawing this entry.
+	Weight float64 `json:"weight"`
+	// Selectivity is the per-query selectivity; 0 encodes a point get.
+	Selectivity float64 `json:"selectivity"`
+}
+
+// Mix is a weighted query mix over a uniform value domain. Build one
+// with NewMix (or the predefined constructors) so the cumulative weight
+// table exists; the zero value draws nothing.
+type Mix struct {
+	Name    string     `json:"name"`
+	Entries []MixEntry `json:"entries"`
+
+	cum   []float64
+	total float64
+}
+
+// NewMix builds a mix from weighted entries. Non-positive weights are
+// treated as zero.
+func NewMix(name string, entries ...MixEntry) Mix {
+	m := Mix{Name: name, Entries: entries, cum: make([]float64, len(entries))}
+	for i, e := range entries {
+		w := e.Weight
+		if w < 0 {
+			w = 0
+		}
+		m.total += w
+		m.cum[i] = m.total
+	}
+	return m
+}
+
+// PointMix is the point-get workload: every query selects one value.
+func PointMix() Mix { return NewMix("point", MixEntry{Weight: 1, Selectivity: 0}) }
+
+// RangeMix is a single-selectivity range workload.
+func RangeMix(name string, sel float64) Mix {
+	return NewMix(name, MixEntry{Weight: 1, Selectivity: sel})
+}
+
+// MixedMix is the mixed-selectivity workload the paper's Figure 18 grid
+// spans: half point gets, a moderate share of 0.5% ranges, and a tail of
+// 5% analytical ranges — the blend where access path selection actually
+// has to switch paths query by query.
+func MixedMix() Mix {
+	return NewMix("mixed",
+		MixEntry{Weight: 0.5, Selectivity: 0},
+		MixEntry{Weight: 0.3, Selectivity: 0.005},
+		MixEntry{Weight: 0.2, Selectivity: 0.05},
+	)
+}
+
+// Pick draws one predicate from the mix over [0, domain). It does not
+// allocate; rng is the caller's (per-worker) generator, so concurrent
+// workers stay race-free and deterministic per seed.
+func (m *Mix) Pick(rng *rand.Rand, domain int32) scan.Predicate {
+	if len(m.Entries) == 1 || m.total <= 0 {
+		sel := 0.0
+		if len(m.Entries) > 0 {
+			sel = m.Entries[0].Selectivity
+		}
+		return workload.RangeFor(rng, sel, domain)
+	}
+	x := rng.Float64() * m.total
+	for i, c := range m.cum {
+		if x < c {
+			return workload.RangeFor(rng, m.Entries[i].Selectivity, domain)
+		}
+	}
+	return workload.RangeFor(rng, m.Entries[len(m.Entries)-1].Selectivity, domain)
+}

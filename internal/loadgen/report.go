@@ -1,0 +1,129 @@
+package loadgen
+
+import (
+	"context"
+	"time"
+)
+
+// CurvePoint is one rung of a latency-vs-offered-load curve — the JSON
+// row both cmd/load and the bench schema-v5 `load` section emit.
+type CurvePoint struct {
+	TargetRate   float64 `json:"target_rate"`
+	OfferedRate  float64 `json:"offered_rate"`
+	AchievedRate float64 `json:"achieved_rate"`
+	ShedRate     float64 `json:"shed_rate"`
+	P50Ns        int64   `json:"p50_ns"`
+	P99Ns        int64   `json:"p99_ns"`
+	P999Ns       int64   `json:"p999_ns"`
+	Offered      int64   `json:"offered"`
+	Accepted     int64   `json:"accepted"`
+	Shed         int64   `json:"shed"`
+	Replied      int64   `json:"replied"`
+	ReplyErrors  int64   `json:"reply_errors"`
+	Cancelled    int64   `json:"cancelled"`
+}
+
+// Point projects a Result onto its curve row.
+func (r Result) Point() CurvePoint {
+	return CurvePoint{
+		TargetRate:   r.TargetRate,
+		OfferedRate:  r.OfferedRate,
+		AchievedRate: r.AchievedRate,
+		ShedRate:     r.ShedRate,
+		P50Ns:        r.Latency.P50,
+		P99Ns:        r.Latency.P99,
+		P999Ns:       r.Latency.P999,
+		Offered:      r.Offered,
+		Accepted:     r.Accepted,
+		Shed:         r.Shed,
+		Replied:      r.Replied,
+		ReplyErrors:  r.ReplyErrors,
+		Cancelled:    r.Cancelled,
+	}
+}
+
+// Curve is one mix's sweep across a ladder of offered rates.
+type Curve struct {
+	Mix  string `json:"mix"`
+	Dist string `json:"dist"`
+	// CapacityRate is the closed-loop throughput ceiling the ladder was
+	// scaled against (0 when the ladder was given as absolute rates).
+	CapacityRate float64 `json:"capacity_rate"`
+	// KneeIndex is the last below-knee rung (see Knee); -1 when even the
+	// first rung was saturated.
+	KneeIndex int          `json:"knee_index"`
+	Points    []CurvePoint `json:"points"`
+}
+
+// Below-knee criteria: a rung still below saturation sheds less than
+// kneeShed of its offered ops and achieves at least kneeAchieved of
+// its target rate — the rate the schedule intended, not the rate the
+// run managed to offer. A congested server drags both the offered and
+// achieved rates down together (spawn lag, drain time), so comparing
+// achieved against offered would certify a rung that fell behind the
+// schedule as healthy.
+const (
+	kneeShed     = 0.01
+	kneeAchieved = 0.9
+)
+
+// Knee locates the saturation knee of an in-order sweep: the index of
+// the last leading rung that still met the below-knee criteria. Rungs
+// after the knee are the overload regime (shedding engaged or achieved
+// rate detached from the intended rate). Returns -1 when the first
+// rung was already saturated.
+func Knee(results []Result) int {
+	k := -1
+	for i, r := range results {
+		target := r.TargetRate
+		if target <= 0 {
+			target = r.OfferedRate
+		}
+		if r.ShedRate < kneeShed && r.AchievedRate >= kneeAchieved*target {
+			k = i
+			continue
+		}
+		break
+	}
+	return k
+}
+
+// Sweep runs one open-loop rung per rate, in order, and returns the
+// per-rung results. The same seed is reused across rungs so every rung
+// offers the same query stream, isolating the rate as the only variable.
+func Sweep(ctx context.Context, sub Submitter, opt Options, cfg OpenLoop, rates []float64) []Result {
+	out := make([]Result, 0, len(rates))
+	for _, rate := range rates {
+		if ctx.Err() != nil {
+			break
+		}
+		c := cfg
+		c.Rate = rate
+		out = append(out, RunOpen(ctx, sub, opt, c))
+	}
+	return out
+}
+
+// BuildCurve assembles the sweep's JSON view.
+func BuildCurve(opt Options, cfg OpenLoop, capacity float64, results []Result) Curve {
+	c := Curve{
+		Mix:          opt.Mix.Name,
+		Dist:         cfg.Dist.String(),
+		CapacityRate: capacity,
+		KneeIndex:    Knee(results),
+		Points:       make([]CurvePoint, 0, len(results)),
+	}
+	for _, r := range results {
+		c.Points = append(c.Points, r.Point())
+	}
+	return c
+}
+
+// ProbeCapacity measures the serve path's closed-loop throughput
+// ceiling: workers clients with zero think time for dur, returning the
+// achieved (successfully replied) rate. Sweeps scale their rate ladders
+// against this so the same ladder finds the knee on any host.
+func ProbeCapacity(ctx context.Context, sub Submitter, opt Options, workers int, dur time.Duration) float64 {
+	res := RunClosed(ctx, sub, opt, ClosedLoop{Workers: workers, Duration: dur})
+	return res.AchievedRate
+}

@@ -80,11 +80,14 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 type HistogramSnapshot struct {
 	Count int64 `json:"count"`
 	Sum   int64 `json:"sum"`
-	// P50, P95 and P99 are the estimated quantiles in recorded units,
-	// derived from the buckets at snapshot (and re-derived on merge).
-	P50 int64 `json:"p50"`
-	P95 int64 `json:"p95"`
-	P99 int64 `json:"p99"`
+	// P50, P95, P99 and P999 are the estimated quantiles in recorded
+	// units, derived from the buckets at snapshot (and re-derived on
+	// merge). P999 is the tail the load harness's SLO curves report;
+	// with log2 buckets its relative error is bounded like the others'.
+	P50  int64 `json:"p50"`
+	P95  int64 `json:"p95"`
+	P99  int64 `json:"p99"`
+	P999 int64 `json:"p999"`
 	// Buckets holds the log2 bucket counts; bucket 0 is values <= 0,
 	// bucket k counts values in [2^(k-1), 2^k - 1].
 	Buckets [histBuckets]int64 `json:"buckets"`
@@ -150,6 +153,7 @@ func (s *HistogramSnapshot) finalize() {
 	s.P50 = s.Quantile(0.50)
 	s.P95 = s.Quantile(0.95)
 	s.P99 = s.Quantile(0.99)
+	s.P999 = s.Quantile(0.999)
 }
 
 // Registry is a named collection of counters, gauges, and histograms.

@@ -46,11 +46,38 @@ func TestHistogramBucketsAndQuantiles(t *testing.T) {
 	if s.P99 < 64 || s.P99 > 128 {
 		t.Errorf("p99 = %d, want within [64, 128]", s.P99)
 	}
-	if s.P50 > s.P95 || s.P95 > s.P99 {
-		t.Errorf("quantiles not monotone: p50=%d p95=%d p99=%d", s.P50, s.P95, s.P99)
+	if s.P50 > s.P95 || s.P95 > s.P99 || s.P99 > s.P999 {
+		t.Errorf("quantiles not monotone: p50=%d p95=%d p99=%d p999=%d", s.P50, s.P95, s.P99, s.P999)
 	}
 	if m := s.Mean(); math.Abs(m-50.5) > 1e-9 {
 		t.Errorf("mean = %v, want 50.5", m)
+	}
+}
+
+// TestHistogramP999TailSensitivity pins the quantile the load harness's
+// SLO curves report: a 0.1%-wide stall mode invisible to p99 must move
+// p999 into its bucket, and merge must re-derive it.
+func TestHistogramP999TailSensitivity(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 9980; i++ {
+		h.Record(1_000)
+	}
+	for i := 0; i < 20; i++ {
+		h.Record(1_000_000)
+	}
+	s := h.Snapshot()
+	if s.P99 > 2_000 {
+		t.Fatalf("p99 = %d, want in the fast mode (stall fraction is below 1%%)", s.P99)
+	}
+	if s.P999 < 500_000 {
+		t.Fatalf("p999 = %d, want in the stall mode (>= 500000)", s.P999)
+	}
+	var other Histogram
+	other.Record(1_000)
+	o := other.Snapshot()
+	o.Merge(s)
+	if o.P999 < 500_000 {
+		t.Fatalf("merged p999 = %d, not re-derived", o.P999)
 	}
 }
 

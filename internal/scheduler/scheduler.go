@@ -233,6 +233,10 @@ func (s *Scheduler) SubmitContext(ctx context.Context, attr string, pred scan.Pr
 		return nil, fmt.Errorf("%w: %d queries pending on %q", ErrOverloaded, s.maxPending, attr)
 	}
 	s.pending[attr] = append(s.pending[attr], q)
+	// Counted under the lock, before the batch can possibly dispatch:
+	// no observer may ever see a query inside an executing batch that
+	// Submitted does not yet account for.
+	s.submitted.Add(1)
 	switch n := len(s.pending[attr]); {
 	case n >= s.maxBatch:
 		s.dispatchLocked(attr, s.takeLocked(attr))
@@ -241,7 +245,6 @@ func (s *Scheduler) SubmitContext(ctx context.Context, attr string, pred scan.Pr
 		s.timers[attr] = time.AfterFunc(s.window, func() { s.Flush(attr) })
 	}
 	s.mu.Unlock()
-	s.submitted.Add(1)
 	if ctx.Done() != nil {
 		rt.Go(func() { s.watchCancel(q) })
 	}
@@ -249,14 +252,47 @@ func (s *Scheduler) SubmitContext(ctx context.Context, attr string, pred scan.Pr
 }
 
 // watchCancel answers the submitter the moment its context dies, even if
-// the query's batch is still pending or executing.
+// the query's batch is still pending or executing. A query answered
+// while still pending is also removed from its queue: its MaxPending
+// admission slot frees immediately and the batch width q the APS model
+// will see shrinks right away — a caller whose context died between
+// admission and execution must not occupy capacity until the window
+// timer happens to fire (windows can be long; the slot must not be).
 func (s *Scheduler) watchCancel(q *Query) {
 	select {
 	case <-q.ctx.Done():
 		if q.finish(Reply{Err: q.ctx.Err()}) {
 			s.cancelled.Add(1)
+			s.removePending(q)
 		}
 	case <-q.settled:
+	}
+}
+
+// removePending unlinks an already-answered query from its attribute's
+// pending queue, if it is still there (a query whose batch was already
+// taken is gone from the map; run() skips it via the done flag). When
+// the queue empties, the attribute's window timer is disarmed so it does
+// not fire a pointless empty flush.
+func (s *Scheduler) removePending(q *Query) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	queue := s.pending[q.Attr]
+	for i, p := range queue {
+		if p != q {
+			continue
+		}
+		queue = append(queue[:i], queue[i+1:]...)
+		if len(queue) == 0 {
+			delete(s.pending, q.Attr)
+			if t := s.timers[q.Attr]; t != nil {
+				t.Stop()
+				delete(s.timers, q.Attr)
+			}
+		} else {
+			s.pending[q.Attr] = queue
+		}
+		return
 	}
 }
 

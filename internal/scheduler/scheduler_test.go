@@ -609,3 +609,143 @@ func TestBatchContextAlreadyExpired(t *testing.T) {
 		t.Fatalf("batch context error = %v, want DeadlineExceeded", err)
 	}
 }
+
+// waitPendingDrained polls until the attribute's pending queue empties —
+// the cancellation watcher unlinks answered queries asynchronously.
+func waitPendingDrained(t *testing.T, s *Scheduler, attr string) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for s.Pending(attr) != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("pending queue on %q never drained: %d left", attr, s.Pending(attr))
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestCancelledPendingReleasesAdmissionSlot pins the regression the load
+// harness audit found: a query whose context dies between admission and
+// execution must release its MaxPending slot immediately, not when the
+// (possibly hour-long) window timer fires. Before the fix, cancelled
+// queries stayed in the pending queue and starved admission for live
+// traffic.
+func TestCancelledPendingReleasesAdmissionSlot(t *testing.T) {
+	ce := newCountingExec()
+	s := New(ce.exec, Options{Window: time.Hour, MaxPending: 2, MaxBatch: 1 << 20})
+	defer s.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var doomed []<-chan Reply
+	for i := 0; i < 2; i++ {
+		ch, err := s.SubmitContext(ctx, "a", scan.Predicate{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		doomed = append(doomed, ch)
+	}
+	if _, err := s.Submit("a", scan.Predicate{}); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("submit over full queue: %v, want ErrOverloaded", err)
+	}
+
+	cancel()
+	for _, ch := range doomed {
+		if r := <-ch; !errors.Is(r.Err, context.Canceled) {
+			t.Fatalf("cancelled reply: %v, want context.Canceled", r.Err)
+		}
+		// Exactly one reply per channel: a second value would mean the
+		// watcher and the batch runner both delivered.
+		select {
+		case r := <-ch:
+			t.Fatalf("second reply delivered: %+v", r)
+		default:
+		}
+	}
+	waitPendingDrained(t, s, "a")
+
+	// Both slots are free again without any flush having happened.
+	var live []<-chan Reply
+	for i := 0; i < 2; i++ {
+		ch, err := s.Submit("a", scan.Predicate{})
+		if err != nil {
+			t.Fatalf("submit after cancellation freed slots: %v", err)
+		}
+		live = append(live, ch)
+	}
+	s.Flush("a")
+	for _, ch := range live {
+		if r := <-ch; r.Err != nil {
+			t.Fatal(r.Err)
+		}
+	}
+
+	st := s.Stats()
+	if st.Submitted != 4 || st.Cancelled != 2 || st.Rejected != 1 {
+		t.Fatalf("stats = %+v, want Submitted 4, Cancelled 2, Rejected 1", st)
+	}
+	// The live batch must not have carried the cancelled ghosts.
+	if sizes := ce.batchSizes("a"); len(sizes) != 1 || sizes[0] != 2 {
+		t.Fatalf("batch sizes = %v, want [2]", sizes)
+	}
+}
+
+// TestCancelBetweenAdmissionAndEnqueueDisarmsTimer pins the companion
+// invariant: when every pending query of an attribute is cancelled, the
+// window timer is disarmed and no empty batch is ever dispatched, and
+// counters reconcile (Submitted = Cancelled, Batches = 0).
+func TestCancelBetweenAdmissionAndEnqueueDisarmsTimer(t *testing.T) {
+	ce := newCountingExec()
+	s := New(ce.exec, Options{Window: 30 * time.Millisecond})
+	defer s.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	ch, err := s.SubmitContext(ctx, "a", scan.Predicate{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel() // the admission-vs-enqueue race, forced from outside
+	if r := <-ch; !errors.Is(r.Err, context.Canceled) {
+		t.Fatalf("reply: %v, want context.Canceled", r.Err)
+	}
+	waitPendingDrained(t, s, "a")
+
+	// Let the (disarmed) window elapse; the executor must never run.
+	time.Sleep(60 * time.Millisecond)
+	if sizes := ce.batchSizes("a"); len(sizes) != 0 {
+		t.Fatalf("executor ran %v batches for an all-cancelled attribute", sizes)
+	}
+	st := s.Stats()
+	if st.Submitted != 1 || st.Cancelled != 1 || st.Batches != 0 {
+		t.Fatalf("stats = %+v, want Submitted 1, Cancelled 1, Batches 0", st)
+	}
+}
+
+// TestSubmittedCountedBeforeBatchObservable pins the counter-ordering
+// fix: by the time an executing batch can observe the scheduler's stats,
+// every query inside it is already counted in Submitted. Before the fix
+// Submitted was incremented after the dispatch decision, so a MaxBatch
+// flush could execute a query the counters did not yet admit to.
+func TestSubmittedCountedBeforeBatchObservable(t *testing.T) {
+	var s *Scheduler
+	var minSeen atomic.Int64
+	minSeen.Store(1 << 30)
+	s = New(func(_ context.Context, attr string, preds []scan.Predicate) ([][]storage.RowID, error) {
+		if got := s.Stats().Submitted - int64(len(preds)); got < minSeen.Load() {
+			minSeen.Store(got)
+		}
+		return make([][]storage.RowID, len(preds)), nil
+	}, Options{Window: time.Hour, MaxBatch: 1})
+
+	for i := 0; i < 8; i++ {
+		ch, err := s.Submit("a", scan.Predicate{}) // MaxBatch=1 dispatches inline
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r := <-ch; r.Err != nil {
+			t.Fatal(r.Err)
+		}
+	}
+	s.Close()
+	if minSeen.Load() < 0 {
+		t.Fatalf("a batch observed Submitted lagging its own queries by %d", -minSeen.Load())
+	}
+}
