@@ -8,7 +8,7 @@ BENCH_N ?= 2000000
 BENCH_STAMP ?= $(shell date -u +%Y%m%d)
 BENCH_BASELINE ?= $(lastword $(sort $(wildcard BENCH_*.json)))
 
-.PHONY: check build fmt vet lint lintjson test race refitsoak loadsmoke fuzz-seeds diffalloc bench benchgate
+.PHONY: check build fmt vet lint lintjson test race refitsoak loadsmoke coopsmoke fuzz-seeds diffalloc bench benchgate
 
 # check is the tier-1 gate CI runs: static checks (formatting, go vet,
 # the repo's own fclint invariant suite), build, plain and race-enabled
@@ -66,6 +66,19 @@ loadsmoke:
 	$(GO) test -race -run 'LoadHarness|LoadChaos' .
 	$(GO) test -race ./internal/loadgen
 
+# coopsmoke runs the cooperative-scan acceptance suite under the race
+# detector: the pass manager's exactly-once differential tests (attach
+# at first/middle/last block, during wrap-around, simultaneous
+# multi-attach), eager cancel release, the coop.attach fault-injection
+# degradation tests, the scheduler attach-hook contract, the
+# attach-vs-wait cost-term unit tests, and the end-to-end
+# attach/cancel/chaos integration tests that assert reply conservation
+# and zero leaked goroutines.
+coopsmoke:
+	$(GO) test -race -run 'Coop' .
+	$(GO) test -race ./internal/coop
+	$(GO) test -race -run 'Attach' ./internal/scheduler ./internal/model
+
 # diffalloc runs the differential scan-kernel suite (every kernel must
 # select the same rowIDs as the naive reference) and the zero-allocation
 # guards on the scan and observability hot paths. Both run inside `test`
@@ -76,12 +89,12 @@ diffalloc:
 
 # Runs each fuzz target's seed corpus as regular tests (no fuzzing engine).
 fuzz-seeds:
-	$(GO) test -run Fuzz ./internal/dsl ./internal/persist ./internal/scan
+	$(GO) test -run Fuzz ./internal/dsl ./internal/persist ./internal/scan ./internal/coop
 
 # bench runs the Go micro-benchmarks with allocation reporting, then the
 # Figure 18 + skewed-batch experiment driver, writing the machine-readable
 # document BENCH_$(BENCH_STAMP).json at the repo root (schema
-# fastcolumns/bench_aps/v5, documented in EXPERIMENTS.md). -hw1 skips
+# fastcolumns/bench_aps/v6, documented in EXPERIMENTS.md). -hw1 skips
 # host calibration so the target is fast and deterministic enough for CI;
 # drop it (run cmd/bench by hand) for a calibrated run.
 bench:
@@ -100,8 +113,13 @@ bench:
 # knee, no rung may pin p99 at the per-query deadline with zero
 # shedding (unbounded queueing), and worst below-knee p99 may not
 # regress more than 10% over the baseline (above a deadline-fraction
-# noise floor). Speedup gates compare ratios, not absolute times, so
-# they hold across machines.
+# noise floor). The schema-v6 coop experiment gates within its own run:
+# at the straggler rung queries must have attached mid-pass, the
+# baseline p99 must clear a two-window noise floor, the cooperative
+# server must answer at least 85% as many ops as the baseline (no
+# shedding shortcut), and cooperative p99 must beat next-window-only
+# p99 by at least 10%. Speedup gates compare ratios, not absolute
+# times, so they hold across machines.
 benchgate:
 	@test -n "$(BENCH_BASELINE)" || { echo "no BENCH_*.json baseline committed"; exit 1; }
 	$(GO) run ./cmd/bench -hw1 -n $(BENCH_N) -trials 3 -compare $(BENCH_BASELINE)

@@ -1,0 +1,262 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"runtime/debug"
+	"time"
+
+	"fastcolumns"
+	"fastcolumns/internal/loadgen"
+	"fastcolumns/internal/workload"
+)
+
+// coopResult is the schema-v6 `coop` section: the cooperative-scan
+// experiment. A straggler-heavy mix (mostly point gets, a 20% share of
+// 5% analytical scans) is offered open-loop to two otherwise identical
+// scan-only servers: one that only batches at window boundaries, and
+// one that also attaches late arrivals to the in-flight shared pass
+// when the attach-vs-wait cost term says the cursor beats the next
+// window. The rung sits at the measured congestion knee: the last rung
+// of a dense ladder that the baseline server kept pace with (the next
+// rung sheds or detaches from its schedule) — loaded enough that
+// next-window batching queues behind straggler passes and attaching at
+// the cursor pays. Rates are derived from a per-run capacity probe and
+// the gate compares the two servers within the same run, so stored
+// documents stay comparable across machines.
+type coopResult struct {
+	Rows      int   `json:"rows"`
+	Domain    int32 `json:"domain"`
+	TimeoutNs int64 `json:"timeout_ns"`
+	WindowNs  int64 `json:"window_ns"`
+	RungNs    int64 `json:"rung_ns"`
+	MinOps    int64 `json:"min_ops"`
+	// MaxAttach is the per-pass adoption cap the cooperative server ran
+	// with (bounds pass extension under a continuous arrival stream).
+	MaxAttach int     `json:"max_attach"`
+	Capacity  float64 `json:"capacity_rate"`
+	// KneeRate is the first baseline ladder rung that saturated; Rate is
+	// the straggler rung: the last healthy rung, one ladder step below.
+	KneeRate   float64  `json:"knee_rate"`
+	Rate       float64  `json:"rate"`
+	NextWindow coopSide `json:"next_window"`
+	Coop       coopSide `json:"coop"`
+}
+
+// coopSide is one server's measurement at the straggler rung.
+type coopSide struct {
+	P50Ns    int64 `json:"p50_ns"`
+	P99Ns    int64 `json:"p99_ns"`
+	P999Ns   int64 `json:"p999_ns"`
+	Replied  int64 `json:"replied"`
+	Shed     int64 `json:"shed"`
+	Attached int64 `json:"attached"`
+}
+
+// stragglerMix is the mix the cooperative experiment targets: enough
+// point gets that window batching looks cheap, with a straggler share
+// of 5% scans that stretch each pass — exactly when a late arrival
+// gains the most from attaching at the cursor instead of queueing for
+// the window after the straggler drains.
+func stragglerMix() loadgen.Mix {
+	return loadgen.NewMix("straggler",
+		loadgen.MixEntry{Weight: 0.8, Selectivity: 0},
+		loadgen.MixEntry{Weight: 0.2, Selectivity: 0.05},
+	)
+}
+
+// coopLadder is the baseline saturation sweep, capacity-relative and
+// dense (x1.25 steps): the knee must be located within one step, since
+// the straggler rung is the last rung the baseline kept pace with.
+var coopLadder = []float64{0.35, 0.44, 0.55, 0.68, 0.85, 1.07, 1.34}
+
+// coopRows fixes the relation size for the cooperative experiment. The
+// experiment's regime is set by the pass length relative to the
+// batching window and inter-arrival gap — not by the grid's -n — so the
+// table does not scale with it.
+const coopRows = 200_000
+
+// coopMaxAttach is the per-pass adoption cap the cooperative server
+// runs with. Unbounded adoption lets a pass stay open indefinitely
+// under a continuous arrival stream (every adopter extends it by a
+// wrap-around continuation), trading the very tail the experiment
+// measures; 16 bounds a pass to a few circles.
+const coopMaxAttach = 16
+
+// measureCoop runs the cooperative-vs-next-window experiment. The table
+// is scan-only (no index), so APS answers every batch with the shared
+// scan and each batch runs as an attachable pass on the cooperative
+// server; both servers see the same rows, the same seed, and the same
+// arrival schedule.
+func measureCoop() coopResult {
+	const domain = int32(1 << 20)
+	const window = 2 * time.Millisecond
+	const timeout = 250 * time.Millisecond
+	const rung = 1500 * time.Millisecond
+	const minOps = 1000
+
+	// Scrub the heap the earlier experiment sections left behind (the -n
+	// sized grid relations dwarf this experiment's 200k-row fixture).
+	// The cooperative server sits at a congested operating point where
+	// pass length sets the feedback loop — GC cycles over a multi-GB
+	// dead heap stretch every pass, each longer pass adopts a full cap
+	// of attachers, and the tail collapses in a way a fresh process
+	// never shows.
+	debug.FreeOSMemory()
+
+	build := func(cooperative bool) (*fastcolumns.Engine, *fastcolumns.Server) {
+		eng := fastcolumns.New(fastcolumns.Config{})
+		tbl, err := eng.CreateTable("coop")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := tbl.AddColumn("a", workload.Uniform(7, coopRows, domain)); err != nil {
+			log.Fatal(err)
+		}
+		if err := tbl.Analyze("a", 128); err != nil {
+			log.Fatal(err)
+		}
+		srv := eng.Serve(fastcolumns.ServeOptions{
+			Window:        window,
+			MaxPending:    512,
+			MaxInFlight:   4,
+			Cooperative:   cooperative,
+			CoopMaxAttach: coopMaxAttach,
+		})
+		return eng, srv
+	}
+
+	ctx := context.Background()
+	opt := loadgen.Options{
+		Table: "coop", Attr: "a", Domain: domain,
+		Mix: stragglerMix(), Timeout: timeout, Seed: 17,
+	}
+	cfg := loadgen.OpenLoop{Duration: rung, Dist: loadgen.Poisson, MinOps: minOps}
+
+	// Locate the saturation rate of the next-window baseline.
+	baseEng, baseSrv := build(false)
+	capacity := loadgen.ProbeCapacity(ctx, baseSrv, opt, 16, 200*time.Millisecond)
+	if capacity <= 0 {
+		log.Fatal("coop experiment: capacity probe achieved no replies")
+	}
+	rates := make([]float64, len(coopLadder))
+	for i, f := range coopLadder {
+		rates[i] = f * capacity
+	}
+	sweep := loadgen.Sweep(ctx, baseSrv, opt, cfg, rates)
+	for i, r := range sweep {
+		if !r.Conserved() {
+			log.Fatalf("coop knee sweep rung %d lost replies: %+v", i, r.Counts)
+		}
+	}
+	k := loadgen.Knee(sweep)
+	if k < 0 {
+		log.Fatalf("coop experiment: baseline saturated at the ladder's bottom rung (%.0f ops/s)", rates[0])
+	}
+	if k >= len(sweep)-1 {
+		log.Fatalf("coop experiment: baseline never saturated — the ladder's top rung (%.0f ops/s) is below the knee", rates[len(rates)-1])
+	}
+	knee := sweep[k+1].TargetRate // first saturated rung
+	// The straggler rung is the knee itself: the last rung the baseline
+	// demonstrably kept pace with. One ladder step higher the baseline
+	// sheds or detaches from its schedule (and goes bimodal between
+	// queueing and timeout collapse), which would let the cooperative
+	// server win by answering more of the stream rather than by
+	// answering it faster — the gate compares tails, so the rung must be
+	// a rate both servers fully absorb.
+	rate := sweep[k].TargetRate
+
+	// The straggler rung, baseline side, measured fresh at the chosen
+	// rate (the sweep's rungs only located the knee).
+	next := loadgen.RunOpen(ctx, baseSrv, opt, loadgen.OpenLoop{
+		Rate: rate, Duration: rung, Dist: loadgen.Poisson, MinOps: minOps})
+	if !next.Conserved() {
+		log.Fatalf("coop straggler rung (next-window) lost replies: %+v", next.Counts)
+	}
+	baseSrv.Close()
+	baseEng.Close()
+
+	// Same rung, cooperative side: same rows, same seed, same schedule.
+	coopEng, coopSrv := build(true)
+	coopRes := loadgen.RunOpen(ctx, coopSrv, opt, loadgen.OpenLoop{
+		Rate: rate, Duration: rung, Dist: loadgen.Poisson, MinOps: minOps})
+	if !coopRes.Conserved() {
+		log.Fatalf("coop straggler rung (cooperative) lost replies: %+v", coopRes.Counts)
+	}
+	attached := coopSrv.ServerStats().Attached
+	coopSrv.Close()
+	coopEng.Close()
+
+	side := func(r loadgen.Result, attached int64) coopSide {
+		return coopSide{
+			P50Ns: r.Latency.P50, P99Ns: r.Latency.P99, P999Ns: r.Latency.P999,
+			Replied: r.Replied, Shed: r.Shed, Attached: attached,
+		}
+	}
+	return coopResult{
+		Rows: coopRows, Domain: domain,
+		TimeoutNs: timeout.Nanoseconds(), WindowNs: window.Nanoseconds(),
+		RungNs: rung.Nanoseconds(), MinOps: minOps, MaxAttach: coopMaxAttach,
+		Capacity: capacity, KneeRate: knee, Rate: rate,
+		NextWindow: side(next, 0),
+		Coop:       side(coopRes, attached),
+	}
+}
+
+// printCoop summarizes the coop section on stdout.
+func printCoop(res coopResult) {
+	win := 0.0
+	if res.Coop.P99Ns > 0 {
+		win = float64(res.NextWindow.P99Ns) / float64(res.Coop.P99Ns)
+	}
+	fmt.Printf("coop straggler rung %.0f ops/s (saturation at %.0f): next-window p99 %v p999 %v; cooperative p99 %v p999 %v (%.2fx, %d attached)\n",
+		res.Rate, res.KneeRate,
+		time.Duration(res.NextWindow.P99Ns).Round(time.Microsecond),
+		time.Duration(res.NextWindow.P999Ns).Round(time.Microsecond),
+		time.Duration(res.Coop.P99Ns).Round(time.Microsecond),
+		time.Duration(res.Coop.P999Ns).Round(time.Microsecond),
+		win, res.Coop.Attached)
+}
+
+// coopTol is the required tail win: cooperative p99 must be at least
+// 10% below the next-window-only p99 at the straggler rung.
+const coopTol = 1.10
+
+// coopNoiseWindows is the measurement's noise floor in units of the
+// batching window. The win mechanism is bypassing the window (plus the
+// in-flight queueing behind straggler passes), so a baseline p99 below
+// a couple of windows means the rung failed to exercise the regime the
+// experiment measures — a broken operating point, not a pass.
+const coopNoiseWindows = 2
+
+// coopRepliedFrac guards against a shedding shortcut: the cooperative
+// server may not buy its tail by refusing meaningfully more of the
+// offered stream than the baseline answered.
+const coopRepliedFrac = 0.85
+
+// coopGate enforces the self-contained cooperative-scan rules on this
+// run: the rung must actually have adopted queries mid-pass, the
+// baseline tail must sit above the noise floor (the rung is meant to be
+// window-and-queue bound), the cooperative server must answer nearly as
+// much of the stream as the baseline, and the cooperative p99 must beat
+// the next-window-only p99 by at least 10%.
+func coopGate(res coopResult) error {
+	if res.Coop.Attached == 0 {
+		return fmt.Errorf("coop gate: no queries attached mid-pass at the straggler rung")
+	}
+	floor := coopNoiseWindows * res.WindowNs
+	if res.NextWindow.P99Ns < floor {
+		return fmt.Errorf("coop gate: next-window p99 %v is below the %v noise floor — the rung never became window-bound",
+			time.Duration(res.NextWindow.P99Ns), time.Duration(floor))
+	}
+	if float64(res.Coop.Replied) < coopRepliedFrac*float64(res.NextWindow.Replied) {
+		return fmt.Errorf("coop gate: cooperative server replied to %d ops vs baseline %d — tail win bought by shedding",
+			res.Coop.Replied, res.NextWindow.Replied)
+	}
+	if float64(res.NextWindow.P99Ns) < coopTol*float64(res.Coop.P99Ns) {
+		return fmt.Errorf("coop gate: cooperative p99 %v does not beat next-window p99 %v by 10%%",
+			time.Duration(res.Coop.P99Ns), time.Duration(res.NextWindow.P99Ns))
+	}
+	return nil
+}

@@ -201,8 +201,13 @@ func main() {
 	ld := measureLoad(*n)
 	printLoad(ld)
 
+	// The schema-v6 coop section: cooperative vs next-window-only tails
+	// under the straggler mix at 0.9x of the baseline knee.
+	cp := measureCoop()
+	printCoop(cp)
+
 	out := benchOutput{
-		Schema: "fastcolumns/bench_aps/v5",
+		Schema: "fastcolumns/bench_aps/v6",
 		N:      *n, Trials: *trials,
 		Hardware: hw, Design: design,
 		Cells: cells, MatchedBest: matched, TotalCells: len(specs),
@@ -210,6 +215,7 @@ func main() {
 		Compressed: comp,
 		Regret:     regret,
 		Load:       ld,
+		Coop:       cp,
 	}
 	if *jsonOut != "" {
 		data, err := json.MarshalIndent(out, "", "  ")
@@ -231,7 +237,10 @@ func main() {
 		if err := loadGate(out.Load); err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("no regression against %s; robust mode beats fixed-APS under 4x misestimates; load knee bracketed with shed engaged past it\n", *compare)
+		if err := coopGate(out.Coop); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("no regression against %s; robust mode beats fixed-APS under 4x misestimates; load knee bracketed with shed engaged past it; cooperative p99 beats next-window by 10%% at the straggler rung\n", *compare)
 	}
 }
 
@@ -530,4 +539,8 @@ type benchOutput struct {
 	// sweeps over the serve path, per query mix, with the saturation
 	// knee located on a capacity-relative rate ladder.
 	Load loadResult `json:"load"`
+	// Coop is the schema-v6 addition: cooperative shared-scan tails
+	// versus next-window-only batching under the straggler mix at 0.9x
+	// of the baseline server's saturation knee.
+	Coop coopResult `json:"coop"`
 }

@@ -1,0 +1,714 @@
+// Package coop implements cooperative shared scans: a pass manager that
+// tracks the in-flight shared pass over each column so late-arriving
+// queries can attach mid-pass instead of waiting for the next batching
+// window ("From Cooperative Scans to Predictive Buffer Management").
+//
+// One pass is a circular schedule over the column's blocks. Every
+// admitted query — pass founders and mid-pass attachers alike — holds a
+// remaining-block set, and block dispatch is relevance-driven: blocks
+// are claimed from a priority structure keyed by live-query demand, so
+// the block wanted by the most queries is served while its audience is
+// largest, blocks nobody needs (zonemap-pruned for every query, or
+// wanted only by since-cancelled queries) are never scanned, and an
+// attacher's missed prefix is served by a wrap-around continuation once
+// its demand is all that remains. The invariant the differential and
+// fuzz suites pin: each query sees each non-pruned block exactly once —
+// entries enter a block's need-set exactly once at admission and the
+// whole set is removed exactly once when the block is claimed.
+package coop
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"slices"
+	"sync"
+
+	"fastcolumns/internal/faultinject"
+	"fastcolumns/internal/obs"
+	rt "fastcolumns/internal/runtime"
+	"fastcolumns/internal/scan"
+	"fastcolumns/internal/storage"
+)
+
+// FaultSiteAttach fires at the top of every mid-pass attach attempt, so
+// chaos suites can fail, panic, or delay the attach path; error and
+// panic faults degrade the query to next-window semantics.
+const FaultSiteAttach = "coop.attach"
+
+// DefaultMaxAttach bounds mid-pass attachers per pass: each attacher
+// extends the pass with its wrap-around prefix, so an uncapped stream
+// of attachers under heavy traffic could keep one pass alive (and its
+// founders waiting) indefinitely.
+const DefaultMaxAttach = 64
+
+// Options configures a Manager.
+type Options struct {
+	// Arena recycles per-query result buffers; nil falls back to plain
+	// allocation.
+	Arena *rt.Arena
+	// Metrics, when non-nil, receives the coop.* instruments.
+	Metrics *obs.Registry
+	// Workers is the number of goroutines scanning blocks per pass
+	// (clamped to the pass's block count; <= 0 means 1).
+	Workers int
+	// MaxAttach caps mid-pass attachers per pass (<= 0: DefaultMaxAttach).
+	MaxAttach int
+	// BlockHook, when non-nil, runs after each block scan, before the
+	// block is accounted done — the deterministic test seam for
+	// attaching at exact pass offsets.
+	BlockHook func(key string, block int)
+}
+
+// Manager tracks the in-flight cooperative pass per key (one key per
+// table+attribute) and admits mid-pass attachers to it.
+type Manager struct {
+	arena     *rt.Arena
+	workers   int
+	maxAttach int
+	blockHook func(string, int)
+
+	passes         *obs.Counter
+	attaches       *obs.Counter
+	attachRejected *obs.Counter
+	wrapBlocks     *obs.Counter
+	demandSkipped  *obs.Counter
+	cancelDropped  *obs.Counter
+	attachSavedNs  *obs.Histogram
+
+	mu   sync.Mutex
+	live map[string]*pass
+}
+
+// NewManager builds a pass manager.
+func NewManager(opt Options) *Manager {
+	m := &Manager{
+		arena:     opt.Arena,
+		workers:   opt.Workers,
+		maxAttach: opt.MaxAttach,
+		blockHook: opt.BlockHook,
+		live:      make(map[string]*pass),
+	}
+	if m.workers < 1 {
+		m.workers = 1
+	}
+	if m.maxAttach <= 0 {
+		m.maxAttach = DefaultMaxAttach
+	}
+	if opt.Metrics != nil {
+		m.passes = opt.Metrics.Counter("coop.passes")
+		m.attaches = opt.Metrics.Counter("coop.attach")
+		m.attachRejected = opt.Metrics.Counter("coop.attach_rejected")
+		m.wrapBlocks = opt.Metrics.Counter("coop.wrap_blocks")
+		m.demandSkipped = opt.Metrics.Counter("coop.demand_skipped")
+		m.cancelDropped = opt.Metrics.Counter("coop.cancel_dropped")
+		m.attachSavedNs = opt.Metrics.Histogram("coop.attach_saved_ns")
+	}
+	return m
+}
+
+// Progress is the observable state of an in-flight pass — the inputs
+// the attach-vs-wait cost term (model.PassState) needs.
+type Progress struct {
+	// Rows and Blocks describe the pass's source.
+	Rows, Blocks int
+	// Claimed counts distinct blocks claimed at least once — the pass
+	// cursor, as a count (Claimed/Blocks is the model's FracDone).
+	Claimed int
+	// Live is the number of unfinished, uncancelled queries on the pass;
+	// LiveSel is the sum of their selectivity estimates.
+	Live    int
+	LiveSel float64
+	// Attached counts mid-pass attachers admitted so far.
+	Attached int
+}
+
+// Progress reports the in-flight pass on key; ok is false when no
+// attachable pass exists.
+func (m *Manager) Progress(key string) (Progress, bool) {
+	m.mu.Lock()
+	p := m.live[key]
+	m.mu.Unlock()
+	if p == nil {
+		return Progress{}, false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return Progress{}, false
+	}
+	return Progress{
+		Rows:     p.src.Rows(),
+		Blocks:   len(p.need),
+		Claimed:  p.claimedN,
+		Live:     p.live,
+		LiveSel:  p.liveSel,
+		Attached: p.attached,
+	}, true
+}
+
+// passQuery is one query riding a pass: a founder (deliver == nil;
+// results are assembled by Run) or a mid-pass attacher (deliver is
+// called exactly once with its sorted rowIDs or an error).
+type passQuery struct {
+	pred    scan.Predicate
+	ctx     context.Context
+	sel     float64
+	deliver func([]storage.RowID, error)
+
+	// remaining, finished, dropped are guarded by pass.mu.
+	remaining int
+	finished  bool
+	dropped   bool
+
+	// mu guards the buffer across concurrent block scans (two workers
+	// may scan different blocks for the same query) and against eager
+	// release on cancellation.
+	mu        sync.Mutex
+	cancelled bool
+	buf       *rt.Buf
+}
+
+// takeBuf detaches the query's buffer (marking the query cancelled for
+// any in-flight scan that still holds it in a claim snapshot) and
+// returns it; nil if already taken.
+func (q *passQuery) takeBuf() *rt.Buf {
+	q.mu.Lock()
+	q.cancelled = true
+	b := q.buf
+	q.buf = nil
+	q.mu.Unlock()
+	return b
+}
+
+// completeOK sorts the query's accumulated rowIDs (blocks are scanned
+// in demand order, so the per-block ascending runs concatenate out of
+// order) and delivers them to an attacher; founders' buffers stay put
+// for Run to assemble.
+func (q *passQuery) completeOK() {
+	q.mu.Lock()
+	buf := q.buf
+	if buf != nil {
+		slices.Sort(buf.IDs)
+	}
+	q.mu.Unlock()
+	if q.deliver != nil && buf != nil {
+		q.deliver(buf.IDs, nil)
+	}
+}
+
+// heapEntry is one (block, demand-at-push) candidate in the dispatch
+// heap. Entries are never updated in place: every demand change pushes
+// a fresh entry, and a popped entry is valid only while its recorded
+// demand still matches the block's live demand (lazy invalidation).
+type heapEntry struct{ block, demand int }
+
+// heapAbove orders the dispatch heap: higher demand first (serve a
+// block while its audience is largest), lower block index on ties (the
+// sequential order the prefetcher likes).
+func heapAbove(a, b heapEntry) bool {
+	if a.demand != b.demand {
+		return a.demand > b.demand
+	}
+	return a.block < b.block
+}
+
+// pass is one in-flight cooperative scan over a source.
+type pass struct {
+	m    *Manager
+	key  string
+	src  Source
+	hook func(string, int)
+
+	mu   sync.Mutex
+	cond *sync.Cond
+	// need[b] holds the queries still needing block b; demand[b] is
+	// len(need[b]) maintained incrementally, and heap holds the lazily
+	// invalidated dispatch candidates.
+	need   [][]*passQuery
+	demand []int
+	heap   []heapEntry
+	// claimed[b] marks blocks claimed at least once; a re-claim is a
+	// wrap-around continuation serving attachers' missed prefixes.
+	claimed  []bool
+	claimedN int
+	pending  int // query-block pairs awaiting claim
+	inflight int // blocks being scanned right now
+	queries  []*passQuery
+	attached int
+	live     int
+	liveSel  float64
+	wraps    int64
+	failed   error
+	closed   bool
+}
+
+func (p *pass) heapPush(e heapEntry) {
+	p.heap = append(p.heap, e)
+	i := len(p.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !heapAbove(p.heap[i], p.heap[parent]) {
+			break
+		}
+		p.heap[i], p.heap[parent] = p.heap[parent], p.heap[i]
+		i = parent
+	}
+}
+
+func (p *pass) heapPop() (heapEntry, bool) {
+	if len(p.heap) == 0 {
+		return heapEntry{}, false
+	}
+	top := p.heap[0]
+	last := len(p.heap) - 1
+	p.heap[0] = p.heap[last]
+	p.heap = p.heap[:last]
+	i := 0
+	for {
+		l, r, best := 2*i+1, 2*i+2, i
+		if l < len(p.heap) && heapAbove(p.heap[l], p.heap[best]) {
+			best = l
+		}
+		if r < len(p.heap) && heapAbove(p.heap[r], p.heap[best]) {
+			best = r
+		}
+		if best == i {
+			break
+		}
+		p.heap[i], p.heap[best] = p.heap[best], p.heap[i]
+		i = best
+	}
+	return top, true
+}
+
+// admitLocked inserts q's need entries for every block its predicate
+// cannot prune and reports whether the query finished on the spot
+// (everything pruned — the caller delivers the empty result). Caller
+// holds p.mu, or the pass is not yet published.
+func (p *pass) admitLocked(q *passQuery) (finished bool) {
+	added := 0
+	for b := range p.need {
+		if p.src.Prune(b, q.pred) {
+			continue
+		}
+		p.need[b] = append(p.need[b], q)
+		p.demand[b]++
+		p.heapPush(heapEntry{block: b, demand: p.demand[b]})
+		added++
+	}
+	p.queries = append(p.queries, q)
+	if added == 0 {
+		q.finished = true
+		return true
+	}
+	q.remaining = added
+	p.pending += added
+	p.live++
+	p.liveSel += q.sel
+	return false
+}
+
+// claimLocked pops the highest-demand block with live entries, takes
+// its whole need-set, and marks it in flight. Stale heap entries (the
+// block's demand changed since the push) are discarded. Caller holds
+// p.mu.
+func (p *pass) claimLocked() (int, []*passQuery, bool) {
+	if p.failed != nil {
+		return 0, nil, false
+	}
+	for {
+		e, ok := p.heapPop()
+		if !ok {
+			return 0, nil, false
+		}
+		if e.demand != p.demand[e.block] || len(p.need[e.block]) == 0 {
+			continue
+		}
+		b := e.block
+		qs := p.need[b]
+		p.need[b] = nil
+		p.demand[b] = 0
+		p.pending -= len(qs)
+		p.inflight++
+		if p.claimed[b] {
+			p.wraps++
+			cadd(p.m.wrapBlocks, 1)
+		} else {
+			p.claimed[b] = true
+			p.claimedN++
+		}
+		return b, qs, true
+	}
+}
+
+// reapLocked drops queries whose context died from the live set: their
+// remaining need entries are removed (demand decremented, so blocks
+// only they wanted will never be scheduled) and they are returned for
+// delivery and eager buffer release outside the lock. Runs at every
+// morsel boundary. Caller holds p.mu.
+func (p *pass) reapLocked() []*passQuery {
+	var drops []*passQuery
+	for _, q := range p.queries {
+		if q.finished || q.dropped || q.ctx == nil || q.ctx.Err() == nil {
+			continue
+		}
+		q.dropped = true
+		for b := range p.need {
+			for i, nq := range p.need[b] {
+				if nq != q {
+					continue
+				}
+				p.need[b] = append(p.need[b][:i], p.need[b][i+1:]...)
+				p.demand[b]--
+				p.pending--
+				if p.demand[b] > 0 {
+					p.heapPush(heapEntry{block: b, demand: p.demand[b]})
+				}
+				break
+			}
+		}
+		p.live--
+		p.liveSel -= q.sel
+		cadd(p.m.cancelDropped, 1)
+		drops = append(drops, q)
+	}
+	return drops
+}
+
+// closeLocked seals the pass: counts the blocks demand-driven dispatch
+// never had to scan, fails any query the pass cannot finish (only
+// possible after an injected fault), and wakes parked workers so they
+// exit. Caller holds p.mu.
+func (p *pass) closeLocked() []*passQuery {
+	p.closed = true
+	skipped := 0
+	for b := range p.claimed {
+		if !p.claimed[b] {
+			skipped++
+		}
+	}
+	if skipped > 0 {
+		cadd(p.m.demandSkipped, int64(skipped))
+	}
+	var fails []*passQuery
+	if p.failed == nil && p.pending > 0 {
+		p.failed = errors.New("coop: pass closed with unserved queries")
+	}
+	for _, q := range p.queries {
+		if q.finished || q.dropped {
+			continue
+		}
+		q.dropped = true
+		p.live--
+		p.liveSel -= q.sel
+		fails = append(fails, q)
+	}
+	p.cond.Broadcast()
+	return fails
+}
+
+// deliverDrops answers reaped queries with their context's error and
+// hands their buffers straight back to the arena — a cancelled query
+// must stop costing morsel work and memory immediately, not when the
+// pass ends.
+func (p *pass) deliverDrops(drops []*passQuery) {
+	for _, q := range drops {
+		err := context.Canceled
+		if q.ctx != nil && q.ctx.Err() != nil {
+			err = q.ctx.Err()
+		}
+		if q.deliver != nil {
+			q.deliver(nil, err)
+		}
+		p.m.arena.PutBuf(q.takeBuf())
+	}
+}
+
+// deliverFailed answers the queries a failed pass strands.
+func (p *pass) deliverFailed(fails []*passQuery) {
+	if len(fails) == 0 {
+		return
+	}
+	err := p.failed
+	if err == nil {
+		err = errors.New("coop: pass failed")
+	}
+	for _, q := range fails {
+		if q.deliver != nil {
+			q.deliver(nil, err)
+		}
+		p.m.arena.PutBuf(q.takeBuf())
+	}
+}
+
+// worker is one pass worker's loop: reap cancelled queries, claim the
+// highest-demand block, scan it for every query in its need-set. When
+// nothing is claimable it parks until a scan completes or an attacher
+// arrives; the worker that finds the pass drained closes it.
+func (p *pass) worker() {
+	for {
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			return
+		}
+		drops := p.reapLocked()
+		b, qs, ok := p.claimLocked()
+		if !ok {
+			if p.inflight == 0 && (p.pending == 0 || p.failed != nil) {
+				fails := p.closeLocked()
+				p.mu.Unlock()
+				p.deliverDrops(drops)
+				p.deliverFailed(fails)
+				return
+			}
+			if len(drops) > 0 {
+				p.mu.Unlock()
+				p.deliverDrops(drops)
+				continue
+			}
+			p.cond.Wait()
+			p.mu.Unlock()
+			continue
+		}
+		p.mu.Unlock()
+		p.deliverDrops(drops)
+		p.runBlock(b, qs)
+		// Blocks are the pass's preemption quantum: yield between them
+		// so submitting goroutines get scheduled mid-pass and can
+		// attach at the cursor even when scans saturate every core —
+		// without this, a CPU-bound pass on a loaded box starves the
+		// very arrivals cooperative scans exist to adopt.
+		runtime.Gosched()
+	}
+}
+
+// runBlock scans one claimed block for its whole need-set. The morsel
+// fault site fires first (a fault fails the pass, never half-counts the
+// block); queries cancelled after the claim snapshot skip their scan. A
+// query's last block completes it: sort and deliver outside the lock.
+func (p *pass) runBlock(b int, qs []*passQuery) {
+	var injected error
+	scanOK := false
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				injected = fmt.Errorf("coop: panic scanning block %d of %q: %v", b, p.key, r)
+			}
+		}()
+		if err := faultinject.Fire(rt.FaultSiteMorsel); err != nil {
+			injected = fmt.Errorf("coop: block %d of %q: %w", b, p.key, err)
+			return
+		}
+		for _, q := range qs {
+			q.mu.Lock()
+			if !q.cancelled && q.buf != nil {
+				q.buf.IDs = p.src.ScanBlock(b, q.pred, q.buf.IDs)
+			}
+			q.mu.Unlock()
+		}
+		if p.hook != nil {
+			p.hook(p.key, b)
+		}
+		scanOK = true
+	}()
+	var done []*passQuery
+	p.mu.Lock()
+	p.inflight--
+	if injected != nil && p.failed == nil {
+		p.failed = injected
+	}
+	if scanOK && p.failed == nil {
+		for _, q := range qs {
+			q.remaining--
+			if q.remaining == 0 && !q.finished && !q.dropped {
+				q.finished = true
+				p.live--
+				p.liveSel -= q.sel
+				done = append(done, q)
+			}
+		}
+	}
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	for _, q := range done {
+		q.completeOK()
+	}
+}
+
+// Run executes one cooperative pass for a batch of founder queries and
+// blocks until the pass closes — including any wrap-around blocks that
+// mid-pass attachers added, which is the founders' (bounded, MaxAttach-
+// capped) price for the tail latency attachers save. Results come back
+// as an arena result set, one sorted rowID slice per founder; sels and
+// hints are optional per-founder selectivity estimates and result
+// cardinality hints.
+//
+//fclint:owns — the caller receives the pooled result set and the Release obligation.
+func (m *Manager) Run(ctx context.Context, key string, src Source, preds []scan.Predicate, sels []float64, hints []int) (*rt.Results, error) {
+	if len(preds) == 0 {
+		return nil, errors.New("coop: empty batch")
+	}
+	nb := src.Blocks()
+	p := &pass{
+		m: m, key: key, src: src, hook: m.blockHook,
+		need:    make([][]*passQuery, nb),
+		demand:  make([]int, nb),
+		claimed: make([]bool, nb),
+	}
+	p.cond = sync.NewCond(&p.mu)
+	founders := make([]*passQuery, len(preds))
+	for i, pr := range preds {
+		q := &passQuery{pred: pr, ctx: ctx}
+		if i < len(sels) {
+			q.sel = sels[i]
+		}
+		hint := 0
+		if i < len(hints) {
+			hint = hints[i]
+		}
+		q.buf = m.arena.GetBuf(hint)
+		founders[i] = q
+		p.admitLocked(q) // pass not yet published: no lock needed
+	}
+	cadd(m.passes, 1)
+	// Publish for mid-pass attach. If another pass is already live on
+	// this key the new one runs unpublished — correct, just closed to
+	// attachers.
+	published := false
+	m.mu.Lock()
+	if _, busy := m.live[key]; !busy {
+		m.live[key] = p
+		published = true
+	}
+	m.mu.Unlock()
+
+	workers := min(m.workers, nb)
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < workers-1; i++ {
+		wg.Add(1)
+		rt.Go(func() { defer wg.Done(); p.worker() })
+	}
+	p.worker()
+	wg.Wait()
+
+	if published {
+		m.mu.Lock()
+		if m.live[key] == p {
+			delete(m.live, key)
+		}
+		m.mu.Unlock()
+	}
+
+	// All workers have exited: the pass state is quiescent and
+	// happens-before this goroutine via the WaitGroup.
+	if p.failed != nil {
+		for _, q := range founders {
+			m.arena.PutBuf(q.takeBuf())
+		}
+		return nil, p.failed
+	}
+	for _, q := range founders {
+		if !q.dropped {
+			continue
+		}
+		// The batch context died mid-pass (founders share it); dropped
+		// founders' buffers went back at the reap, finished ones here.
+		for _, f := range founders {
+			m.arena.PutBuf(f.takeBuf())
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return nil, context.Canceled
+	}
+	res := m.arena.GetResults(len(founders))
+	for i, q := range founders {
+		res.Attach(i, q.takeBuf())
+	}
+	return res, nil
+}
+
+// Attach admits one late query to the in-flight pass on key, if there
+// is one and pricing already said yes. The query picks up the pass at
+// its cursor — its unclaimed blocks carry the founders' demand and are
+// served next — and the blocks it missed are re-scheduled at demand 1,
+// serving its prefix as a wrap-around continuation. deliver is called
+// exactly once (sorted rowIDs, a context error at a reap, or the pass
+// failure). savedNs is the model's predicted latency saving, recorded
+// for observability. Returns false — next-window semantics — when no
+// attachable pass exists, the pass is closing or full, or the attach
+// fault site fired.
+//
+//fclint:owns — delivered rowIDs alias an arena buffer the submitter now owns.
+func (m *Manager) Attach(ctx context.Context, key string, pred scan.Predicate, sel float64, hint int, savedNs int64, deliver func([]storage.RowID, error)) bool {
+	if deliver == nil {
+		return false
+	}
+	if err := attachFault(); err != nil {
+		cadd(m.attachRejected, 1)
+		return false
+	}
+	if ctx != nil && ctx.Err() != nil {
+		return false
+	}
+	m.mu.Lock()
+	p := m.live[key]
+	m.mu.Unlock()
+	if p == nil {
+		cadd(m.attachRejected, 1)
+		return false
+	}
+	q := &passQuery{pred: pred, ctx: ctx, sel: sel, deliver: deliver, buf: m.arena.GetBuf(hint)}
+	p.mu.Lock()
+	if p.closed || p.failed != nil || p.attached >= m.maxAttach {
+		p.mu.Unlock()
+		m.arena.PutBuf(q.takeBuf())
+		cadd(m.attachRejected, 1)
+		return false
+	}
+	p.attached++
+	finished := p.admitLocked(q)
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	cadd(m.attaches, 1)
+	hrec(m.attachSavedNs, savedNs)
+	if finished {
+		// Every block pruned for this predicate: deliver the empty
+		// result without waking anyone.
+		q.completeOK()
+	}
+	return true
+}
+
+// attachFault gives the chaos suite its shot at the attach decision.
+// Error and panic faults both degrade the attach to next-window
+// semantics; a delay fault holds the attach at the decision point, then
+// proceeds.
+func attachFault() (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("coop: injected attach panic: %v", r)
+		}
+	}()
+	return faultinject.Fire(FaultSiteAttach)
+}
+
+// cadd/hrec are nil-tolerant instrument helpers: a manager built
+// without a registry records nothing.
+func cadd(c *obs.Counter, n int64) {
+	if c != nil {
+		c.Add(n)
+	}
+}
+
+func hrec(h *obs.Histogram, v int64) {
+	if h != nil {
+		h.Record(v)
+	}
+}

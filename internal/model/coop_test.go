@@ -1,0 +1,88 @@
+package model
+
+import "testing"
+
+func coopParams(sel float64) Params {
+	return Params{
+		Workload: Workload{Selectivities: []float64{sel}},
+		Dataset:  Dataset{N: 1e8, TupleSize: 4},
+		Hardware: HW1(),
+		Design:   DefaultDesign(),
+	}
+}
+
+func TestAttachWinsEarlyCursorLargeWindow(t *testing.T) {
+	// Pass barely started, few co-riders, fat batching window: the wrap
+	// prefix is tiny and waiting costs a whole window plus a full pass.
+	p := coopParams(0.001)
+	st := PassState{FracDone: 0.05, Live: 4, LiveSel: 0.004, Pending: 0, Window: 2e-3}
+	attach, ac, wc := ShouldAttach(p, st)
+	if !attach {
+		t.Fatalf("expected attach to win: attach=%v wait=%v", ac, wc)
+	}
+	if ac <= 0 || wc <= 0 {
+		t.Fatalf("costs must be positive: attach=%v wait=%v", ac, wc)
+	}
+}
+
+func TestWaitWinsLateCursorCrowdedPass(t *testing.T) {
+	// Pass nearly done and crowded: attaching shares almost nothing,
+	// pays a near-full single-query wrap, and rides a pass whose q·PE
+	// term is bloated by many live queries. Next window is almost free.
+	p := coopParams(0.001)
+	st := PassState{FracDone: 0.95, Live: 256, LiveSel: 2.0, Pending: 0, Window: 0}
+	attach, ac, wc := ShouldAttach(p, st)
+	if attach {
+		t.Fatalf("expected wait to win: attach=%v wait=%v", ac, wc)
+	}
+}
+
+func TestAttachCostGrowsWithLiveSet(t *testing.T) {
+	// A more crowded pass makes the shared remainder's q·PE term fatter:
+	// at a fixed cursor, attaching to a busier pass must not be cheaper.
+	p := coopParams(0.01)
+	prev := -1.0
+	for _, live := range []int{0, 4, 32, 128} {
+		st := PassState{FracDone: 0.5, Live: live, LiveSel: 0.01 * float64(live)}
+		cost := AttachCost(p, st)
+		if cost < prev {
+			t.Fatalf("AttachCost decreased at live=%d: %v < %v", live, cost, prev)
+		}
+		prev = cost
+	}
+}
+
+func TestWaitCostGrowsWithWindowAndPending(t *testing.T) {
+	p := coopParams(0.01)
+	base := WaitCost(p, PassState{})
+	if w := WaitCost(p, PassState{Window: 1e-3}); w <= base {
+		t.Fatalf("window should add to wait cost: %v <= %v", w, base)
+	}
+	if w := WaitCost(p, PassState{Pending: 64}); w <= base {
+		t.Fatalf("pending queries should add to wait cost: %v <= %v", w, base)
+	}
+}
+
+func TestShouldAttachRobustIsConservative(t *testing.T) {
+	p := coopParams(0.001)
+	// Sweep cursor positions; wherever robust says attach, plain must
+	// agree — robust only ever vetoes.
+	for _, c := range []float64{0, 0.2, 0.4, 0.6, 0.8, 0.95} {
+		st := PassState{FracDone: c, Live: 32, LiveSel: 0.5, Window: 5e-4}
+		plain, _, _ := ShouldAttach(p, st)
+		robust, _, _ := ShouldAttachRobust(p, st, 8)
+		if robust && !plain {
+			t.Fatalf("robust attached where plain refused at c=%v", c)
+		}
+	}
+}
+
+func TestShouldAttachRobustDegenerateBound(t *testing.T) {
+	p := coopParams(0.001)
+	st := PassState{FracDone: 0.1, Live: 4, LiveSel: 0.01, Window: 1e-3}
+	plain, pac, pwc := ShouldAttach(p, st)
+	robust, rac, rwc := ShouldAttachRobust(p, st, 1)
+	if plain != robust || pac != rac || pwc != rwc {
+		t.Fatalf("errBound<=1 must degenerate to ShouldAttach")
+	}
+}

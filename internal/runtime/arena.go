@@ -70,14 +70,19 @@ type Arena struct {
 	words     [arenaClasses]sync.Pool
 	sets      sync.Pool
 
-	hits   *obs.Counter
-	misses *obs.Counter
+	hits    *obs.Counter
+	misses  *obs.Counter
+	returns *obs.Counter
 }
 
 // NewArena returns an arena that retains buffers up to maxRetain
 // rowIDs of capacity (DefaultArenaRetain when <= 0). reg may be nil;
 // when set, the arena exports runtime.arena.hits / runtime.arena.misses
-// counters (a miss is a checkout that had to grow or allocate).
+// counters (a miss is a checkout that had to grow or allocate) and
+// runtime.arena.returns (rowID buffers accepted back by PutBuf — the
+// put-side signal; under the race detector sync.Pool sheds puts at
+// random, so tests that must observe a release watch this counter, not
+// a subsequent checkout hit).
 func NewArena(maxRetain int, reg *obs.Registry) *Arena {
 	if maxRetain <= 0 {
 		maxRetain = DefaultArenaRetain
@@ -86,6 +91,7 @@ func NewArena(maxRetain int, reg *obs.Registry) *Arena {
 	if reg != nil {
 		a.hits = reg.Counter("runtime.arena.hits")
 		a.misses = reg.Counter("runtime.arena.misses")
+		a.returns = reg.Counter("runtime.arena.returns")
 	}
 	return a
 }
@@ -135,6 +141,7 @@ func (a *Arena) PutBuf(b *Buf) {
 	if class < 0 {
 		return
 	}
+	cadd(a.returns, 1)
 	a.bufs[class].Put(b)
 }
 

@@ -1,0 +1,13 @@
+package scan
+
+import "fastcolumns/internal/storage"
+
+// BlockScan is the block-granular morsel kernel exported for the
+// cooperative pass manager (internal/coop): the 8-way unrolled
+// predicated scan over one cache-resident block, emitting
+// relation-absolute rowIDs offset by base. It appends to out and
+// returns the extended slice — the same contract the shared-scan morsel
+// executor gets from the unexported kernel it wraps.
+func BlockScan(data []storage.Value, p Predicate, base int, out []storage.RowID) []storage.RowID {
+	return scanUnrolledBase(data, p, base, out)
+}

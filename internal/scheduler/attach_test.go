@@ -1,0 +1,140 @@
+package scheduler
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"fastcolumns/internal/scan"
+	"fastcolumns/internal/storage"
+)
+
+func TestAttachHookAdoptsQuery(t *testing.T) {
+	exec := newCountingExec()
+	var mu sync.Mutex
+	var delivers []func(Reply)
+	s := New(exec.exec, Options{
+		Window: time.Hour, // next window would never come
+		Attach: func(_ context.Context, attr string, _ scan.Predicate, deliver func(Reply)) bool {
+			if attr != "a" {
+				return false
+			}
+			mu.Lock()
+			delivers = append(delivers, deliver)
+			mu.Unlock()
+			return true
+		},
+	})
+	defer s.Close()
+
+	ch, err := s.Submit("a", scan.Predicate{Lo: 1, Hi: 2})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	mu.Lock()
+	if len(delivers) != 1 {
+		mu.Unlock()
+		t.Fatalf("attach hook saw %d offers, want 1", len(delivers))
+	}
+	d := delivers[0]
+	mu.Unlock()
+	d(Reply{RowIDs: []storage.RowID{7}})
+	rep := <-ch
+	if rep.Err != nil || len(rep.RowIDs) != 1 || rep.RowIDs[0] != 7 {
+		t.Fatalf("attached reply = %+v", rep)
+	}
+	st := s.Stats()
+	if st.Attached != 1 || st.Submitted != 1 || st.Batches != 0 {
+		t.Fatalf("stats = %+v, want Attached=1 Submitted=1 Batches=0", st)
+	}
+	if sizes := exec.batchSizes("a"); len(sizes) != 0 {
+		t.Fatalf("adopted query still executed in a batch: %v", sizes)
+	}
+}
+
+func TestAttachHookDeclineFallsThroughToBatch(t *testing.T) {
+	exec := newCountingExec()
+	s := New(exec.exec, Options{
+		Window: time.Millisecond,
+		Attach: func(context.Context, string, scan.Predicate, func(Reply)) bool { return false },
+	})
+	defer s.Close()
+	ch, err := s.Submit("a", scan.Predicate{Lo: 1, Hi: 2})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	rep := <-ch
+	if rep.Err != nil {
+		t.Fatalf("reply err = %v", rep.Err)
+	}
+	st := s.Stats()
+	if st.Attached != 0 || st.Submitted != 1 || st.Batches != 1 {
+		t.Fatalf("stats = %+v, want Attached=0 Submitted=1 Batches=1", st)
+	}
+}
+
+func TestAttachedQueryCancelCountsOnce(t *testing.T) {
+	// The pass reaps the cancelled attacher and delivers its context
+	// error; the cancellation watcher races it. Exactly one Cancelled
+	// count must survive.
+	var deliver func(Reply)
+	var mu sync.Mutex
+	s := New(newCountingExec().exec, Options{
+		Window: time.Hour,
+		Attach: func(_ context.Context, _ string, _ scan.Predicate, d func(Reply)) bool {
+			mu.Lock()
+			deliver = d
+			mu.Unlock()
+			return true
+		},
+	})
+	defer s.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	ch, err := s.SubmitContext(ctx, "a", scan.Predicate{Lo: 1, Hi: 2})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	cancel()
+	rep := <-ch
+	if !errors.Is(rep.Err, context.Canceled) {
+		t.Fatalf("reply err = %v, want context.Canceled", rep.Err)
+	}
+	// The pass-side delivery arrives after the watcher already won; it
+	// must not double-count.
+	mu.Lock()
+	d := deliver
+	mu.Unlock()
+	d(Reply{Err: context.Canceled})
+	deadline := time.Now().Add(time.Second)
+	for {
+		if st := s.Stats(); st.Cancelled == 1 {
+			if st.Attached != 1 || st.Submitted != 1 {
+				t.Fatalf("stats = %+v", st)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("stats never settled: %+v", s.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestAttachSkippedAfterClose(t *testing.T) {
+	offered := false
+	s := New(newCountingExec().exec, Options{
+		Attach: func(context.Context, string, scan.Predicate, func(Reply)) bool {
+			offered = true
+			return true
+		},
+	})
+	s.Close()
+	if _, err := s.Submit("a", scan.Predicate{}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Submit after Close = %v, want ErrClosed", err)
+	}
+	if offered {
+		t.Fatal("attach hook offered a query after Close")
+	}
+}

@@ -85,6 +85,7 @@ type ExecFunc func(ctx context.Context, attr string, preds []scan.Predicate) ([]
 // batching window elapses or a batch reaches MaxBatch.
 type Scheduler struct {
 	exec        ExecFunc
+	attachHook  func(ctx context.Context, attr string, pred scan.Predicate, deliver func(Reply)) bool
 	window      time.Duration
 	maxBatch    int
 	maxPending  int
@@ -97,6 +98,7 @@ type Scheduler struct {
 	batches   atomic.Int64
 	panics    atomic.Int64
 	errored   atomic.Int64
+	attached  atomic.Int64
 
 	// Pre-resolved observability instruments (nil without a registry):
 	// the batch-width histogram is the live record of the concurrency q
@@ -136,6 +138,14 @@ type Options struct {
 	// batches, dropped-at-execution queries, and batch errors. Instruments
 	// are resolved once here, so recording stays allocation-free.
 	Metrics *obs.Registry
+	// Attach, when non-nil, is offered every submission before it is
+	// enqueued for the next batching window. Returning true means the
+	// query was adopted by an in-flight cooperative pass and deliver
+	// will be called exactly once with its reply; returning false falls
+	// back to normal next-window batching. The hook must not block on
+	// scheduler state (it runs on the submitter, outside the scheduler
+	// lock) and deliver may be called from any goroutine.
+	Attach func(ctx context.Context, attr string, pred scan.Predicate, deliver func(Reply)) bool
 }
 
 // Stats is a snapshot of the scheduler's resilience counters.
@@ -155,6 +165,10 @@ type Stats struct {
 	// Errored counts batches whose execution reported an error
 	// (including recovered panics and short result sets).
 	Errored int64
+	// Attached counts queries adopted mid-pass by the Attach hook
+	// instead of waiting for a batching window. Attached queries are
+	// included in Submitted.
+	Attached int64
 	// InFlight is the number of batches executing right now.
 	InFlight int64
 }
@@ -175,6 +189,7 @@ func New(exec ExecFunc, opt Options) *Scheduler {
 	}
 	s := &Scheduler{
 		exec:        exec,
+		attachHook:  opt.Attach,
 		window:      opt.Window,
 		maxBatch:    opt.MaxBatch,
 		maxPending:  opt.MaxPending,
@@ -217,6 +232,11 @@ func (s *Scheduler) SubmitContext(ctx context.Context, attr string, pred scan.Pr
 		reply:   make(chan Reply, 1),
 		settled: make(chan struct{}),
 	}
+	if s.attachHook != nil {
+		if ch, ok := s.tryAttach(ctx, q); ok {
+			return ch, nil
+		}
+	}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -249,6 +269,40 @@ func (s *Scheduler) SubmitContext(ctx context.Context, attr string, pred scan.Pr
 		rt.Go(func() { s.watchCancel(q) })
 	}
 	return q.reply, nil
+}
+
+// tryAttach offers the query to the Attach hook — an in-flight
+// cooperative pass adopting it skips the batching window entirely. The
+// query is counted as Submitted *before* the hook runs (the counting
+// invariant above applies to passes too: no observer may see an
+// attached query that Submitted does not account for) and the count is
+// rolled back if the hook declines and the query falls through to
+// normal batching, which re-counts it under the lock.
+func (s *Scheduler) tryAttach(ctx context.Context, q *Query) (<-chan Reply, bool) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, false // fall through; the normal path reports ErrClosed
+	}
+	s.submitted.Add(1)
+	s.mu.Unlock()
+	adopted := s.attachHook(ctx, q.Attr, q.Pred, func(rep Reply) {
+		if !q.finish(rep) {
+			return
+		}
+		if rep.Err != nil && (errors.Is(rep.Err, context.Canceled) || errors.Is(rep.Err, context.DeadlineExceeded)) {
+			s.cancelled.Add(1)
+		}
+	})
+	if !adopted {
+		s.submitted.Add(-1)
+		return nil, false
+	}
+	s.attached.Add(1)
+	if ctx.Done() != nil {
+		rt.Go(func() { s.watchCancel(q) })
+	}
+	return q.reply, true
 }
 
 // watchCancel answers the submitter the moment its context dies, even if
@@ -320,6 +374,7 @@ func (s *Scheduler) Stats() Stats {
 		Batches:   s.batches.Load(),
 		Panics:    s.panics.Load(),
 		Errored:   s.errored.Load(),
+		Attached:  s.attached.Load(),
 		InFlight:  s.inFlight.Load(),
 	}
 }

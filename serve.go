@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"fastcolumns/internal/coop"
 	"fastcolumns/internal/obs"
 	"fastcolumns/internal/scheduler"
 	"fastcolumns/internal/storage"
@@ -44,6 +45,12 @@ var ErrBatchPanic = scheduler.ErrBatchPanic
 type Server struct {
 	engine *Engine
 	sched  *scheduler.Scheduler
+	// coop, when non-nil (ServeOptions.Cooperative), runs shared-scan
+	// batches as attachable passes and adopts late submissions mid-pass;
+	// window mirrors the scheduler's batching window for the model's
+	// attach-vs-wait term.
+	coop   *coop.Manager
+	window time.Duration
 
 	recovered  atomic.Int64
 	fallbacks  atomic.Int64
@@ -90,6 +97,11 @@ type ServerStats struct {
 	// FailedBatches counts batches that reported an error to their
 	// queries after all retries.
 	FailedBatches int64
+	// Attached counts queries adopted mid-pass by the cooperative scan
+	// manager instead of waiting for a batching window (always zero
+	// unless ServeOptions.Cooperative). Attached queries are included in
+	// Submitted.
+	Attached int64
 }
 
 // Stats returns a snapshot for table.attr (zero value if never queried).
@@ -120,6 +132,7 @@ func (s *Server) ServerStats() ServerStats {
 		FallbackRetries:   s.fallbacks.Load(),
 		FallbackSuccesses: s.fallbackOK.Load(),
 		FailedBatches:     st.Errored,
+		Attached:          st.Attached,
 	}
 }
 
@@ -154,18 +167,45 @@ type ServeOptions struct {
 	// MaxInFlight bounds concurrently executing batches server-wide;
 	// while saturated Submit fails fast with ErrOverloaded (default 64).
 	MaxInFlight int
+	// Cooperative runs shared-scan batches through the cooperative pass
+	// manager: a query arriving while a pass over its column is in
+	// flight attaches at the pass cursor (its missed prefix served by a
+	// wrap-around continuation) instead of waiting out the batching
+	// window, whenever the model's attach-vs-wait term prices attaching
+	// cheaper. Off by default.
+	Cooperative bool
+	// CoopMaxAttach caps mid-pass attachers per cooperative pass
+	// (<= 0: coop.DefaultMaxAttach). Each attacher extends the pass by
+	// its wrap-around continuation, so the cap bounds how long a pass
+	// under a continuous arrival stream can stay open; arrivals beyond
+	// it fall back to next-window batching.
+	CoopMaxAttach int
 }
 
 // Serve starts a server over the engine's tables.
 func (e *Engine) Serve(opt ServeOptions) *Server {
 	s := &Server{engine: e, stats: make(map[string]*AttrStats)}
-	s.sched = scheduler.New(s.execBatch, scheduler.Options{
+	s.window = opt.Window
+	if s.window <= 0 {
+		s.window = time.Millisecond // mirror the scheduler's default for the wait-cost term
+	}
+	schedOpt := scheduler.Options{
 		Window:      opt.Window,
 		MaxBatch:    opt.MaxBatch,
 		MaxPending:  opt.MaxPending,
 		MaxInFlight: opt.MaxInFlight,
 		Metrics:     e.observer.Metrics,
-	})
+	}
+	if opt.Cooperative {
+		s.coop = coop.NewManager(coop.Options{
+			Arena:     e.arena,
+			Metrics:   e.observer.Metrics,
+			Workers:   e.pool.Workers(),
+			MaxAttach: opt.CoopMaxAttach,
+		})
+		schedOpt.Attach = s.tryAttach
+	}
+	s.sched = scheduler.New(s.execBatch, schedOpt)
 	return s
 }
 
@@ -185,6 +225,7 @@ func (s *Server) Observe() obs.Snapshot {
 	m.Gauge("server.fallback_retries").Set(st.FallbackRetries)
 	m.Gauge("server.fallback_successes").Set(st.FallbackSuccesses)
 	m.Gauge("server.failed_batches").Set(st.FailedBatches)
+	m.Gauge("server.attached").Set(st.Attached)
 	return s.engine.observer.Snapshot()
 }
 
@@ -250,9 +291,27 @@ func (s *Server) execBatch(ctx context.Context, key string, preds []Predicate) (
 		slot[i] = len(unique)
 		unique = append(unique, p)
 	}
-	res, err := s.selectRecovered(func() (BatchResult, error) {
-		return t.SelectBatchContext(ctx, attr, unique)
-	})
+	var res BatchResult
+	routed := false
+	if s.coop != nil {
+		// Cooperative mode: run shared-scan batches as attachable passes.
+		// A panic mid-pass keeps routed=true so the scan fallback below
+		// still answers the founders (mid-pass attachers were already
+		// error-delivered when the pass closed).
+		routed = true
+		res, err = s.selectRecovered(func() (BatchResult, error) {
+			r, ok, coopErr := t.selectBatchCoop(ctx, key, attr, unique, s.coop)
+			if !ok {
+				routed = false
+			}
+			return r, coopErr
+		})
+	}
+	if !routed {
+		res, err = s.selectRecovered(func() (BatchResult, error) {
+			return t.SelectBatchContext(ctx, attr, unique)
+		})
+	}
 	if err != nil && retryable(ctx, err) {
 		// The chosen path failed on a real fault; the full scan needs no
 		// auxiliary structure, so it is the safe place to retry once.
